@@ -1,0 +1,92 @@
+// Package hopper's top-level benchmarks regenerate every table and figure
+// in the paper's evaluation at reduced scale — one benchmark per artifact
+// (see DESIGN.md section 3 for the experiment index, and cmd/hopper-sim
+// for the full-scale harness). Each bench iteration replays the
+// experiment once and reports rows via b.Log on the first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a smoke-level reproduction of the whole evaluation.
+package hopper
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/experiments"
+)
+
+// benchHarness is tuned so each experiment completes in benchmark time.
+var benchHarness = experiments.Harness{Scale: 0.08, Seeds: 1}
+
+// results caches one rendered result per experiment so repeated bench
+// iterations (b.N > 1) do not redo identical work for logging.
+var (
+	resultsMu sync.Mutex
+	logged    = map[string]bool{}
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(benchHarness)
+		resultsMu.Lock()
+		if !logged[id] {
+			logged[id] = true
+			b.Log("\n" + res.String())
+		}
+		resultsMu.Unlock()
+	}
+}
+
+// BenchmarkTable1Motivation regenerates the Section 3 example (Table 1,
+// Figures 1-2): best-effort vs budgeted vs Hopper on two jobs, 7 slots.
+func BenchmarkTable1Motivation(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig3Threshold regenerates Figure 3: completion time vs slot
+// count for a single 200-task job, with the knee at 2/beta.
+func BenchmarkFig3Threshold(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig5aProbes regenerates Figure 5a: probe-count sweep vs the
+// centralized reference for Hopper and Sparrow.
+func BenchmarkFig5aProbes(b *testing.B) { benchExperiment(b, "fig5a") }
+
+// BenchmarkFig5bRefusals regenerates Figure 5b: refusal-threshold sweep.
+func BenchmarkFig5bRefusals(b *testing.B) { benchExperiment(b, "fig5b") }
+
+// BenchmarkFig6OverallGains regenerates Figure 6: decentralized Hopper
+// gains vs utilization on both workloads.
+func BenchmarkFig6OverallGains(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7JobBins regenerates Figure 7: gains by job-size bin.
+func BenchmarkFig7JobBins(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8aGainCDF regenerates Figure 8a: per-job gain percentiles.
+func BenchmarkFig8aGainCDF(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// BenchmarkFig8bDAG regenerates Figure 8b: gains by DAG length.
+func BenchmarkFig8bDAG(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// BenchmarkFig9SpecAlgos regenerates Figure 9: gains under LATE, Mantri,
+// and GRASS.
+func BenchmarkFig9SpecAlgos(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Fairness regenerates Figure 10: epsilon sensitivity and
+// slowdown distribution vs a fair allocation.
+func BenchmarkFig10Fairness(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11ProbeRatio regenerates Figure 11: probe-ratio sweep at
+// several utilizations.
+func BenchmarkFig11ProbeRatio(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12Centralized regenerates Figure 12: centralized Hopper vs
+// SRPT on Hadoop-like and Spark-like profiles.
+func BenchmarkFig12Centralized(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13Locality regenerates Figure 13: locality allowance sweep.
+func BenchmarkFig13Locality(b *testing.B) { benchExperiment(b, "fig13") }

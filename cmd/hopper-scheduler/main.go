@@ -1,0 +1,46 @@
+// Command hopper-scheduler runs a live Hopper job scheduler: it accepts
+// job submissions from hopper-submit and coordinates with hopper-worker
+// nodes over the binary wire protocol.
+//
+//	hopper-scheduler -addr :7070 -id 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+)
+
+import "github.com/hopper-sim/hopper/internal/live"
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7070", "listen address")
+		id   = flag.Uint("id", 0, "scheduler ID")
+		beta = flag.Float64("beta", 1.5, "Pareto tail index for virtual sizes")
+		mean = flag.Float64("mean-task", 1.0, "mean task service time (seconds)")
+		seed = flag.Int64("seed", 1, "service-time RNG seed")
+	)
+	flag.Parse()
+
+	s, err := live.NewScheduler(live.SchedulerConfig{
+		ID:              uint32(*id),
+		Addr:            *addr,
+		Beta:            *beta,
+		MeanTaskSeconds: *mean,
+		Seed:            *seed,
+		Logger:          log.New(os.Stderr, fmt.Sprintf("sched%d: ", *id), log.Ltime),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler %d listening on %s\n", *id, s.Addr())
+	go s.Run()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	s.Stop()
+}

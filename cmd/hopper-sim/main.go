@@ -1,0 +1,68 @@
+// Command hopper-sim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hopper-sim -list
+//	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-v]
+//	hopper-sim -all
+//
+// Each experiment prints the rows the corresponding paper figure reports;
+// EXPERIMENTS.md records expected shapes and paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		scale   = flag.Float64("scale", 1, "job-count scale factor")
+		seeds   = flag.Int("seeds", 3, "independent replays per data point")
+		verbose = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	h := experiments.Harness{Scale: *scale, Seeds: *seeds}
+	if *verbose {
+		h.Log = os.Stderr
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		res := e.Run(h)
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		for _, e := range experiments.Registry {
+			run(e)
+		}
+	case *exp != "":
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

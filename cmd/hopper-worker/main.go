@@ -1,0 +1,45 @@
+// Command hopper-worker runs a live worker node: it registers with every
+// scheduler, queues reservations, and late-binds its slots through the
+// refusable-offer protocol (Pseudocode 3).
+//
+//	hopper-worker -id 0 -slots 16 -schedulers 127.0.0.1:7070,127.0.0.1:7071
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"github.com/hopper-sim/hopper/internal/live"
+)
+
+func main() {
+	var (
+		id     = flag.Uint("id", 0, "worker ID")
+		slots  = flag.Int("slots", 4, "task slots on this worker")
+		scheds = flag.String("schedulers", "127.0.0.1:7070", "comma-separated scheduler addresses")
+		scale  = flag.Float64("time-scale", 1.0, "multiplier on task service times")
+	)
+	flag.Parse()
+
+	w, err := live.NewWorker(live.WorkerConfig{
+		ID:             uint32(*id),
+		Slots:          *slots,
+		SchedulerAddrs: strings.Split(*scheds, ","),
+		TimeScale:      *scale,
+		Logger:         log.New(os.Stderr, fmt.Sprintf("worker%d: ", *id), log.Ltime),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker %d up with %d slots, schedulers %s\n", *id, *slots, *scheds)
+	go w.Run()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	w.Stop()
+}

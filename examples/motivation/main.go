@@ -1,0 +1,38 @@
+// Motivation: the Section 3 worked example (Figures 1-2, Table 1) run on
+// the real simulator with the paper's exact task durations.
+//
+// Two jobs share a 7-slot cluster: A has 4 tasks, B has 5. A4's original
+// copy straggles (30s instead of 10s) and is detectable after 2s. The
+// three strategies differ only in how the speculative copy gets a slot:
+//
+//   - best-effort (SRPT):  the copy waits for a natural completion;
+//
+//   - budgeted:            three slots are fenced off for speculation,
+//     idling early and starving B;
+//
+//   - Hopper:              job A is allocated its virtual size (5 slots),
+//     so the copy starts the moment the straggler is
+//     detected, and B gets everything afterwards.
+//
+//     go run ./examples/motivation
+package main
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/experiments"
+)
+
+func main() {
+	fmt.Println("Section 3 example: jobs A (4 tasks) and B (5 tasks), 7 slots.")
+	fmt.Println("Durations per Table 1: all copies 10s; A4 original 30s, B4 original 20s.")
+	fmt.Println()
+	fmt.Printf("%-22s %8s %8s %8s\n", "strategy", "job A", "job B", "average")
+	for _, s := range []string{"best-effort", "budgeted", "hopper"} {
+		a, b := experiments.Table1Schedule(s)
+		fmt.Printf("%-22s %7.1fs %7.1fs %7.1fs\n", s, a, b, (a+b)/2)
+	}
+	fmt.Println()
+	fmt.Println("paper's schedules: best-effort A=20 B=30; budgeted A=12 B=32; Hopper A=12 B=22")
+	fmt.Println("the coordinated allocation wins on average without hurting either job's worst case")
+}

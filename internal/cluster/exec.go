@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hopper-sim/hopper/internal/simulator"
+	"github.com/hopper-sim/hopper/internal/stats"
+)
+
+// ExecModel defines how long a task copy takes on a slot. Per-copy service
+// times are i.i.d. Pareto draws around the phase's mean — the heavy tail is
+// the straggler phenomenon (paper Section 4.1), and a speculative copy is a
+// fresh draw, which is exactly why the original/speculative race helps.
+type ExecModel struct {
+	// Beta is the Pareto tail index of per-copy durations (1 < Beta <= 2
+	// in the traces the paper studies; smaller is heavier-tailed).
+	Beta float64
+
+	// RemotePenalty multiplies the duration of input-phase copies that
+	// read their data over the network (>= 1).
+	RemotePenalty float64
+
+	// MachineStraggleProb optionally adds spatially correlated
+	// interference: with this probability a placement lands in a slow
+	// period and is further multiplied by a Pareto(MachineStraggleShape)
+	// factor capped at MachineStraggleCap. Zero disables the mechanism
+	// (the default; the heavy-tailed draw already produces stragglers).
+	MachineStraggleProb  float64
+	MachineStraggleShape float64
+	MachineStraggleCap   float64
+}
+
+// DefaultExecModel mirrors the trace regime in the paper: beta 1.5 task
+// durations, modest remote-read penalty, and machine-level interference
+// matching the paper's observations (tasks up to 8x slower than expected
+// due to IO contention, maintenance, and hardware behaviors — Sections 1
+// and 2.2): 6%% of placements land in a slow period and are further
+// slowed by a heavy-tailed factor capped at 8x. Re-drawing the machine is
+// exactly what a speculative copy buys.
+func DefaultExecModel() ExecModel {
+	return ExecModel{
+		Beta:                 1.5,
+		RemotePenalty:        1.25,
+		MachineStraggleProb:  0.06,
+		MachineStraggleShape: 1.1,
+		MachineStraggleCap:   8,
+	}
+}
+
+// Duration draws one copy's service time.
+func (em ExecModel) Duration(rng *rand.Rand, meanTask float64, local bool) float64 {
+	d := stats.SampleMean(rng, meanTask, em.Beta)
+	if !local && em.RemotePenalty > 1 {
+		d *= em.RemotePenalty
+	}
+	if em.MachineStraggleProb > 0 && rng.Float64() < em.MachineStraggleProb {
+		f := stats.NewPareto(1, em.MachineStraggleShape).Sample(rng)
+		if em.MachineStraggleCap > 0 && f > em.MachineStraggleCap {
+			f = em.MachineStraggleCap
+		}
+		d *= f
+	}
+	return d
+}
+
+// transferOverlapFactor is how much of a phase's per-task transfer share
+// is hidden by pipelining with the upstream phase and by overlap with the
+// downstream tasks' own shuffle reads. Only 1/factor of the share gates
+// the phase start.
+const transferOverlapFactor = 4.0
+
+// Executor runs copies on machines inside a discrete-event simulation:
+// it owns slot accounting, the copy race (first finisher wins, siblings
+// are killed and their slots reclaimed), phase-dependency unlocking with
+// pipelined transfers, and job completion. Schedulers drive it through
+// Place/PlaceOn and react through the callbacks.
+type Executor struct {
+	Eng      *simulator.Engine
+	Machines *Machines
+	Model    ExecModel
+
+	// OnTaskDone fires when a task's winning copy completes, after slot
+	// accounting for the whole race has been settled.
+	OnTaskDone func(t *Task, winner *Copy)
+	// OnPhaseRunnable fires when a phase's dependencies and pipelined
+	// transfer complete, making its tasks schedulable.
+	OnPhaseRunnable func(p *Phase)
+	// OnJobDone fires when a job's last phase completes.
+	OnJobDone func(j *Job)
+	// OnSlotFree fires once per freed slot (wins and kills alike), after
+	// OnTaskDone for the same event. Decentralized workers use this to
+	// start their next pull; centralized engines typically ignore it and
+	// re-dispatch from OnTaskDone.
+	OnSlotFree func(m MachineID)
+
+	// DurationOverride, when set, supplies copy service times instead of
+	// the ExecModel draw — used by the Section 3 example and by tests
+	// that need exact schedules.
+	DurationOverride func(t *Task, speculative bool) float64
+
+	// durSeed keys task-intrinsic service-time draws; see copyRNG.
+	durSeed int64
+
+	// Stats
+	CopiesStarted     int
+	SpeculativeCopies int
+	CopiesKilled      int
+	LocalCopies       int
+	TasksDone         int
+	// SlotSecondsUsed accumulates busy slot-time, including time spent by
+	// copies that were later killed (wasted work shows up here).
+	SlotSecondsUsed float64
+	// SpeculativeSlotSeconds is the part of SlotSecondsUsed consumed by
+	// speculative copies.
+	SpeculativeSlotSeconds float64
+
+	// SaturatedTime accumulates wall-clock spent with zero free slots —
+	// the regime in which speculation and new jobs must queue and
+	// speculation-aware allocation matters most.
+	SaturatedTime float64
+	satSince      simulator.Time
+	saturated     bool
+
+	rng *rand.Rand
+}
+
+// noteSlotChange updates the saturation clock after slot counts change.
+func (x *Executor) noteSlotChange() {
+	sat := !x.Machines.AnyFree()
+	if sat && !x.saturated {
+		x.saturated = true
+		x.satSince = x.Eng.Now()
+	} else if !sat && x.saturated {
+		x.saturated = false
+		x.SaturatedTime += x.Eng.Now() - x.satSince
+	}
+}
+
+// NewExecutor wires an executor to an engine and machine set.
+func NewExecutor(eng *simulator.Engine, ms *Machines, model ExecModel) *Executor {
+	return &Executor{Eng: eng, Machines: ms, Model: model, rng: eng.Rand(), durSeed: eng.Rand().Int63()}
+}
+
+// copyRNG returns a deterministic source for one copy's service time,
+// keyed by (job, phase, task, attempt) rather than by placement order.
+// Two replays of the same trace under different schedulers then share
+// straggler realizations, so paired per-job comparisons (Figures 8a and
+// 10) measure scheduling differences, not resampling noise.
+func (x *Executor) copyRNG(t *Task, attempt int) *rand.Rand {
+	h := uint64(x.durSeed)
+	for _, v := range [4]uint64{uint64(t.Job.ID), uint64(t.Phase.Index), uint64(t.Index), uint64(attempt)} {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+	}
+	return rand.New(rand.NewSource(int64(h >> 1)))
+}
+
+// AdmitJob marks the job's root phases runnable at the current time and
+// fires OnPhaseRunnable for each. Call exactly once, at job arrival.
+func (x *Executor) AdmitJob(j *Job) {
+	now := x.Eng.Now()
+	for _, p := range j.Phases {
+		if len(p.Deps) == 0 {
+			p.Runnable = true
+			p.RunnableAt = now
+			if x.OnPhaseRunnable != nil {
+				x.OnPhaseRunnable(p)
+			}
+		}
+	}
+}
+
+// Place chooses a machine for the task (locality-aware) and starts a copy
+// there. Returns nil if the cluster has no free slot.
+func (x *Executor) Place(t *Task, speculative bool) *Copy {
+	m, local := x.Machines.PickForTask(x.rng, t)
+	if m < 0 {
+		return nil
+	}
+	return x.placeOn(t, m, speculative, local)
+}
+
+// PlaceOn starts a copy of the task on a specific machine, as happens in
+// decentralized mode where the worker owns the slot. Panics if the
+// machine is full (the caller holds the slot by construction).
+func (x *Executor) PlaceOn(t *Task, m MachineID, speculative bool) *Copy {
+	return x.placeOn(t, m, speculative, t.LocalOn(m))
+}
+
+func (x *Executor) placeOn(t *Task, m MachineID, speculative, local bool) *Copy {
+	if t.State == TaskDone {
+		panic(fmt.Sprintf("cluster: placing copy of finished task %s", t.ID()))
+	}
+	if !t.Phase.Runnable {
+		panic(fmt.Sprintf("cluster: placing task %s in non-runnable phase", t.ID()))
+	}
+	x.Machines.Acquire(m)
+	x.noteSlotChange()
+	now := x.Eng.Now()
+	dur := 0.0
+	if x.DurationOverride != nil {
+		dur = x.DurationOverride(t, speculative)
+	} else {
+		dur = x.Model.Duration(x.copyRNG(t, len(t.Copies)), t.Phase.MeanTaskDuration, local)
+	}
+	c := &Copy{
+		Task:        t,
+		Machine:     m,
+		Speculative: speculative,
+		Local:       local,
+		Start:       now,
+		Duration:    dur,
+	}
+	t.Copies = append(t.Copies, c)
+	if t.State == TaskUnscheduled {
+		t.State = TaskRunning
+		t.Phase.unscheduled--
+		t.Phase.advanceCursor()
+		if !t.Job.started {
+			t.Job.started = true
+			t.Job.StartAt = now
+		}
+	}
+	x.CopiesStarted++
+	if speculative {
+		x.SpeculativeCopies++
+	}
+	if local {
+		x.LocalCopies++
+	}
+	c.finishEv = x.Eng.After(c.Duration, func() { x.copyFinished(c) })
+	return c
+}
+
+func (x *Executor) copyFinished(c *Copy) {
+	t := c.Task
+	if c.Killed || t.State == TaskDone {
+		// Stale event; the copy's slot was already reclaimed at kill time.
+		return
+	}
+	now := x.Eng.Now()
+	c.Won = true
+	t.State = TaskDone
+	t.DoneAt = now
+	x.TasksDone++
+	x.SlotSecondsUsed += c.Duration
+	if c.Speculative {
+		x.SpeculativeSlotSeconds += c.Duration
+	}
+	x.Machines.Release(c.Machine)
+	x.noteSlotChange()
+	freed := []MachineID{c.Machine}
+
+	// Kill racing siblings and reclaim their slots now.
+	for _, sib := range t.Copies {
+		if sib == c || sib.Killed || sib.Won {
+			continue
+		}
+		sib.Killed = true
+		sib.finishEv.Cancel()
+		x.CopiesKilled++
+		ran := now - sib.Start
+		x.SlotSecondsUsed += ran
+		if sib.Speculative {
+			x.SpeculativeSlotSeconds += ran
+		}
+		x.Machines.Release(sib.Machine)
+		x.noteSlotChange()
+		freed = append(freed, sib.Machine)
+	}
+
+	jobDone := x.taskDone(t, now)
+
+	// Ordering contract: OnTaskDone fires before OnJobDone so schedulers
+	// settle per-task accounting (occupancy, estimators) while the job is
+	// still registered; OnSlotFree fires last.
+	if x.OnTaskDone != nil {
+		x.OnTaskDone(t, c)
+	}
+	if jobDone && x.OnJobDone != nil {
+		x.OnJobDone(t.Job)
+	}
+	if x.OnSlotFree != nil {
+		for _, m := range freed {
+			x.OnSlotFree(m)
+		}
+	}
+}
+
+// taskDone performs phase/job completion bookkeeping and reports whether
+// the task's job just finished (the caller fires OnJobDone after
+// OnTaskDone).
+func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
+	p := t.Phase
+	p.doneTasks++
+	if !p.anyDone {
+		p.anyDone = true
+		p.firstDone = now
+	}
+	if !p.Done() {
+		return false
+	}
+	p.DoneAt = now
+	j := t.Job
+	j.donePhases++
+	if j.Done() {
+		j.DoneAt = now
+		return true
+	}
+	// Unlock dependent phases whose dependencies are now all complete.
+	for _, q := range j.Phases {
+		if q.Runnable || q.Done() || len(q.Deps) == 0 {
+			continue
+		}
+		ready := true
+		var depsDone, transferStart simulator.Time
+		first := true
+		for _, di := range q.Deps {
+			d := j.Phases[di]
+			if !d.Done() {
+				ready = false
+				break
+			}
+			if d.DoneAt > depsDone {
+				depsDone = d.DoneAt
+			}
+			if first || d.firstDone < transferStart {
+				transferStart = d.firstDone
+				first = false
+			}
+		}
+		if !ready {
+			continue
+		}
+		// Pipelined transfer: TransferWork is total network work
+		// (slot-seconds); the phase's tasks pull their partitions in
+		// parallel, and most of the pull overlaps both the upstream
+		// phase (pipelining, Section 4.2) and the downstream tasks' own
+		// runtimes (shuffle reads are part of reduce-task durations), so
+		// only a fraction of the per-task share gates the phase start.
+		// The transfer began when the first upstream task produced
+		// output; the phase starts at whichever is later — all inputs
+		// computed, or residual inputs moved.
+		startAt := depsDone
+		wall := q.TransferWork / float64(len(q.Tasks)) / transferOverlapFactor
+		if end := transferStart + wall; end > startAt {
+			startAt = end
+		}
+		q.RunnableAt = startAt
+		qq := q
+		x.Eng.At(startAt, func() {
+			qq.Runnable = true
+			if x.OnPhaseRunnable != nil {
+				x.OnPhaseRunnable(qq)
+			}
+		})
+	}
+	return false
+}
+
+// SpeculationWasteFraction returns the fraction of consumed slot-seconds
+// spent on speculative copies — the paper reports 21% resource usage by
+// speculative tasks in Facebook's cluster.
+func (x *Executor) SpeculationWasteFraction() float64 {
+	if x.SlotSecondsUsed == 0 {
+		return 0
+	}
+	return x.SpeculativeSlotSeconds / x.SlotSecondsUsed
+}

@@ -1,0 +1,296 @@
+// Package cluster models the compute substrate Hopper schedules on:
+// machines with task slots, jobs structured as DAGs of phases, tasks that
+// may run as multiple racing copies (originals and speculative re-executions),
+// and an execution model in which per-copy service times are heavy-tailed —
+// the tail *is* the straggler phenomenon, exactly as in the paper's
+// analysis (Section 4.1).
+//
+// The package is substrate only: it executes whatever copies a scheduler
+// places, enforces slot capacity, resolves races between copies, and
+// reports completions. All policy (which job gets a slot, whether a slot
+// runs a fresh task or a speculative copy) lives in the scheduler packages.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// JobID identifies a job within one simulation run.
+type JobID int
+
+// MachineID indexes a machine in the cluster.
+type MachineID int
+
+// TaskState is the lifecycle state of a task (not of an individual copy).
+type TaskState uint8
+
+// Task lifecycle: a task is created Unscheduled, becomes Running when its
+// first copy is placed, and Done when any copy finishes.
+const (
+	TaskUnscheduled TaskState = iota
+	TaskRunning
+	TaskDone
+)
+
+// Copy is one execution attempt of a task on a specific machine. A task
+// has one original copy and possibly speculative copies racing it.
+type Copy struct {
+	Task        *Task
+	Machine     MachineID
+	Speculative bool
+	Local       bool // input data was machine-local
+	Start       simulator.Time
+	// Duration is the service time drawn at placement. It is hidden from
+	// scheduling policies until the progress-observation delay elapses;
+	// see speculation.Observer.
+	Duration simulator.Time
+	// Killed is set when a sibling copy won the race and this copy's slot
+	// was reclaimed.
+	Killed bool
+	// Won is set on the copy that completed the task.
+	Won bool
+
+	finishEv *simulator.Event
+}
+
+// Finish returns the absolute time this copy would complete if not killed.
+func (c *Copy) Finish() simulator.Time { return c.Start + c.Duration }
+
+// Elapsed returns how long the copy has been running at time now.
+func (c *Copy) Elapsed(now simulator.Time) simulator.Time { return now - c.Start }
+
+// Remaining returns the true remaining service time at time now. Policies
+// must not use this directly; they see it only through the observation
+// model in the speculation package.
+func (c *Copy) Remaining(now simulator.Time) simulator.Time {
+	r := c.Finish() - now
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Task is a unit of work inside a phase. Tasks may have replica locality
+// preferences (input phases) and may be executed by several racing copies.
+type Task struct {
+	Job   *Job
+	Phase *Phase
+	Index int // position within the phase
+
+	// Replicas are machines holding the task's input data. Empty for
+	// tasks without locality preference (non-input phases).
+	Replicas []MachineID
+
+	State  TaskState
+	Copies []*Copy
+	DoneAt simulator.Time
+}
+
+// ID returns a human-readable identifier for logs and errors.
+func (t *Task) ID() string {
+	return fmt.Sprintf("job%d/phase%d/task%d", t.Job.ID, t.Phase.Index, t.Index)
+}
+
+// RunningCopies returns the number of live (not killed, not finished)
+// copies at the moment of the call.
+func (t *Task) RunningCopies() int {
+	n := 0
+	for _, c := range t.Copies {
+		if !c.Killed && !c.Won && t.State != TaskDone {
+			n++
+		}
+	}
+	if t.State == TaskDone {
+		return 0
+	}
+	return n
+}
+
+// LocalOn reports whether machine m holds one of the task's input
+// replicas. Tasks with no replica list run equally well anywhere.
+func (t *Task) LocalOn(m MachineID) bool {
+	if len(t.Replicas) == 0 {
+		return true
+	}
+	for _, r := range t.Replicas {
+		if r == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Phase is a set of tasks with identical structure inside a job's DAG.
+// A phase becomes runnable when all its dependencies have completed and
+// its (pipelined) input transfer has caught up.
+type Phase struct {
+	Job   *Job
+	Index int
+	Tasks []*Task
+
+	// Deps lists phase indices that must complete before this phase runs.
+	Deps []int
+
+	// MeanTaskDuration is the expected service time of this phase's tasks
+	// (seconds); per-copy durations are Pareto draws with this mean.
+	MeanTaskDuration float64
+
+	// TransferWork is the total network work (slot-seconds) needed to
+	// move this phase's input data from its upstream phases — the
+	// "remaining work in communication" of the paper's alpha. The
+	// transfer is pipelined: it begins when the first upstream task
+	// finishes, and this phase's tasks pull their partitions in
+	// parallel, so the wall-clock gating is TransferWork divided by the
+	// phase's task count. Zero for input phases.
+	TransferWork float64
+
+	// Runnable is set once deps and (pipelined) transfer allow execution.
+	Runnable   bool
+	RunnableAt simulator.Time
+
+	next        int // lower bound on the smallest unscheduled task index
+	unscheduled int // count of tasks never scheduled; maintained by Executor
+	doneTasks   int
+	firstDone   simulator.Time // completion time of this phase's first task
+	anyDone     bool
+	DoneAt      simulator.Time
+}
+
+// Done reports whether every task in the phase has completed.
+func (p *Phase) Done() bool { return p.doneTasks == len(p.Tasks) }
+
+// RemainingTasks returns the number of tasks not yet Done.
+func (p *Phase) RemainingTasks() int { return len(p.Tasks) - p.doneTasks }
+
+// UnscheduledTasks returns how many tasks have never had a copy placed.
+func (p *Phase) UnscheduledTasks() int { return p.unscheduled }
+
+// advanceCursor moves the lower-bound cursor past scheduled tasks.
+func (p *Phase) advanceCursor() {
+	for p.next < len(p.Tasks) && p.Tasks[p.next].State != TaskUnscheduled {
+		p.next++
+	}
+}
+
+// NextUnscheduled returns the next never-scheduled task, or nil when all
+// tasks have at least one copy.
+func (p *Phase) NextUnscheduled() *Task {
+	p.advanceCursor()
+	if p.next < len(p.Tasks) {
+		return p.Tasks[p.next]
+	}
+	return nil
+}
+
+// NextUnscheduledLocalOn returns the earliest never-scheduled task whose
+// input is local on machine m, or nil if none is.
+func (p *Phase) NextUnscheduledLocalOn(m MachineID) *Task {
+	p.advanceCursor()
+	for i := p.next; i < len(p.Tasks); i++ {
+		t := p.Tasks[i]
+		if t.State == TaskUnscheduled && t.LocalOn(m) {
+			return t
+		}
+	}
+	return nil
+}
+
+// Job is a user job: a DAG of phases. Arrival and completion times are in
+// simulation seconds.
+type Job struct {
+	ID      JobID
+	Name    string // recurring-job family; used for alpha estimation
+	Arrival simulator.Time
+	Phases  []*Phase
+
+	// Weight scales the job's fair share (all 1 in the paper's workloads).
+	Weight float64
+
+	DoneAt  simulator.Time
+	started bool
+	StartAt simulator.Time
+
+	donePhases int
+}
+
+// NewJob builds a job from phase specifications, wiring parent pointers.
+func NewJob(id JobID, name string, arrival simulator.Time, phases []*Phase) *Job {
+	j := &Job{ID: id, Name: name, Arrival: arrival, Phases: phases, Weight: 1}
+	for i, p := range phases {
+		p.Job = j
+		p.Index = i
+		p.unscheduled = len(p.Tasks)
+		for k, t := range p.Tasks {
+			t.Job = j
+			t.Phase = p
+			t.Index = k
+		}
+	}
+	return j
+}
+
+// Done reports whether all phases have completed.
+func (j *Job) Done() bool { return j.donePhases == len(j.Phases) }
+
+// TotalTasks returns the task count across all phases.
+func (j *Job) TotalTasks() int {
+	n := 0
+	for _, p := range j.Phases {
+		n += len(p.Tasks)
+	}
+	return n
+}
+
+// RemainingTasksTotal counts unfinished tasks across the whole DAG; this
+// is the quantity classic SRPT uses as "remaining processing".
+func (j *Job) RemainingTasksTotal() int {
+	n := 0
+	for _, p := range j.Phases {
+		n += p.RemainingTasks()
+	}
+	return n
+}
+
+// RunnablePhases returns phases that are runnable and unfinished — the
+// "current" phases in the paper's terminology (more than one for bushy
+// DAGs).
+func (j *Job) RunnablePhases() []*Phase {
+	var out []*Phase
+	for _, p := range j.Phases {
+		if p.Runnable && !p.Done() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RemainingCurrentTasks counts unfinished tasks in runnable phases; this
+// is T_i(t) in the paper's virtual-size rule.
+func (j *Job) RemainingCurrentTasks() int {
+	n := 0
+	for _, p := range j.RunnablePhases() {
+		n += p.RemainingTasks()
+	}
+	return n
+}
+
+// CompletionTime returns the job's response time (completion minus
+// arrival). It panics if the job has not finished — reading metrics from
+// an unfinished job is always a harness bug.
+func (j *Job) CompletionTime() simulator.Time {
+	if !j.Done() {
+		panic(fmt.Sprintf("cluster: CompletionTime on unfinished job %d", j.ID))
+	}
+	return j.DoneAt - j.Arrival
+}
+
+// MeanTaskDuration returns the task-duration mean of the first phase;
+// used as the job-level scale prior before any task completes.
+func (j *Job) MeanTaskDuration() float64 {
+	if len(j.Phases) == 0 {
+		return 0
+	}
+	return j.Phases[0].MeanTaskDuration
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Machine is a worker host with a fixed number of task slots.
+type Machine struct {
+	ID    MachineID
+	Slots int
+	Free  int
+}
+
+// Machines is the cluster's machine set with an O(1) index of machines
+// that currently have free slots, so placement remains cheap even with
+// tens of thousands of machines.
+type Machines struct {
+	All []*Machine
+
+	// free is the set of machine IDs with Free > 0, as a slice for O(1)
+	// random choice plus a position index for O(1) removal.
+	free []MachineID
+	pos  []int // pos[id] = index in free, or -1
+}
+
+// NewMachines builds n machines with slotsPer slots each, all free.
+func NewMachines(n, slotsPer int) *Machines {
+	if n <= 0 || slotsPer <= 0 {
+		panic(fmt.Sprintf("cluster: invalid machine set %d x %d", n, slotsPer))
+	}
+	ms := &Machines{
+		All:  make([]*Machine, n),
+		free: make([]MachineID, n),
+		pos:  make([]int, n),
+	}
+	for i := range ms.All {
+		ms.All[i] = &Machine{ID: MachineID(i), Slots: slotsPer, Free: slotsPer}
+		ms.free[i] = MachineID(i)
+		ms.pos[i] = i
+	}
+	return ms
+}
+
+// TotalSlots returns the cluster capacity in slots.
+func (ms *Machines) TotalSlots() int {
+	n := 0
+	for _, m := range ms.All {
+		n += m.Slots
+	}
+	return n
+}
+
+// FreeSlots returns the number of currently free slots cluster-wide.
+func (ms *Machines) FreeSlots() int {
+	n := 0
+	for _, m := range ms.All {
+		n += m.Free
+	}
+	return n
+}
+
+// Get returns the machine with the given ID.
+func (ms *Machines) Get(id MachineID) *Machine { return ms.All[id] }
+
+// Acquire takes one slot on machine id. It panics if none is free —
+// capacity violations are scheduler bugs and must fail loudly.
+func (ms *Machines) Acquire(id MachineID) {
+	m := ms.All[id]
+	if m.Free <= 0 {
+		panic(fmt.Sprintf("cluster: acquiring slot on full machine %d", id))
+	}
+	m.Free--
+	if m.Free == 0 {
+		ms.removeFree(id)
+	}
+}
+
+// Release returns one slot on machine id. It panics on over-release.
+func (ms *Machines) Release(id MachineID) {
+	m := ms.All[id]
+	if m.Free >= m.Slots {
+		panic(fmt.Sprintf("cluster: releasing slot on idle machine %d", id))
+	}
+	if m.Free == 0 {
+		ms.addFree(id)
+	}
+	m.Free++
+}
+
+func (ms *Machines) removeFree(id MachineID) {
+	i := ms.pos[id]
+	last := len(ms.free) - 1
+	ms.free[i] = ms.free[last]
+	ms.pos[ms.free[i]] = i
+	ms.free = ms.free[:last]
+	ms.pos[id] = -1
+}
+
+func (ms *Machines) addFree(id MachineID) {
+	ms.pos[id] = len(ms.free)
+	ms.free = append(ms.free, id)
+}
+
+// AnyFree reports whether any machine has a free slot.
+func (ms *Machines) AnyFree() bool { return len(ms.free) > 0 }
+
+// RandomFree returns a uniformly random machine with a free slot, or -1
+// if the cluster is full.
+func (ms *Machines) RandomFree(rng *rand.Rand) MachineID {
+	if len(ms.free) == 0 {
+		return -1
+	}
+	return ms.free[rng.Intn(len(ms.free))]
+}
+
+// FreeAmong returns a machine from candidates that has a free slot,
+// choosing uniformly at random among the free ones; -1 if none is free.
+func (ms *Machines) FreeAmong(rng *rand.Rand, candidates []MachineID) MachineID {
+	var avail []MachineID
+	for _, id := range candidates {
+		if ms.All[id].Free > 0 {
+			avail = append(avail, id)
+		}
+	}
+	if len(avail) == 0 {
+		return -1
+	}
+	return avail[rng.Intn(len(avail))]
+}
+
+// PickForTask chooses a machine for a task: one of its replica machines
+// if any has a free slot (data-local), otherwise a random free machine
+// (remote read). The bool reports locality. Returns -1 when the cluster
+// is full.
+func (ms *Machines) PickForTask(rng *rand.Rand, t *Task) (MachineID, bool) {
+	if len(t.Replicas) > 0 {
+		if id := ms.FreeAmong(rng, t.Replicas); id >= 0 {
+			return id, true
+		}
+	}
+	id := ms.RandomFree(rng)
+	if id < 0 {
+		return -1, false
+	}
+	return id, t.LocalOn(id)
+}
+
+// RandomSubset fills dst with k distinct machine IDs chosen uniformly
+// from the whole cluster (free or busy) — the probe fan-out primitive in
+// decentralized mode. If k >= len(All), every machine is returned. The
+// returned slice aliases dst's backing array.
+func (ms *Machines) RandomSubset(rng *rand.Rand, k int, dst []MachineID) []MachineID {
+	n := len(ms.All)
+	if k >= n {
+		dst = dst[:0]
+		for i := 0; i < n; i++ {
+			dst = append(dst, MachineID(i))
+		}
+		return dst
+	}
+	dst = dst[:0]
+	// Floyd's algorithm: k distinct samples in O(k).
+	seen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		v := rng.Intn(j + 1)
+		if _, dup := seen[v]; dup {
+			v = j
+		}
+		seen[v] = struct{}{}
+		dst = append(dst, MachineID(v))
+	}
+	return dst
+}

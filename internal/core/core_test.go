@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVirtualSizeBasics(t *testing.T) {
+	cases := []struct {
+		name      string
+		remaining int
+		beta      float64
+		alpha     float64
+		want      float64
+	}{
+		{"zero remaining", 0, 1.5, 1, 0},
+		{"negative remaining", -3, 1.5, 1, 0},
+		{"beta 1.5 alpha 1", 30, 1.5, 1, 40},
+		{"beta 2 alpha 1", 30, 2, 1, 30},
+		{"alpha quadruples -> doubles", 30, 2, 4, 60},
+		{"alpha zero treated as one", 30, 2, 0, 30},
+		{"beta below clamp", 10, 0.5, 1, 2 / 1.05 * 10},
+		{"beta above clamp", 10, 5, 1, 10},
+	}
+	for _, c := range cases {
+		if got := VirtualSize(c.remaining, c.beta, c.alpha); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: VirtualSize(%d, %v, %v) = %v, want %v",
+				c.name, c.remaining, c.beta, c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestVirtualSizeAtLeastRemainingForAlphaGE1(t *testing.T) {
+	// With alpha >= 1 and beta <= 2, the virtual size is never below the
+	// remaining task count: the speculation headroom is nonnegative.
+	for rem := 1; rem < 200; rem += 7 {
+		for _, beta := range []float64{1.1, 1.4, 1.6, 2.0} {
+			if v := VirtualSize(rem, beta, 1); v < float64(rem)-1e-9 {
+				t.Fatalf("VirtualSize(%d, %v, 1) = %v < remaining", rem, beta, v)
+			}
+		}
+	}
+}
+
+func TestPriorityUsesDownstream(t *testing.T) {
+	j := JobDemand{Remaining: 10, Alpha: 1, DownstreamVirtual: 100}
+	if got := j.Priority(1.5); got != 100 {
+		t.Fatalf("Priority = %v, want downstream 100", got)
+	}
+	j.DownstreamVirtual = 0
+	if got, want := j.Priority(1.5), VirtualSize(10, 1.5, 1); got != want {
+		t.Fatalf("Priority = %v, want V = %v", got, want)
+	}
+}
+
+func TestAllocateConstrainedServesSmallestFirst(t *testing.T) {
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 100},
+		{ID: 2, Remaining: 10},
+		{ID: 3, Remaining: 50},
+	}
+	beta := 1.5 // V = 4/3 T: totals 160*4/3 > 60
+	alloc := Allocate(jobs, 60, beta)
+	// Smallest job (10 tasks, V=ceil(13.3)=14) gets its full virtual size.
+	if alloc[1] != 14 {
+		t.Errorf("smallest job alloc = %d, want 14", alloc[1])
+	}
+	// Next smallest (50 tasks, V=ceil(66.7)) gets the remainder (46).
+	if alloc[2] != 46 {
+		t.Errorf("middle job alloc = %d, want 46", alloc[2])
+	}
+	if alloc[0] != 0 {
+		t.Errorf("largest job alloc = %d, want 0", alloc[0])
+	}
+}
+
+func TestAllocateUnconstrainedProportional(t *testing.T) {
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 10},
+		{ID: 2, Remaining: 30},
+	}
+	beta := 2.0 // V = T; total V = 40 << 400
+	alloc := Allocate(jobs, 400, beta)
+	if alloc[0]+alloc[1] != 400 {
+		t.Fatalf("unconstrained allocation must be work-conserving: got %d", alloc[0]+alloc[1])
+	}
+	// Proportional: 100 and 300.
+	if alloc[0] != 100 || alloc[1] != 300 {
+		t.Fatalf("alloc = %v, want [100 300]", alloc)
+	}
+}
+
+func TestAllocateRespectsMaxUsable(t *testing.T) {
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 10, MaxUsable: 12},
+		{ID: 2, Remaining: 30, MaxUsable: 60},
+	}
+	alloc := Allocate(jobs, 400, 2.0)
+	if alloc[0] > 12 || alloc[1] > 60 {
+		t.Fatalf("allocation exceeds caps: %v", alloc)
+	}
+	if alloc[0]+alloc[1] != 72 {
+		t.Fatalf("should saturate caps: %v", alloc)
+	}
+}
+
+func TestAllocateEmptyAndZeroSlots(t *testing.T) {
+	if got := Allocate(nil, 100, 1.5); len(got) != 0 {
+		t.Fatalf("nil jobs: %v", got)
+	}
+	jobs := []JobDemand{{ID: 1, Remaining: 5}}
+	if got := Allocate(jobs, 0, 1.5); got[0] != 0 {
+		t.Fatalf("zero slots: %v", got)
+	}
+}
+
+func TestAllocateNeverExceedsSlots(t *testing.T) {
+	// Property: sum(alloc) <= slots for arbitrary inputs.
+	f := func(sizes []uint16, slots uint16, betaRaw uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 60 {
+			sizes = sizes[:60]
+		}
+		jobs := make([]JobDemand, len(sizes))
+		for i, s := range sizes {
+			jobs[i] = JobDemand{ID: int64(i), Remaining: int(s % 1000)}
+		}
+		beta := 1.05 + float64(betaRaw%95)/100.0
+		alloc := Allocate(jobs, int(slots), beta)
+		sum := 0
+		for i, a := range alloc {
+			if a < 0 {
+				t.Logf("negative allocation for job %d", i)
+				return false
+			}
+			sum += a
+		}
+		return sum <= int(slots)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateFairFloor(t *testing.T) {
+	// One huge job and several small ones under scarcity: without
+	// fairness the big job would starve; with epsilon = 0.2 it must get
+	// at least (1-0.2) * S/N.
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 1000},
+		{ID: 2, Remaining: 10},
+		{ID: 3, Remaining: 12},
+		{ID: 4, Remaining: 14},
+	}
+	slots := 100
+	eps := 0.2
+	alloc := AllocateFair(jobs, slots, 1.5, eps)
+	floor := int((1 - eps) * float64(slots) / float64(len(jobs)))
+	if alloc[0] < floor {
+		t.Fatalf("large job got %d, below fairness floor %d (alloc %v)", alloc[0], floor, alloc)
+	}
+	total := 0
+	for _, a := range alloc {
+		total += a
+	}
+	if total > slots {
+		t.Fatalf("fair allocation oversubscribes: %v", alloc)
+	}
+}
+
+func TestAllocateFairEpsilonOneIsUnfair(t *testing.T) {
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 1000},
+		{ID: 2, Remaining: 10},
+	}
+	got := AllocateFair(jobs, 50, 1.5, 1)
+	want := Allocate(jobs, 50, 1.5)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("epsilon=1 should equal raw allocation: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAllocateFairPropertyFloorAndCapacity(t *testing.T) {
+	f := func(sizes []uint16, slotsRaw uint16, epsRaw uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		slots := int(slotsRaw%2000) + 1
+		eps := float64(epsRaw%100) / 100
+		jobs := make([]JobDemand, len(sizes))
+		for i, s := range sizes {
+			jobs[i] = JobDemand{ID: int64(i), Remaining: int(s%500) + 1}
+		}
+		alloc := AllocateFair(jobs, slots, 1.5, eps)
+		sum := 0
+		floor := int(math.Floor((1 - eps) * float64(slots) / float64(len(jobs))))
+		for i, a := range alloc {
+			if a < 0 {
+				return false
+			}
+			sum += a
+			// The guarantee is capped by what the job can use.
+			guarantee := floor
+			if cap := jobs[i].Remaining * 2; guarantee > cap {
+				guarantee = cap
+			}
+			_ = guarantee // floors may be scaled down when oversubscribed
+		}
+		return sum <= slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainedRegimeDetection(t *testing.T) {
+	jobs := []JobDemand{{ID: 1, Remaining: 30}} // V = 40 at beta 1.5
+	if !Constrained(jobs, 39, 1.5) {
+		t.Fatal("39 slots should be constrained")
+	}
+	if Constrained(jobs, 41, 1.5) {
+		t.Fatal("41 slots should be unconstrained")
+	}
+}
+
+func TestLocalityWindow(t *testing.T) {
+	cases := []struct {
+		n    int
+		k    float64
+		want int
+	}{
+		{0, 3, 0},
+		{10, 0, 1},
+		{10, -1, 1},
+		{100, 3, 3},
+		{10, 3, 1},
+		{10, 100, 10},
+		{3, 200, 3},
+	}
+	for _, c := range cases {
+		if got := LocalityWindow(c.n, c.k); got != c.want {
+			t.Errorf("LocalityWindow(%d, %v) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestAllocateDeterministic(t *testing.T) {
+	jobs := []JobDemand{
+		{ID: 1, Remaining: 50}, {ID: 2, Remaining: 50}, {ID: 3, Remaining: 50},
+	}
+	a := Allocate(jobs, 100, 1.5)
+	for i := 0; i < 10; i++ {
+		b := Allocate(jobs, 100, 1.5)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("allocation not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package decentral implements the decentralized schedulers of Sections 5
+// and 6.1: decentralized Hopper, and the Sparrow and Sparrow-SRPT
+// baselines it is evaluated against.
+//
+// Architecture (Figure 4): multiple independent job schedulers each own a
+// subset of jobs; workers own slots. A scheduler pushes reservation
+// requests ("probes") for its tasks to a subset of workers; a worker with
+// a free slot late-binds — it asks the scheduler of a queued reservation
+// for a task, and the scheduler decides which task (if any) to hand over.
+//
+// Hopper's differences from Sparrow, all implemented here:
+//
+//   - power of many choices: probe ratio defaults to 4, not 2
+//     (Section 5.1 — heavy-tailed task durations back up worker queues,
+//     so two samples are not enough);
+//   - worker queues are ordered by job virtual size, not FIFO;
+//   - responses are refusable (Pseudocode 2/3): a scheduler whose job is
+//     already at its virtual size refuses, piggybacking its smallest
+//     *unsatisfied* job; after a threshold of refusals the worker either
+//     serves the smallest unsatisfied job (non-refusable — the system is
+//     capacity-constrained, Guideline 2) or, when refusals carried no
+//     unsatisfied-job info, concludes the system is unconstrained and
+//     picks a job at random weighted by virtual size (Guideline 3);
+//   - virtual-size updates piggyback on protocol messages — no gossip.
+//
+// Messages are simulated with a one-way latency plus a serial
+// per-message processing delay at each scheduler, so higher probe ratios
+// genuinely cost more (Figure 11's drop at high utilization).
+package decentral
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/simulator"
+	"github.com/hopper-sim/hopper/internal/speculation"
+)
+
+// Mode selects the scheduling protocol.
+type Mode int
+
+// The three decentralized systems evaluated in the paper.
+const (
+	// ModeHopper is decentralized Hopper (Section 5).
+	ModeHopper Mode = iota
+	// ModeSparrow is stock Sparrow: FIFO worker queues, batched
+	// power-of-two probes, best-effort speculation.
+	ModeSparrow
+	// ModeSparrowSRPT is the paper's aggressive baseline: Sparrow whose
+	// workers pick the job with the fewest unfinished tasks.
+	ModeSparrowSRPT
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHopper:
+		return "Hopper-D"
+	case ModeSparrow:
+		return "Sparrow"
+	case ModeSparrowSRPT:
+		return "Sparrow-SRPT"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config holds the decentralized system's parameters.
+type Config struct {
+	Mode Mode
+
+	// NumSchedulers is the number of independent job schedulers
+	// (50 in the Figure 5 simulations, 10 in the prototype).
+	NumSchedulers int
+
+	// ProbeRatio is reservations per task (d). Hopper's default is 4;
+	// Sparrow's is 2.
+	ProbeRatio float64
+
+	// RefusalThreshold is how many refusals a worker collects before
+	// concluding (Pseudocode 3). Default 2 (Figure 5b: two to three
+	// refusals suffice).
+	RefusalThreshold int
+
+	// MsgLatency is the one-way network latency in seconds (default
+	// 0.5ms).
+	MsgLatency float64
+
+	// ProcDelay is the serial per-message processing time at a scheduler
+	// (default 20us). This is what makes extra probes cost something.
+	ProcDelay float64
+
+	// Epsilon is the fairness allowance (Section 4.3) applied through the
+	// virtual-size floor; used only by ModeHopper. Default 0.1.
+	Epsilon float64
+
+	// FairnessOff disables the fairness floor entirely (epsilon = 1).
+	FairnessOff bool
+
+	// Spec configures straggler detection.
+	Spec speculation.Config
+
+	// CheckInterval is the scheduler-side speculation scan period.
+	CheckInterval float64
+
+	// BetaPrior seeds the per-scheduler tail estimators.
+	BetaPrior float64
+
+	// RetryBackoffMin/Max bound the worker's idle retry backoff when a
+	// negotiation round ends without placing a task.
+	RetryBackoffMin float64
+	RetryBackoffMax float64
+
+	// RefusalCooldown is how long a worker treats a job as satisfied
+	// after its scheduler refused an offer (or had no task), before
+	// re-offering. This is the worker-side use of the piggybacked
+	// virtual-size information; without it every freed slot re-walks the
+	// queue of satisfied jobs.
+	RefusalCooldown float64
+}
+
+// WithDefaults fills zero fields with the paper's defaults for the mode.
+func (c Config) WithDefaults() Config {
+	if c.NumSchedulers == 0 {
+		c.NumSchedulers = 10
+	}
+	if c.ProbeRatio == 0 {
+		if c.Mode == ModeHopper {
+			c.ProbeRatio = 4
+		} else {
+			c.ProbeRatio = 2
+		}
+	}
+	if c.RefusalThreshold == 0 {
+		c.RefusalThreshold = 2
+	}
+	if c.MsgLatency == 0 {
+		c.MsgLatency = 0.0005
+	}
+	if c.ProcDelay == 0 {
+		c.ProcDelay = 0.00002
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	c.Spec = c.Spec.WithDefaults()
+	if c.CheckInterval == 0 {
+		c.CheckInterval = 0.25
+	}
+	if c.BetaPrior == 0 {
+		c.BetaPrior = 1.5
+	}
+	if c.RetryBackoffMin == 0 {
+		c.RetryBackoffMin = 0.25
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 2.0
+	}
+	if c.RefusalCooldown == 0 {
+		c.RefusalCooldown = 0.1
+	}
+	return c
+}
+
+// System is a running decentralized cluster: schedulers, workers, and the
+// shared executor. It satisfies the same Arrive/Completed contract as the
+// centralized engines, so experiment drivers treat both uniformly.
+type System struct {
+	Cfg  Config
+	Eng  *simulator.Engine
+	Exec *cluster.Executor
+
+	scheds  []*sched
+	workers []*worker
+
+	byJob map[cluster.JobID]*sched
+	done  []*cluster.Job
+
+	next int // round-robin scheduler assignment
+
+	// Messages counts every protocol message sent (probes, responses,
+	// replies) — the overhead currency of Section 5.
+	Messages int64
+
+	// Message/round breakdown for diagnostics and the overhead tables.
+	Probes        int64 // reservation requests sent
+	Offers        int64 // worker->scheduler offers / task pulls
+	RoundsStarted int64
+	RoundsPlaced  int64
+
+	// OccupancyLeaks counts jobs that finished with nonzero occupancy —
+	// always a protocol accounting bug.
+	OccupancyLeaks int64
+}
+
+// New builds a decentralized system over the executor's machines.
+func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
+	cfg = cfg.WithDefaults()
+	s := &System{
+		Cfg:   cfg,
+		Eng:   eng,
+		Exec:  exec,
+		byJob: make(map[cluster.JobID]*sched),
+	}
+	for i := 0; i < cfg.NumSchedulers; i++ {
+		s.scheds = append(s.scheds, newSched(s, i))
+	}
+	s.workers = make([]*worker, len(exec.Machines.All))
+	for i := range s.workers {
+		s.workers[i] = newWorker(s, cluster.MachineID(i))
+	}
+	exec.OnTaskDone = s.onTaskDone
+	exec.OnPhaseRunnable = s.onPhaseRunnable
+	exec.OnJobDone = s.onJobDone
+	exec.OnSlotFree = s.onSlotFree
+	return s
+}
+
+// Name identifies the system in reports.
+func (s *System) Name() string { return s.Cfg.Mode.String() }
+
+// Completed returns finished jobs in completion order.
+func (s *System) Completed() []*cluster.Job { return s.done }
+
+// Arrive admits a job, assigning it round-robin to a scheduler exactly as
+// the paper's frontends do.
+func (s *System) Arrive(j *cluster.Job) {
+	sc := s.scheds[s.next%len(s.scheds)]
+	s.next++
+	s.byJob[j.ID] = sc
+	sc.admit(j)
+	s.Exec.AdmitJob(j) // fires onPhaseRunnable -> probes
+}
+
+func (s *System) onPhaseRunnable(p *cluster.Phase) {
+	if sc := s.byJob[p.Job.ID]; sc != nil {
+		sc.phaseRunnable(p)
+	}
+}
+
+func (s *System) onTaskDone(t *cluster.Task, winner *cluster.Copy) {
+	if sc := s.byJob[t.Job.ID]; sc != nil {
+		sc.taskDone(t, winner)
+	}
+}
+
+func (s *System) onJobDone(j *cluster.Job) {
+	if sc := s.byJob[j.ID]; sc != nil {
+		sc.jobDone(j)
+		delete(s.byJob, j.ID)
+	}
+	s.done = append(s.done, j)
+}
+
+func (s *System) onSlotFree(m cluster.MachineID) {
+	s.workers[m].kick()
+}
+
+// toScheduler delivers fn at the scheduler after network latency and the
+// scheduler's serial processing queue — the cost model for message
+// overhead.
+func (s *System) toScheduler(sc *sched, fn func()) {
+	s.Messages++
+	s.Offers++
+	arrive := s.Eng.Now() + s.Cfg.MsgLatency
+	handle := arrive
+	if sc.busyUntil > handle {
+		handle = sc.busyUntil
+	}
+	handle += s.Cfg.ProcDelay
+	sc.busyUntil = handle
+	s.Eng.At(handle, fn)
+}
+
+// toWorker delivers fn at the worker after network latency.
+func (s *System) toWorker(fn func()) {
+	s.Messages++
+	s.Eng.After(s.Cfg.MsgLatency, fn)
+}

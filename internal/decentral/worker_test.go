@@ -1,0 +1,204 @@
+package decentral
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+)
+
+// harness builds a small system without running a workload, for direct
+// worker/scheduler state-machine tests.
+func harness(t *testing.T, mode Mode) (*System, *cluster.Executor) {
+	t.Helper()
+	eng, exec, sys := mkSystem(mode, 4, 2, 99)
+	_ = eng
+	return sys, exec
+}
+
+func TestEntryAggregation(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	w := sys.workers[0]
+	sc := sys.scheds[0]
+	j := mkJob(1, 4, 1.0, 0)
+	sc.admit(j)
+
+	w.addReservation(sc, j, 5.0, 4)
+	w.addReservation(sc, j, 6.0, 3)
+	if len(w.entries) != 1 {
+		t.Fatalf("entries = %d, want 1 aggregated", len(w.entries))
+	}
+	e := w.entries[0]
+	if e.count < 1 || e.vs != 6.0 || e.remTasks != 3 {
+		t.Fatalf("entry not updated: %+v", e)
+	}
+}
+
+func TestPurgeRemovesEntry(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	w := sys.workers[1]
+	sc := sys.scheds[0]
+	j := mkJob(2, 2, 1.0, 0)
+	sc.admit(j)
+	w.addReservation(sc, j, 3.0, 2)
+
+	// Entries may have been consumed by the kick; ensure at least the
+	// index agrees with the queue before and after purge.
+	if len(w.entries) != len(w.index) {
+		t.Fatalf("index (%d) and queue (%d) diverge", len(w.index), len(w.entries))
+	}
+	for _, e := range append([]*entry(nil), w.entries...) {
+		w.purge(e)
+	}
+	if len(w.entries) != 0 || len(w.index) != 0 {
+		t.Fatal("purge left residue")
+	}
+}
+
+func TestCooldownSkipsEntries(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	w := sys.workers[2]
+	sc := sys.scheds[0]
+	j := mkJob(3, 2, 1.0, 0)
+	sc.admit(j)
+
+	e := &entry{sc: sc, jobID: j.ID, count: 1, vs: 2}
+	w.entries = append(w.entries, e)
+	w.index[entryKey{sc.id, j.ID}] = e
+
+	e.coolTill = sys.Eng.Now() + 10
+	if w.hasOfferableWork() {
+		t.Fatal("cooling entry counted as offerable")
+	}
+	if !w.hasAnyReservations() {
+		t.Fatal("cooling entry should still count as a reservation")
+	}
+	r := &round{w: w, tried: map[*entry]bool{}}
+	if r.pickMinVS() != nil {
+		t.Fatal("pickMinVS returned a cooling entry")
+	}
+	e.coolTill = 0
+	if !w.hasOfferableWork() || r.pickMinVS() != e {
+		t.Fatal("entry not offerable after cooldown cleared")
+	}
+}
+
+func TestPickMinVSOrdersByVirtualSize(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	w := sys.workers[3]
+	sc := sys.scheds[0]
+	for i, vs := range []float64{9, 3, 6} {
+		j := mkJob(cluster.JobID(10+i), 2, 1.0, 0)
+		sc.admit(j)
+		e := &entry{sc: sc, jobID: j.ID, count: 1, vs: vs, seq: int64(i)}
+		w.entries = append(w.entries, e)
+		w.index[entryKey{sc.id, j.ID}] = e
+	}
+	r := &round{w: w, tried: map[*entry]bool{}}
+	first := r.pickMinVS()
+	if first == nil || first.vs != 3 {
+		t.Fatalf("first pick vs=%v, want 3", first.vs)
+	}
+	r.tried[first] = true
+	second := r.pickMinVS()
+	if second == nil || second.vs != 6 {
+		t.Fatalf("second pick vs=%v, want 6", second.vs)
+	}
+}
+
+func TestPickSparrowFIFOAndSRPT(t *testing.T) {
+	for _, mode := range []Mode{ModeSparrow, ModeSparrowSRPT} {
+		sys, _ := harness(t, mode)
+		w := sys.workers[0]
+		sc := sys.scheds[0]
+		// seq 0 has MORE remaining tasks; seq 1 fewer.
+		specs := []struct {
+			rem int
+			seq int64
+		}{{10, 0}, {2, 1}}
+		for i, spec := range specs {
+			j := mkJob(cluster.JobID(20+i), 2, 1.0, 0)
+			sc.admit(j)
+			e := &entry{sc: sc, jobID: j.ID, count: 1, remTasks: spec.rem, seq: spec.seq}
+			w.entries = append(w.entries, e)
+			w.index[entryKey{sc.id, j.ID}] = e
+		}
+		r := &round{w: w, tried: map[*entry]bool{}}
+		got := r.pickSparrow()
+		if mode == ModeSparrow && got.seq != 0 {
+			t.Fatalf("Sparrow should pick FIFO head, got seq %d", got.seq)
+		}
+		if mode == ModeSparrowSRPT && got.remTasks != 2 {
+			t.Fatalf("Sparrow-SRPT should pick fewest remaining, got %d", got.remTasks)
+		}
+	}
+}
+
+func TestSchedulerRefusesAtVirtualSize(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	sc := sys.scheds[0]
+	j := mkJob(30, 4, 1.0, 0)
+	sc.admit(j)
+	sys.Exec.AdmitJob(j)
+	sc.phaseRunnable(j.Phases[0])
+	d := sc.jobs[j.ID]
+
+	// Drain the job's fresh demand and saturate occupancy past effVS.
+	d.pendingFresh = nil
+	d.occupied = 1000
+	rep := sc.handleOffer(j.ID, 0, true)
+	if !rep.refused {
+		t.Fatal("saturated job accepted a refusable offer")
+	}
+	// Non-refusable offers bypass the virtual-size test but still need a
+	// task; with none pending they report no-demand.
+	rep = sc.handleOffer(j.ID, 0, false)
+	if rep.task != nil || !rep.noDemand {
+		t.Fatalf("expected no-demand reply, got %+v", rep)
+	}
+}
+
+func TestSchedulerHandsOutFreshThenRefuses(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	sc := sys.scheds[0]
+	j := mkJob(31, 2, 1.0, 0)
+	sc.admit(j)
+	sys.Exec.AdmitJob(j)
+	sc.phaseRunnable(j.Phases[0])
+
+	got := 0
+	for i := 0; i < 10; i++ {
+		rep := sc.handleOffer(j.ID, cluster.MachineID(i%4), true)
+		if rep.task == nil {
+			break
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("handed out %d fresh tasks, want 2", got)
+	}
+}
+
+func TestUnknownJobOfferPurges(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	sc := sys.scheds[0]
+	rep := sc.handleOffer(999, 0, true)
+	if !rep.jobDone {
+		t.Fatal("offer for unknown job should report jobDone")
+	}
+}
+
+func TestSmallestUnsatisfiedPrefersSmallJob(t *testing.T) {
+	sys, _ := harness(t, ModeHopper)
+	sc := sys.scheds[0]
+	big := mkJob(40, 50, 1.0, 0)
+	small := mkJob(41, 3, 1.0, 0)
+	for _, j := range []*cluster.Job{big, small} {
+		sc.admit(j)
+		sys.Exec.AdmitJob(j)
+		sc.phaseRunnable(j.Phases[0])
+	}
+	u := sc.smallestUnsatisfied()
+	if u == nil || u.job != small.ID {
+		t.Fatalf("smallest unsatisfied = %+v, want job %d", u, small.ID)
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/decentral"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/scheduler"
+	"github.com/hopper-sim/hopper/internal/simulator"
+	"github.com/hopper-sim/hopper/internal/stats"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+// Harness controls experiment scale so the same drivers serve the full
+// reproduction (cmd/hopper-sim), the test suite, and the benchmarks.
+type Harness struct {
+	// Scale multiplies job counts; 1.0 is the reproduction default.
+	Scale float64
+	// Seeds is the number of independent replays; the paper replays each
+	// experiment five times and reports medians.
+	Seeds int
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// DefaultHarness mirrors the paper's methodology at tractable scale.
+func DefaultHarness() Harness { return Harness{Scale: 1, Seeds: 3} }
+
+// BenchHarness is a reduced setting for -bench runs.
+func BenchHarness() Harness { return Harness{Scale: 0.25, Seeds: 1} }
+
+func (h Harness) jobs(n int) int {
+	j := int(float64(n) * h.Scale)
+	if j < 20 {
+		j = 20
+	}
+	return j
+}
+
+func (h Harness) logf(format string, args ...interface{}) {
+	if h.Log != nil {
+		fmt.Fprintf(h.Log, format+"\n", args...)
+	}
+}
+
+// Result is one experiment's regenerated artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	s := fmt.Sprintf("=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// Experiment is a registered figure/table reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h Harness) *Result
+}
+
+// Registry lists every experiment in paper order.
+var Registry []Experiment
+
+func register(id, title string, run func(h Harness) *Result) {
+	Registry = append(Registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// --- shared scheduler constructors -----------------------------------
+
+// specCfg returns the default speculation config used across experiments
+// (LATE, as in most of the paper's experiments).
+func specCfg() scheduler.Config {
+	return scheduler.Config{CheckInterval: 0.1}
+}
+
+func centralHopper(cfg scheduler.Config) SchedulerKind {
+	return Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+		return scheduler.NewHopper(eng, exec, cfg)
+	})
+}
+
+func centralSRPT(cfg scheduler.Config) SchedulerKind {
+	return Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+		return scheduler.NewSRPT(eng, exec, cfg)
+	})
+}
+
+func centralFair(cfg scheduler.Config) SchedulerKind {
+	return Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+		return scheduler.NewFair(eng, exec, cfg)
+	})
+}
+
+func decentralKind(cfg decentral.Config) SchedulerKind {
+	return Decentral(func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System {
+		return decentral.New(eng, exec, cfg)
+	})
+}
+
+// medianGain replays a generator under baseline and improved schedulers
+// across seeds and returns the median overall gain.
+func medianGain(h Harness, gen func(seed int64) *workload.Trace, spec ClusterSpec,
+	baseline, improved SchedulerKind) float64 {
+	var gains []float64
+	for s := 0; s < h.Seeds; s++ {
+		seed := int64(1000 + 77*s)
+		tr := gen(seed)
+		base := RunTrace(baseline, spec, CloneJobs(tr.Jobs), seed+1)
+		imp := RunTrace(improved, spec, CloneJobs(tr.Jobs), seed+1)
+		gains = append(gains, metrics.GainBetween(base.Run, imp.Run))
+	}
+	return stats.Median(gains)
+}
+
+// pairedRuns replays one seed's trace under several schedulers, returning
+// runs aligned with the kinds slice.
+func pairedRuns(spec ClusterSpec, jobs []*cluster.Job, seed int64, kinds ...SchedulerKind) []RunResult {
+	out := make([]RunResult, len(kinds))
+	for i, k := range kinds {
+		out[i] = RunTrace(k, spec, CloneJobs(jobs), seed)
+	}
+	return out
+}
+
+// medianOf collects per-seed scalars and returns their median.
+func medianOf(h Harness, f func(seed int64) float64) float64 {
+	var xs []float64
+	for s := 0; s < h.Seeds; s++ {
+		xs = append(xs, f(int64(1000+77*s)))
+	}
+	return stats.Median(xs)
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp
+}

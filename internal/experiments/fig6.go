@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/decentral"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/stats"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+func init() {
+	register("fig6", "Decentralized Hopper gains vs cluster utilization (Facebook & Bing)", runFig6)
+}
+
+// runFig6 reproduces Figure 6: reduction in average job duration of
+// decentralized Hopper over Sparrow and Sparrow-SRPT, for utilizations
+// 60-90%, on both workloads. Expected shape: 50-60% gains at 60%
+// utilization, similar against both baselines at >= 80%, Bing slightly
+// higher than Facebook, under 20% gains at >= 80% utilization.
+func runFig6(h Harness) *Result {
+	res := &Result{ID: "fig6", Title: "Hopper-D gains by utilization"}
+	utils := []float64{0.60, 0.70, 0.80, 0.90}
+	spec := Prototype200(1.5)
+
+	for _, profName := range []string{"facebook", "bing"} {
+		prof := workload.Sparkify(profileByName(profName))
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("Figure 6 (%s): reduction (%%) in avg job duration", profName),
+			Header: []string{"util", "vs Sparrow", "vs Sparrow-SRPT"},
+		}
+		for _, util := range utils {
+			numJobs := h.jobs(1200)
+			var gSparrow, gSRPT []float64
+			for s := 0; s < h.Seeds; s++ {
+				seed := int64(9000 + 311*s)
+				tr := GenTrace(prof, numJobs, util, spec, seed)
+				runs := pairedRuns(spec, tr.Jobs, seed+1,
+					decentralKind(decentral.Config{Mode: decentral.ModeSparrow, CheckInterval: 0.1}),
+					decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
+					decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
+				)
+				gSparrow = append(gSparrow, metrics.GainBetween(runs[0].Run, runs[2].Run))
+				gSRPT = append(gSRPT, metrics.GainBetween(runs[1].Run, runs[2].Run))
+				h.logf("fig6 %s util=%.0f%% seed=%d: sparrow=%.1fs srpt=%.1fs hopper=%.1fs",
+					profName, util*100, seed,
+					runs[0].Run.AvgCompletion(), runs[1].Run.AvgCompletion(), runs[2].Run.AvgCompletion())
+			}
+			tab.AddF(fmt.Sprintf("%.0f%%", util*100), stats.Median(gSparrow), stats.Median(gSRPT))
+		}
+		res.Tables = append(res.Tables, tab)
+	}
+	res.Notes = append(res.Notes,
+		"paper: up to 66% vs Sparrow-SRPT at 60% util, gains fall under 20% at >=80% util, Bing slightly higher")
+	return res
+}
+
+func profileByName(name string) workload.Profile {
+	switch name {
+	case "facebook":
+		return workload.Facebook()
+	case "bing":
+		return workload.Bing()
+	}
+	panic("experiments: unknown profile " + name)
+}

@@ -1,0 +1,159 @@
+// Package experiments contains one driver per table/figure in the paper's
+// evaluation (Section 7), plus the shared machinery to run a workload
+// trace against any scheduler — centralized or decentralized — and reduce
+// the results into the rows the paper reports. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/decentral"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/scheduler"
+	"github.com/hopper-sim/hopper/internal/simulator"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+// Arriver is the common contract of centralized engines and the
+// decentralized system.
+type Arriver interface {
+	Name() string
+	Arrive(j *cluster.Job)
+	Completed() []*cluster.Job
+}
+
+// ClusterSpec describes the simulated cluster.
+type ClusterSpec struct {
+	Machines        int
+	SlotsPerMachine int
+	Exec            cluster.ExecModel
+}
+
+// TotalSlots returns cluster capacity.
+func (c ClusterSpec) TotalSlots() int { return c.Machines * c.SlotsPerMachine }
+
+// Prototype200 is the paper's deployment: 200 machines, 16 slots each.
+func Prototype200(beta float64) ClusterSpec {
+	em := cluster.DefaultExecModel()
+	em.Beta = beta
+	return ClusterSpec{Machines: 200, SlotsPerMachine: 16, Exec: em}
+}
+
+// SchedulerKind names a scheduler configuration for RunTrace.
+type SchedulerKind struct {
+	// Central is non-nil for centralized engines.
+	Central func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine
+	// Decentral is non-nil for decentralized systems.
+	Decentral func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System
+}
+
+// Central wraps a centralized engine constructor.
+func Central(f func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine) SchedulerKind {
+	return SchedulerKind{Central: f}
+}
+
+// Decentral wraps a decentralized system constructor.
+func Decentral(f func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System) SchedulerKind {
+	return SchedulerKind{Decentral: f}
+}
+
+// RunResult is one full trace replay under one scheduler.
+type RunResult struct {
+	Run  metrics.Run
+	Exec *cluster.Executor
+	// Messages is protocol messages sent (decentralized runs only).
+	Messages int64
+	// Probes/Offers/Rounds/RoundsPlaced break down decentralized
+	// protocol activity.
+	Probes, Offers, Rounds, RoundsPlaced int64
+	// OccLeaks counts jobs finishing with nonzero scheduler occupancy.
+	OccLeaks int64
+	// LocalFraction is the fraction of copies that ran data-local.
+	LocalFraction float64
+	// EndTime is the simulated completion time of the whole trace.
+	EndTime float64
+}
+
+// RunTrace replays jobs (already carrying arrival times) on a fresh
+// cluster under the given scheduler. The seed drives all simulation
+// randomness (service times, placement choices); the trace itself was
+// generated with its own seed, so scheduler comparisons replay identical
+// workloads. It panics if any job fails to finish — that is always a
+// protocol bug and must not be silently averaged over.
+func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed int64) RunResult {
+	eng := simulator.New(seed)
+	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
+	exec := cluster.NewExecutor(eng, ms, spec.Exec)
+
+	var arr Arriver
+	var sys *decentral.System
+	if kind.Central != nil {
+		arr = kind.Central(eng, exec)
+	} else {
+		sys = kind.Decentral(eng, exec)
+		arr = sys
+	}
+
+	for _, j := range jobs {
+		job := j
+		eng.At(job.Arrival, func() { arr.Arrive(job) })
+	}
+	eng.Run()
+
+	if got, want := len(arr.Completed()), len(jobs); got != want {
+		panic(fmt.Sprintf("experiments: %s finished %d of %d jobs — scheduler livelock or protocol bug",
+			arr.Name(), got, want))
+	}
+	res := RunResult{
+		Run:     metrics.Run{Scheduler: arr.Name(), Jobs: metrics.Collect(arr.Completed())},
+		Exec:    exec,
+		EndTime: eng.Now(),
+	}
+	if sys != nil {
+		res.Messages = sys.Messages
+		res.Probes, res.Offers = sys.Probes, sys.Offers
+		res.Rounds, res.RoundsPlaced = sys.RoundsStarted, sys.RoundsPlaced
+		res.OccLeaks = sys.OccupancyLeaks
+	}
+	if exec.CopiesStarted > 0 {
+		res.LocalFraction = float64(exec.LocalCopies) / float64(exec.CopiesStarted)
+	}
+	return res
+}
+
+// CloneJobs deep-copies a generated trace so each scheduler run starts
+// from pristine job state (the cluster mutates tasks in place).
+func CloneJobs(jobs []*cluster.Job) []*cluster.Job {
+	out := make([]*cluster.Job, len(jobs))
+	for i, j := range jobs {
+		phases := make([]*cluster.Phase, len(j.Phases))
+		for pi, p := range j.Phases {
+			np := &cluster.Phase{
+				Deps:             append([]int(nil), p.Deps...),
+				MeanTaskDuration: p.MeanTaskDuration,
+				TransferWork:     p.TransferWork,
+				Tasks:            make([]*cluster.Task, len(p.Tasks)),
+			}
+			for ti, t := range p.Tasks {
+				np.Tasks[ti] = &cluster.Task{Replicas: append([]cluster.MachineID(nil), t.Replicas...)}
+			}
+			phases[pi] = np
+		}
+		out[i] = cluster.NewJob(j.ID, j.Name, j.Arrival, phases)
+	}
+	return out
+}
+
+// GenTrace is a convenience wrapper over workload.Generate.
+func GenTrace(profile workload.Profile, numJobs int, util float64, spec ClusterSpec, seed int64) *workload.Trace {
+	return workload.Generate(workload.Config{
+		Profile:           profile,
+		NumJobs:           numJobs,
+		TargetUtilization: util,
+		TotalSlots:        spec.TotalSlots(),
+		NumMachines:       spec.Machines,
+		Seed:              seed,
+	})
+}

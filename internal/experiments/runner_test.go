@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/decentral"
+	"github.com/hopper-sim/hopper/internal/scheduler"
+	"github.com/hopper-sim/hopper/internal/simulator"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+// smokeSpec is a small cluster for fast end-to-end checks.
+func smokeSpec() ClusterSpec {
+	em := cluster.DefaultExecModel()
+	return ClusterSpec{Machines: 20, SlotsPerMachine: 4, Exec: em}
+}
+
+func smokeTrace(t *testing.T, spec ClusterSpec) *workload.Trace {
+	t.Helper()
+	prof := workload.Facebook()
+	prof.JobSizeCap = 200
+	return GenTrace(prof, 60, 0.7, spec, 42)
+}
+
+func TestRunTraceCentralizedEngines(t *testing.T) {
+	spec := smokeSpec()
+	tr := smokeTrace(t, spec)
+	kinds := map[string]SchedulerKind{
+		"hopper": Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+			return scheduler.NewHopper(eng, exec, scheduler.Config{})
+		}),
+		"srpt": Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+			return scheduler.NewSRPT(eng, exec, scheduler.Config{})
+		}),
+		"fair": Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+			return scheduler.NewFair(eng, exec, scheduler.Config{})
+		}),
+		"budgeted": Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+			return scheduler.NewBudgeted(eng, exec, scheduler.Config{SpecBudget: 8})
+		}),
+	}
+	for name, kind := range kinds {
+		name, kind := name, kind
+		t.Run(name, func(t *testing.T) {
+			res := RunTrace(kind, spec, CloneJobs(tr.Jobs), 7)
+			if len(res.Run.Jobs) != len(tr.Jobs) {
+				t.Fatalf("finished %d jobs, want %d", len(res.Run.Jobs), len(tr.Jobs))
+			}
+			avg := res.Run.AvgCompletion()
+			if avg <= 0 {
+				t.Fatalf("average completion %v, want positive", avg)
+			}
+			t.Logf("%s: avg completion %.1fs, copies=%d spec=%d killed=%d",
+				name, avg, res.Exec.CopiesStarted, res.Exec.SpeculativeCopies, res.Exec.CopiesKilled)
+		})
+	}
+}
+
+func TestRunTraceDecentralizedModes(t *testing.T) {
+	spec := smokeSpec()
+	prof := workload.Sparkify(workload.Facebook())
+	prof.JobSizeCap = 150
+	tr := GenTrace(prof, 80, 0.7, spec, 11)
+	for _, mode := range []decentral.Mode{decentral.ModeHopper, decentral.ModeSparrow, decentral.ModeSparrowSRPT} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			kind := Decentral(func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System {
+				return decentral.New(eng, exec, decentral.Config{Mode: mode, NumSchedulers: 4, CheckInterval: 0.1})
+			})
+			res := RunTrace(kind, spec, CloneJobs(tr.Jobs), 3)
+			if len(res.Run.Jobs) != len(tr.Jobs) {
+				t.Fatalf("finished %d jobs, want %d", len(res.Run.Jobs), len(tr.Jobs))
+			}
+			if res.Messages == 0 {
+				t.Fatal("no protocol messages counted")
+			}
+			t.Logf("%s: avg completion %.2fs, messages=%d, local=%.0f%%",
+				mode, res.Run.AvgCompletion(), res.Messages, 100*res.LocalFraction)
+		})
+	}
+}

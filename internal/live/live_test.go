@@ -1,0 +1,166 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// bootCluster starts nSched schedulers and nWork workers on loopback TCP,
+// returning their addresses and a shutdown function.
+func bootCluster(t *testing.T, nSched, nWork, slots int, scale float64) ([]string, func()) {
+	t.Helper()
+	var scheds []*Scheduler
+	var addrs []string
+	for i := 0; i < nSched; i++ {
+		s, err := NewScheduler(SchedulerConfig{
+			ID:              uint32(i),
+			Addr:            "127.0.0.1:0",
+			Beta:            1.5,
+			MeanTaskSeconds: 1.0,
+			Seed:            int64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("scheduler %d: %v", i, err)
+		}
+		go s.Run()
+		scheds = append(scheds, s)
+		addrs = append(addrs, s.Addr())
+	}
+	var workers []*Worker
+	for i := 0; i < nWork; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID:             uint32(i),
+			Slots:          slots,
+			SchedulerAddrs: addrs,
+			TimeScale:      scale,
+			RetryInterval:  20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		go w.Run()
+		workers = append(workers, w)
+	}
+	return addrs, func() {
+		for _, w := range workers {
+			w.Stop()
+		}
+		for _, s := range scheds {
+			s.Stop()
+		}
+	}
+}
+
+func TestLiveSingleJobCompletes(t *testing.T) {
+	addrs, stop := bootCluster(t, 1, 3, 2, 0.02)
+	defer stop()
+
+	c, err := NewClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Submit(SimpleJob(1, "test", 5, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := c.WaitJob(1, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.TasksRun != 5 {
+		t.Fatalf("TasksRun = %d, want 5", jc.TasksRun)
+	}
+	if jc.Completion <= 0 {
+		t.Fatal("non-positive completion")
+	}
+}
+
+func TestLiveMultiJobMultiScheduler(t *testing.T) {
+	addrs, stop := bootCluster(t, 2, 4, 2, 0.02)
+	defer stop()
+
+	var clients []*Client
+	for _, a := range addrs {
+		c, err := NewClient(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		c := clients[i%2]
+		if err := c.Submit(SimpleJob(uint64(i+1), fmt.Sprintf("j%d", i), 3+i, 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	deadline := time.After(60 * time.Second)
+	results := make(chan *wire.JobComplete, jobs)
+	for ci, c := range clients {
+		mine := 0
+		for i := 0; i < jobs; i++ {
+			if i%2 == ci {
+				mine++
+			}
+		}
+		go func(c *Client, n int) {
+			for k := 0; k < n; k++ {
+				jc, err := c.WaitAny()
+				if err != nil {
+					return
+				}
+				results <- jc
+			}
+		}(c, mine)
+	}
+	seen := map[uint64]bool{}
+	for got < jobs {
+		select {
+		case jc := <-results:
+			if seen[jc.JobID] {
+				t.Fatalf("job %d completed twice", jc.JobID)
+			}
+			seen[jc.JobID] = true
+			got++
+		case <-deadline:
+			t.Fatalf("completed %d of %d jobs", got, jobs)
+		}
+	}
+}
+
+func TestLiveMultiPhaseJob(t *testing.T) {
+	addrs, stop := bootCluster(t, 1, 3, 2, 0.02)
+	defer stop()
+
+	c, err := NewClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job := &wire.SubmitJob{
+		JobID: 42,
+		Name:  "two-phase",
+		Phases: []wire.PhaseSpec{
+			{MeanDur: 1, NumTasks: 4},
+			{Deps: []uint16{0}, MeanDur: 1, NumTasks: 2},
+		},
+	}
+	if err := c.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := c.WaitJob(42, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.TasksRun != 6 {
+		t.Fatalf("TasksRun = %d, want 6", jc.TasksRun)
+	}
+}

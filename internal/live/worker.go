@@ -1,0 +1,399 @@
+package live
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/transport"
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// WorkerConfig configures a live worker node.
+type WorkerConfig struct {
+	ID    uint32
+	Slots int
+	// SchedulerAddrs are the TCP addresses of all schedulers; the worker
+	// dials each and keeps the connections open (probes and assignments
+	// flow back over them).
+	SchedulerAddrs []string
+	// RefusalThreshold is Pseudocode 3's refusal bound (default 2).
+	RefusalThreshold int
+	// TimeScale multiplies task service times (0.1 turns a 10s task into
+	// 1s of wall clock). Default 1.
+	TimeScale float64
+	// RetryInterval is the idle retry pace when a round fails with
+	// reservations still queued. Default 50ms.
+	RetryInterval time.Duration
+	// Logger receives diagnostics; nil disables logging.
+	Logger *log.Logger
+}
+
+// wEntry is a worker-side reservation aggregate, as in the simulator.
+type wEntry struct {
+	sched    *peer
+	schedID  uint32
+	jobID    uint64
+	count    int
+	vs       float64
+	remTasks uint32
+	seq      int64
+}
+
+// wRound is one slot's negotiation state (Pseudocode 3).
+type wRound struct {
+	tried    map[*wEntry]bool
+	refusals int
+	unsat    *peer
+	unsatJob uint64
+	unsatVS  float64
+	hasUnsat bool
+	final    bool // non-refusable attempt outstanding
+}
+
+// Worker is a live worker node: it queues reservations, late-binds free
+// slots via refusable offers in virtual-size order, and emulates task
+// execution by holding a slot for the assigned duration.
+type Worker struct {
+	cfg  WorkerConfig
+	loop *loop
+
+	scheds    []*peer // index = scheduler ID
+	queue     []*wEntry
+	index     map[uint64]*wEntry // key: schedID<<48 | jobID
+	freeSlots int
+
+	inRound    bool
+	round      *wRound
+	pendingJob uint64 // job of the outstanding offer
+	seqCounter int64
+	retryArmed bool
+
+	// TasksRun counts completed copies (diagnostics/tests).
+	TasksRun int
+}
+
+func ekey(schedID uint32, jobID uint64) uint64 {
+	return uint64(schedID)<<48 | (jobID & 0xFFFFFFFFFFFF)
+}
+
+// NewWorker dials the schedulers and returns a ready (not yet running)
+// worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.RefusalThreshold == 0 {
+		cfg.RefusalThreshold = 2
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	w := &Worker{
+		cfg:       cfg,
+		loop:      newLoop(cfg.Logger),
+		index:     make(map[uint64]*wEntry),
+		freeSlots: cfg.Slots,
+	}
+	for i, addr := range cfg.SchedulerAddrs {
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("live: worker %d dialing scheduler %s: %w", cfg.ID, addr, err)
+		}
+		p := &peer{conn: conn, hello: wire.Hello{Role: wire.RoleScheduler, ID: uint32(i)}}
+		w.scheds = append(w.scheds, p)
+		if err := conn.Send(&wire.Hello{Role: wire.RoleWorker, ID: cfg.ID, Slots: uint32(cfg.Slots)}); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Run processes messages until Stop; call in a goroutine.
+func (w *Worker) Run() {
+	for _, p := range w.scheds {
+		go w.loop.readFrom(p)
+	}
+	for {
+		select {
+		case <-w.loop.done:
+			return
+		case env := <-w.loop.inbox:
+			if env.err != nil {
+				continue
+			}
+			w.handle(env)
+		}
+	}
+}
+
+// Stop terminates the worker and closes its connections.
+func (w *Worker) Stop() {
+	w.loop.stop()
+	for _, p := range w.scheds {
+		p.conn.Close()
+	}
+}
+
+// post enqueues an internal event onto the worker's own loop.
+func (w *Worker) post(msg interface{}, from *peer) {
+	select {
+	case w.loop.inbox <- envelope{from: from, msg: msg}:
+	case <-w.loop.done:
+	}
+}
+
+func (w *Worker) handle(env envelope) {
+	switch m := env.msg.(type) {
+	case *wire.Reserve:
+		w.addReservation(env.from, m)
+	case *wire.Assign:
+		w.onAssign(env.from, m)
+	case *wire.Refuse:
+		w.onRefuse(m)
+	case *wire.NoTask:
+		w.onNoTask(m)
+	case *wire.Ping:
+		w.loop.send(env.from, &wire.Pong{Nonce: m.Nonce})
+	case *internalEvent:
+		m.fn()
+	}
+}
+
+// internalEvent lets executor goroutines and timers run closures on the
+// loop goroutine; it never crosses the wire.
+type internalEvent struct{ fn func() }
+
+func (w *Worker) addReservation(from *peer, m *wire.Reserve) {
+	k := ekey(m.SchedulerID, m.JobID)
+	e := w.index[k]
+	if e == nil {
+		e = &wEntry{sched: from, schedID: m.SchedulerID, jobID: m.JobID, seq: w.seqCounter}
+		w.seqCounter++
+		w.index[k] = e
+		w.queue = append(w.queue, e)
+	}
+	e.count++
+	e.vs = m.VirtualSize
+	e.remTasks = m.RemTasks
+	w.maybeStartRound()
+}
+
+// maybeStartRound begins a negotiation if a slot is free and no round is
+// active (the live worker serializes rounds; a placement immediately
+// triggers the next).
+func (w *Worker) maybeStartRound() {
+	if w.inRound || w.freeSlots <= 0 || len(w.queue) == 0 {
+		return
+	}
+	w.inRound = true
+	w.round = &wRound{tried: make(map[*wEntry]bool)}
+	w.step()
+}
+
+// pick returns the untried entry with the smallest virtual size.
+func (w *Worker) pick() *wEntry {
+	var best *wEntry
+	for _, e := range w.queue {
+		if e.count <= 0 || w.round.tried[e] {
+			continue
+		}
+		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+func (w *Worker) offer(p *peer, jobID uint64, refusable bool) {
+	w.pendingJob = jobID
+	w.loop.send(p, &wire.Offer{JobID: jobID, WorkerID: w.cfg.ID, Refusable: refusable})
+}
+
+func (w *Worker) step() {
+	r := w.round
+	if r == nil {
+		return
+	}
+	if r.refusals >= w.cfg.RefusalThreshold {
+		w.conclude()
+		return
+	}
+	e := w.pick()
+	if e == nil {
+		w.conclude()
+		return
+	}
+	r.tried[e] = true
+	w.offer(e.sched, e.jobID, true)
+}
+
+// conclude ends the refusable phase per Pseudocode 3: constrained systems
+// send the slot non-refusably to the smallest unsatisfied job; otherwise
+// one attempt goes to the largest remaining entry (Guideline 3's
+// large-job preference, deterministic for testability).
+func (w *Worker) conclude() {
+	r := w.round
+	if r.final {
+		w.endRound()
+		return
+	}
+	r.final = true
+	if r.hasUnsat {
+		w.offer(r.unsat, r.unsatJob, false)
+		return
+	}
+	var best *wEntry
+	for _, e := range w.queue {
+		if e.count <= 0 || r.tried[e] {
+			continue
+		}
+		if best == nil || e.vs > best.vs {
+			best = e
+		}
+	}
+	if best == nil {
+		w.endRound()
+		return
+	}
+	r.tried[best] = true
+	w.offer(best.sched, best.jobID, false)
+}
+
+func (w *Worker) endRound() {
+	w.inRound = false
+	w.round = nil
+	w.armRetry()
+}
+
+// armRetry schedules a wake-up while reservations remain, covering the
+// case where demand reappears at a scheduler without new probes.
+func (w *Worker) armRetry() {
+	if w.retryArmed || w.freeSlots <= 0 {
+		return
+	}
+	has := false
+	for _, e := range w.queue {
+		if e.count > 0 {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return
+	}
+	w.retryArmed = true
+	time.AfterFunc(w.cfg.RetryInterval, func() {
+		w.post(&internalEvent{fn: func() {
+			w.retryArmed = false
+			w.maybeStartRound()
+		}}, nil)
+	})
+}
+
+func (w *Worker) onAssign(from *peer, m *wire.Assign) {
+	// Consume a reservation and refresh piggybacked metadata.
+	for _, e := range w.queue {
+		if e.sched == from && e.jobID == m.JobID {
+			e.vs = m.VirtualSize
+			e.remTasks = m.RemTasks
+			if e.count > 0 {
+				e.count--
+			}
+			if e.count == 0 {
+				w.purge(e)
+			}
+			break
+		}
+	}
+	w.inRound = false
+	w.round = nil
+	if w.freeSlots <= 0 {
+		// No slot after all (stale offer): report an instant kill so the
+		// scheduler's occupancy stays correct.
+		w.loop.send(from, &wire.TaskDone{
+			JobID: m.JobID, Phase: m.Phase, TaskIndex: m.TaskIndex,
+			WorkerID: w.cfg.ID, Killed: true,
+		})
+		w.armRetry()
+		return
+	}
+	w.freeSlots--
+	assign := *m
+	dur := time.Duration(assign.Duration * w.cfg.TimeScale * float64(time.Second))
+	go func() {
+		time.Sleep(dur)
+		w.post(&internalEvent{fn: func() { w.copyFinished(from, &assign) }}, nil)
+	}()
+	w.maybeStartRound()
+}
+
+func (w *Worker) copyFinished(from *peer, m *wire.Assign) {
+	w.freeSlots++
+	w.TasksRun++
+	w.loop.send(from, &wire.TaskDone{
+		JobID:     m.JobID,
+		Phase:     m.Phase,
+		TaskIndex: m.TaskIndex,
+		WorkerID:  w.cfg.ID,
+		Duration:  m.Duration,
+	})
+	w.maybeStartRound()
+}
+
+func (w *Worker) onRefuse(m *wire.Refuse) {
+	if w.round == nil || m.JobID != w.pendingJob {
+		return
+	}
+	r := w.round
+	r.refusals++
+	var refusing *peer
+	for _, e := range w.queue {
+		if e.jobID == m.JobID {
+			e.vs = m.VirtualSize
+			e.remTasks = m.RemTasks
+			refusing = e.sched
+			break
+		}
+	}
+	if m.HasUnsat && refusing != nil && (!r.hasUnsat || m.UnsatVS < r.unsatVS) {
+		r.unsat, r.unsatJob, r.unsatVS, r.hasUnsat = refusing, m.UnsatJobID, m.UnsatVS, true
+	}
+	if r.final {
+		w.endRound()
+		return
+	}
+	w.step()
+}
+
+func (w *Worker) onNoTask(m *wire.NoTask) {
+	if m.JobDone {
+		for _, e := range w.queue {
+			if e.jobID == m.JobID {
+				w.purge(e)
+				break
+			}
+		}
+	}
+	if w.round == nil || m.JobID != w.pendingJob {
+		return
+	}
+	if w.round.final {
+		w.endRound()
+		return
+	}
+	w.step()
+}
+
+func (w *Worker) purge(e *wEntry) {
+	delete(w.index, ekey(e.schedID, e.jobID))
+	for i, x := range w.queue {
+		if x == e {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"sort"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/core"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// HopperEngine is the centralized Hopper scheduler (Section 4): it
+// allocates slots to jobs by virtual size under Guidelines 2/3 with the
+// epsilon-fairness projection, orders service by the DAG-aware priority
+// max(V, V'), relaxes that order within a k% window for data locality,
+// and reserves allocated-but-unused slots for their job's upcoming
+// speculation needs (the anticipation behavior of Figure 2, where a slot
+// idles briefly rather than being lent to another job).
+type HopperEngine struct {
+	*Base
+	totalSlots int
+
+	// Cached allocation, refreshed on arrivals and on a short timer
+	// rather than on every task completion: recomputing the guideline
+	// allocation is O(n log n) over active jobs and completions arrive at
+	// cluster scale. Staleness is bounded by half the speculation check
+	// interval.
+	targets   map[cluster.JobID]int
+	prios     map[cluster.JobID]float64
+	refreshAt float64
+	refreshOn bool
+}
+
+// NewHopper builds a centralized Hopper engine on the executor.
+func NewHopper(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *HopperEngine {
+	cfg.CapacitySpec = true
+	h := &HopperEngine{
+		totalSlots: exec.Machines.TotalSlots(),
+		targets:    make(map[cluster.JobID]int),
+		prios:      make(map[cluster.JobID]float64),
+	}
+	h.Base = newBase(eng, exec, cfg)
+	h.Base.dispatch = h.dispatch
+	// Dispatch passes are O(active jobs); coalesce completions within a
+	// small window (2% of the check interval) into one pass.
+	h.Base.dispatchDelay = h.Cfg.CheckInterval / 50
+	h.Base.onArrive = func() { h.refresh(); h.ensureRefresher() }
+	return h
+}
+
+// refreshPeriod bounds target staleness.
+func (h *HopperEngine) refreshPeriod() float64 { return h.Cfg.CheckInterval / 2 }
+
+// ensureRefresher keeps a periodic target refresh running while jobs are
+// active.
+func (h *HopperEngine) ensureRefresher() {
+	if h.refreshOn {
+		return
+	}
+	h.refreshOn = true
+	var tick func()
+	tick = func() {
+		if len(h.active) == 0 {
+			h.refreshOn = false
+			return
+		}
+		h.refresh()
+		h.dispatch()
+		h.Eng.After(h.refreshPeriod(), tick)
+	}
+	h.Eng.After(h.refreshPeriod(), tick)
+}
+
+// refresh recomputes the guideline allocation for the current active set.
+func (h *HopperEngine) refresh() {
+	h.refreshAt = h.Eng.Now()
+	beta := h.Beta.Estimate()
+	demands := make([]core.JobDemand, len(h.active))
+	for i, s := range h.active {
+		alpha, dv := h.Alpha.Evaluate(s.job, beta)
+		rem := s.job.RemainingCurrentTasks()
+		demands[i] = core.JobDemand{
+			ID:                int64(s.job.ID),
+			Remaining:         rem,
+			Alpha:             alpha,
+			DownstreamVirtual: dv,
+			MaxUsable:         rem * h.Cfg.Spec.MaxCopies,
+		}
+	}
+	targets := core.AllocateFair(demands, h.totalSlots, beta, h.Cfg.Epsilon)
+	h.targets = make(map[cluster.JobID]int, len(h.active))
+	h.prios = make(map[cluster.JobID]float64, len(h.active))
+	for i, s := range h.active {
+		h.targets[s.job.ID] = targets[i]
+		h.prios[s.job.ID] = demands[i].Priority(beta)
+	}
+}
+
+// Name implements Engine.
+func (h *HopperEngine) Name() string { return "Hopper" }
+
+func (h *HopperEngine) dispatch() {
+	if !h.Exec.Machines.AnyFree() || len(h.active) == 0 {
+		return
+	}
+
+	// Serve jobs in ascending priority using the cached allocation.
+	// Placements do not change the remaining-task counts driving the
+	// targets; completions and arrivals do, and those trigger or await a
+	// refresh within CheckInterval/2.
+	order := make([]int, len(h.active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.prios[h.active[order[a]].job.ID] < h.prios[h.active[order[b]].job.ID]
+	})
+
+	// Budgeted single pass with reservation semantics (the anticipation
+	// of Figure 2): each job's unfilled quota stays *held* for that job —
+	// a small job below its virtual size keeps its headroom slots idle
+	// for the straggler about to be detected rather than lending them to
+	// larger jobs, which is precisely what best-effort baselines cannot
+	// do. The locality window may promote a job from the smallest k%
+	// ahead of the strict order (lookahead bounded for cost).
+	budget := h.Exec.Machines.FreeSlots()
+	window := core.LocalityWindow(len(order), h.Cfg.LocalityK)
+	if window > 32 {
+		window = 32
+	}
+	for i := 0; i < len(order) && budget > 0; i++ {
+		// Locality relaxation: within the lookahead window starting at i,
+		// promote the first job with a local fresh task.
+		if window > 1 {
+			for k := i; k < i+window && k < len(order); k++ {
+				if h.hasLocalFresh(h.active[order[k]]) {
+					order[i], order[k] = order[k], order[i]
+					break
+				}
+			}
+		}
+		s := h.active[order[i]]
+		quota := h.targets[s.job.ID] - s.usage
+		if quota <= 0 {
+			continue
+		}
+		if quota > budget {
+			quota = budget
+		}
+		filled := 0
+		for filled < quota {
+			if !h.placeOne(s) {
+				break
+			}
+			filled++
+		}
+		if filled == quota {
+			budget -= quota
+			continue
+		}
+		// Unfilled quota stays reserved for this job — but only as much
+		// as the job could actually use once a straggler ripens: one slot
+		// per running task still below the copy cap. Holding more would
+		// idle capacity no speculation can ever claim.
+		potential := 0
+		for _, t := range s.running {
+			if t.RunningCopies() < h.Cfg.Spec.MaxCopies {
+				potential++
+				if filled+potential >= quota {
+					break
+				}
+			}
+		}
+		hold := quota - filled
+		if potential < hold {
+			hold = potential
+		}
+		budget -= filled + hold
+	}
+}

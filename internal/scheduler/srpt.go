@@ -1,0 +1,168 @@
+package scheduler
+
+import (
+	"sort"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// SRPTEngine is the paper's aggressive centralized baseline (Section 7.4):
+// Shortest Remaining Processing Time ordering over jobs (by remaining task
+// count), with best-effort speculation — speculative copies are treated
+// like any other task and wait for a free slot behind the SRPT order,
+// exactly the coupling failure Figure 1a illustrates.
+type SRPTEngine struct {
+	*Base
+}
+
+// NewSRPT builds a centralized SRPT engine on the executor.
+func NewSRPT(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *SRPTEngine {
+	s := &SRPTEngine{}
+	s.Base = newBase(eng, exec, cfg)
+	s.Base.dispatch = s.dispatch
+	return s
+}
+
+// Name implements Engine.
+func (s *SRPTEngine) Name() string { return "SRPT" }
+
+// srptOrder returns active-job indices ascending by total remaining tasks,
+// tie-broken by job ID for determinism.
+func srptOrder(active []*jobState) []int {
+	order := make([]int, len(active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := active[order[a]].job.RemainingTasksTotal(), active[order[b]].job.RemainingTasksTotal()
+		if ra != rb {
+			return ra < rb
+		}
+		return active[order[a]].job.ID < active[order[b]].job.ID
+	})
+	return order
+}
+
+func (s *SRPTEngine) dispatch() {
+	// Placements do not change remaining-task counts, so one ordering per
+	// dispatch round suffices.
+	order := srptOrder(s.active)
+	for s.Exec.Machines.AnyFree() {
+		placed := false
+		for _, i := range order {
+			st := s.active[i]
+			if st.demand() == 0 {
+				continue
+			}
+			if s.placeOne(st) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// FairEngine is the equal-share baseline (Section 2.1): every active job
+// is entitled to S/N slots; entitlements a job cannot use flow to others
+// (work-conserving water-filling). Speculation is best-effort within the
+// job's share.
+type FairEngine struct {
+	*Base
+	totalSlots int
+}
+
+// NewFair builds a centralized fair-share engine on the executor.
+func NewFair(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *FairEngine {
+	f := &FairEngine{totalSlots: exec.Machines.TotalSlots()}
+	f.Base = newBase(eng, exec, cfg)
+	f.Base.dispatch = f.dispatch
+	return f
+}
+
+// Name implements Engine.
+func (f *FairEngine) Name() string { return "Fair" }
+
+// waterfill distributes slots among jobs with the given usable caps so
+// that shares are as equal as possible without exceeding any cap.
+func waterfill(caps []int, slots int) []int {
+	out := make([]int, len(caps))
+	remainingJobs := 0
+	for _, c := range caps {
+		if c > 0 {
+			remainingJobs++
+		}
+	}
+	left := slots
+	for left > 0 && remainingJobs > 0 {
+		share := left / remainingJobs
+		if share == 0 {
+			share = 1
+		}
+		progress := false
+		for i, c := range caps {
+			if left == 0 {
+				break
+			}
+			if out[i] >= c {
+				continue
+			}
+			give := share
+			if out[i]+give > c {
+				give = c - out[i]
+			}
+			if give > left {
+				give = left
+			}
+			if give > 0 {
+				out[i] += give
+				left -= give
+				progress = true
+			}
+			if out[i] >= c {
+				remainingJobs--
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+func (f *FairEngine) dispatch() {
+	if len(f.active) == 0 {
+		return
+	}
+	caps := make([]int, len(f.active))
+	for i, st := range f.active {
+		caps[i] = st.usage + st.demand()
+	}
+	targets := waterfill(caps, f.totalSlots)
+	for f.Exec.Machines.AnyFree() {
+		// Serve the job furthest below its target first (max deficit).
+		pick, bestDeficit := -1, 0
+		for i, st := range f.active {
+			if st.demand() == 0 {
+				continue
+			}
+			d := targets[i] - st.usage
+			if d > bestDeficit {
+				bestDeficit = d
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return
+		}
+		if !f.placeOne(f.active[pick]) {
+			if f.active[pick].demand() == 0 {
+				continue
+			}
+			return
+		}
+	}
+}

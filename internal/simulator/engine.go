@@ -1,0 +1,153 @@
+// Package simulator provides a deterministic discrete-event simulation
+// engine. All experiments in this repository run on top of it: the engine
+// owns virtual time, an event heap, and the random source, so a run with a
+// fixed seed is bit-for-bit reproducible.
+//
+// The engine is deliberately minimal: events are plain callbacks scheduled
+// at absolute or relative virtual times. Ties in time are broken by
+// scheduling order (FIFO), which keeps multi-component simulations
+// deterministic without requiring components to avoid simultaneous events.
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.At / Engine.After.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel marks the event so it will not fire. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use: simulations are single-goroutine by design so that runs
+// are reproducible.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Fired counts events that have executed; useful for tests and for
+	// sanity-checking runaway simulations.
+	Fired uint64
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of events waiting to fire (including
+// canceled events that have not yet been drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simulator: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until no events remain or Stop is
+// called. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events in time order until the next event would fire
+// strictly after deadline, no events remain, or Stop is called. A negative
+// deadline means "no deadline". Time advances to the deadline if it is
+// beyond the last event fired.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.Fired++
+		next.fn()
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Drain discards all pending events without running them. Useful when a
+// simulation has logically completed but periodic timers remain.
+func (e *Engine) Drain() {
+	e.events = e.events[:0]
+}

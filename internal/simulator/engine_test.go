@@ -1,0 +1,190 @@
+package simulator
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	eng := New(1)
+	var got []Time
+	for _, d := range []Time{5, 1, 3, 2, 4} {
+		d := d
+		eng.At(d, func() { got = append(got, d) })
+	}
+	eng.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if eng.Now() != 5 {
+		t.Fatalf("final time %v, want 5", eng.Now())
+	}
+}
+
+func TestTiesFireFIFO(t *testing.T) {
+	eng := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(7, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	eng := New(1)
+	var at Time
+	eng.At(10, func() {
+		eng.After(5, func() { at = eng.Now() })
+	})
+	eng.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := New(1)
+	fired := false
+	ev := eng.At(3, func() { fired = true })
+	ev.Cancel()
+	eng.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	eng := New(1)
+	fired := false
+	later := eng.At(5, func() { fired = true })
+	eng.At(2, func() { later.Cancel() })
+	eng.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	eng := New(1)
+	eng.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		eng.At(5, func() {})
+	})
+	eng.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	eng := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay should panic")
+		}
+	}()
+	eng.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	eng := New(1)
+	var fired []Time
+	for _, d := range []Time{1, 2, 3, 4} {
+		d := d
+		eng.At(d, func() { fired = append(fired, d) })
+	}
+	eng.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by 2.5, want 2", len(fired))
+	}
+	if eng.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", eng.Now())
+	}
+	eng.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d after Run, want 4", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i), func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt: count=%d", count)
+	}
+	if eng.Pending() != 7 {
+		t.Fatalf("pending=%d, want 7", eng.Pending())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	eng := New(1)
+	eng.At(1, func() { t.Fatal("drained event fired") })
+	eng.Drain()
+	eng.Run()
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestEventsDuringEventsPreserveOrder(t *testing.T) {
+	// Property: any set of event times, including events scheduled from
+	// within events, fires in nondecreasing time order.
+	f := func(rawTimes []uint16) bool {
+		eng := New(3)
+		var fired []Time
+		record := func() { fired = append(fired, eng.Now()) }
+		for _, rt := range rawTimes {
+			d := Time(rt % 1000)
+			eng.At(d, func() {
+				record()
+				eng.After(1, record)
+			})
+		}
+		eng.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := New(1)
+		for k := 0; k < 1000; k++ {
+			eng.At(Time(k%37), func() {})
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,322 @@
+// Package speculation implements the straggler-mitigation algorithms the
+// paper evaluates Hopper with (Section 7.2): LATE, Mantri, and GRASS.
+//
+// All three follow the same loop — monitor running copies, estimate each
+// task's remaining time and the cost of a fresh copy, and request a
+// speculative copy when the policy's benefit rule fires. Whether the
+// request actually receives a slot is the *scheduler's* decision; the
+// paper's whole point is that this second decision is where the gains
+// are, not in the detection rules themselves (Figure 9 shows Hopper's
+// gains are nearly identical across the three policies).
+//
+// Observation model: a copy reveals nothing until it has run for an
+// observation delay (a fraction of the phase's mean task duration),
+// mirroring real progress-rate estimation, after which its projected
+// total duration is visible. The estimate of a fresh copy's duration
+// (t_new) is the median of the job's completed copies, falling back to
+// the phase mean before enough tasks finish.
+package speculation
+
+import (
+	"math/rand"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/stats"
+)
+
+// Estimates carries the policy-visible numbers for one running task.
+type Estimates struct {
+	// Remaining is the estimated remaining time of the task's best
+	// (soonest-finishing) observable live copy.
+	Remaining float64
+	// New is the estimated duration of a fresh copy of the task.
+	New float64
+	// ProjectedTotal is the estimated total duration of the task's best
+	// live copy (elapsed / progress extrapolation).
+	ProjectedTotal float64
+	// SlowThreshold is the duration at the job's straggler percentile
+	// (e.g. LATE's 75th percentile of completed durations).
+	SlowThreshold float64
+	// PhaseFractionDone is the fraction of the task's phase that has
+	// completed, used by GRASS's mode switch.
+	PhaseFractionDone float64
+}
+
+// Policy is a straggler-mitigation decision rule: given the estimates for
+// one running task, should a speculative copy be requested?
+type Policy interface {
+	// Name identifies the policy in reports ("LATE", "Mantri", "GRASS").
+	Name() string
+	// Wants reports whether a speculative copy is worth requesting.
+	Wants(e Estimates) bool
+}
+
+// LATE (Zaharia et al., OSDI'08) speculates a task when its best copy is
+// projected to be slower than the SlowTaskPercentile of the job's
+// completed tasks and a fresh copy is expected to finish sooner than the
+// current one.
+type LATE struct {
+	// SlowTaskPercentile is the progress percentile below which a task
+	// counts as straggling; the default (and deployed) value is 25, i.e.
+	// projected duration above the 75th percentile of completions.
+	SlowTaskPercentile float64
+}
+
+// Name implements Policy.
+func (LATE) Name() string { return "LATE" }
+
+// Wants implements Policy.
+func (l LATE) Wants(e Estimates) bool {
+	return e.Remaining > e.New && e.ProjectedTotal >= e.SlowThreshold
+}
+
+// Mantri (Ananthanarayanan et al., OSDI'10) is resource-aware: it
+// speculates only when the remaining time exceeds twice the cost of a
+// fresh copy, so the expected resource saving is positive.
+type Mantri struct{}
+
+// Name implements Policy.
+func (Mantri) Name() string { return "Mantri" }
+
+// Wants implements Policy.
+func (Mantri) Wants(e Estimates) bool {
+	return e.Remaining > 2*e.New
+}
+
+// GRASS (Ananthanarayanan et al., NSDI'14) switches between Mantri-style
+// resource-aware speculation (RA) early in a phase and greedy speculation
+// (GS, LATE-aggressive) near phase completion, where clearing the last
+// stragglers dominates job completion time.
+type GRASS struct {
+	// SwitchFraction is the phase-completion fraction at which GRASS
+	// flips from RA to GS. The default is 0.8.
+	SwitchFraction float64
+}
+
+// Name implements Policy.
+func (GRASS) Name() string { return "GRASS" }
+
+// Wants implements Policy.
+func (g GRASS) Wants(e Estimates) bool {
+	sw := g.SwitchFraction
+	if sw == 0 {
+		sw = 0.8
+	}
+	if e.PhaseFractionDone >= sw {
+		return e.Remaining > e.New // GS: greedy
+	}
+	return e.Remaining > 2*e.New // RA: resource-aware
+}
+
+// ByName returns the policy for a report name; it panics on unknown names
+// (experiment configs are static, so this is a programming error).
+func ByName(name string) Policy {
+	switch name {
+	case "LATE":
+		return LATE{SlowTaskPercentile: 25}
+	case "Mantri":
+		return Mantri{}
+	case "GRASS":
+		return GRASS{SwitchFraction: 0.8}
+	}
+	panic("speculation: unknown policy " + name)
+}
+
+// Config bundles the monitor parameters shared by all schedulers.
+type Config struct {
+	Policy Policy
+
+	// MaxCopies caps live copies per task, original included. The paper's
+	// systems run one speculative copy at a time; default 2.
+	MaxCopies int
+
+	// DetectDelayFrac is the fraction of the phase's mean task duration a
+	// copy must run before its progress is observable. Default 0.25.
+	DetectDelayFrac float64
+
+	// EstimateNoise, when positive, multiplies remaining-time estimates
+	// by a uniform factor in [1-noise, 1+noise], modeling progress-rate
+	// estimation error. Default 0 (clean estimates).
+	EstimateNoise float64
+}
+
+// WithDefaults fills zero fields with the defaults described above.
+func (c Config) WithDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = LATE{SlowTaskPercentile: 25}
+	}
+	if c.MaxCopies == 0 {
+		c.MaxCopies = 2
+	}
+	if c.DetectDelayFrac == 0 {
+		c.DetectDelayFrac = 0.25
+	}
+	return c
+}
+
+// jobStats tracks per-job completion history for t_new and slow-threshold
+// estimation.
+type jobStats struct {
+	done stats.Summary
+}
+
+// Monitor produces speculation candidates for running tasks. One Monitor
+// serves one scheduler (centralized engine or decentralized job
+// scheduler); it is not safe for concurrent use.
+type Monitor struct {
+	cfg  Config
+	rng  *rand.Rand
+	jobs map[cluster.JobID]*jobStats
+}
+
+// NewMonitor returns a Monitor with the given config (defaults applied).
+func NewMonitor(cfg Config, rng *rand.Rand) *Monitor {
+	return &Monitor{cfg: cfg.WithDefaults(), rng: rng, jobs: make(map[cluster.JobID]*jobStats)}
+}
+
+// Config returns the effective configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// TaskCompleted records the winning copy's duration for the job's t_new
+// and slow-threshold estimates. Call from the scheduler's OnTaskDone.
+func (m *Monitor) TaskCompleted(t *cluster.Task, winner *cluster.Copy) {
+	js := m.jobs[t.Job.ID]
+	if js == nil {
+		js = &jobStats{}
+		m.jobs[t.Job.ID] = js
+	}
+	js.done.Add(winner.Duration)
+}
+
+// JobDone releases the job's history.
+func (m *Monitor) JobDone(j *cluster.Job) {
+	delete(m.jobs, j.ID)
+}
+
+// estNew returns the estimated duration of a fresh copy for a task.
+func (m *Monitor) estNew(t *cluster.Task) float64 {
+	if js := m.jobs[t.Job.ID]; js != nil && js.done.N() >= 5 {
+		return js.done.Median()
+	}
+	return t.Phase.MeanTaskDuration
+}
+
+// slowThreshold returns the straggler cutoff for LATE-style percentile
+// tests. Falls back to twice the phase mean before history accumulates.
+func (m *Monitor) slowThreshold(t *cluster.Task) float64 {
+	pct := 75.0
+	if l, ok := m.cfg.Policy.(LATE); ok && l.SlowTaskPercentile > 0 {
+		pct = 100 - l.SlowTaskPercentile
+	}
+	if js := m.jobs[t.Job.ID]; js != nil && js.done.N() >= 5 {
+		return js.done.Percentile(pct)
+	}
+	return 2 * t.Phase.MeanTaskDuration
+}
+
+func (m *Monitor) noisy(x float64) float64 {
+	if m.cfg.EstimateNoise <= 0 {
+		return x
+	}
+	f := 1 + m.cfg.EstimateNoise*(2*m.rng.Float64()-1)
+	return x * f
+}
+
+// Wants evaluates the policy for one running task at time now. It returns
+// false when the task is done, already at the copy cap, or none of its
+// copies have run long enough to observe.
+func (m *Monitor) Wants(now float64, t *cluster.Task) bool {
+	if t.State != cluster.TaskRunning {
+		return false
+	}
+	live := 0
+	var best *cluster.Copy // observable copy with the smallest remaining
+	for _, c := range t.Copies {
+		if c.Killed || c.Won {
+			continue
+		}
+		live++
+		if c.Elapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
+			continue
+		}
+		if best == nil || c.Remaining(now) < best.Remaining(now) {
+			best = c
+		}
+	}
+	if live == 0 || live >= m.cfg.MaxCopies || best == nil {
+		return false
+	}
+	phase := t.Phase
+	e := Estimates{
+		Remaining:         m.noisy(best.Remaining(now)),
+		New:               m.estNew(t),
+		ProjectedTotal:    m.noisy(best.Duration),
+		SlowThreshold:     m.slowThreshold(t),
+		PhaseFractionDone: float64(len(phase.Tasks)-phase.RemainingTasks()) / float64(len(phase.Tasks)),
+	}
+	return m.cfg.Policy.Wants(e)
+}
+
+// Candidates scans the given running tasks and returns those the policy
+// wants to speculate, up to budget (budget < 0 means unlimited). The
+// returned order matches the input order.
+func (m *Monitor) Candidates(now float64, running []*cluster.Task, budget int) []*cluster.Task {
+	var out []*cluster.Task
+	for _, t := range running {
+		if budget >= 0 && len(out) >= budget {
+			break
+		}
+		if m.Wants(now, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BestVictim picks the task to duplicate when a job has allocated
+// capacity to fill — Hopper's capacity-driven speculation. A job below
+// its virtual size is, by definition, below its desired speculation
+// level (Pseudocode 2 accepts whenever current_occupied < virtual_size),
+// so the slot races the job's worst observable straggler even if the
+// detection policy has not flagged it yet.
+//
+// The victim is the observable running task with the largest estimated
+// remaining time whose fresh copy would beat it (estimated remaining >
+// t_new), below the copy cap. Tasks younger than the observation delay
+// are never raced: a fresh draw would not beat them in expectation, and
+// the slot is worth holding for a straggler about to ripen instead (the
+// anticipation of Figure 2). Returns nil when no task qualifies.
+func (m *Monitor) BestVictim(now float64, running []*cluster.Task, maxCopies int) *cluster.Task {
+	var victim *cluster.Task
+	var victimRem float64
+	for _, t := range running {
+		if t.State != cluster.TaskRunning {
+			continue
+		}
+		live := 0
+		var best *cluster.Copy // observable copy closest to finishing
+		for _, c := range t.Copies {
+			if c.Killed || c.Won {
+				continue
+			}
+			live++
+			if c.Elapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
+				continue
+			}
+			if best == nil || c.Remaining(now) < best.Remaining(now) {
+				best = c
+			}
+		}
+		if live == 0 || live >= maxCopies || best == nil {
+			continue
+		}
+		rem := m.noisy(best.Remaining(now))
+		if rem <= m.estNew(t) {
+			continue // a new copy would not beat the current one
+		}
+		if victim == nil || rem > victimRem {
+			victim, victimRem = t, rem
+		}
+	}
+	return victim
+}

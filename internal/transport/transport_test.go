@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+func testConnPair(t *testing.T, kind string) (Conn, Conn, func()) {
+	t.Helper()
+	switch kind {
+	case "mem":
+		a, b := Pair(16)
+		return a, b, func() { a.Close(); b.Close() }
+	case "tcp":
+		ln, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var server Conn
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := ln.Accept()
+			if err == nil {
+				server = c
+			}
+		}()
+		client, err := Dial(ln.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if server == nil {
+			t.Fatal("accept failed")
+		}
+		return client, server, func() { client.Close(); server.Close(); ln.Close() }
+	}
+	panic("unknown kind")
+}
+
+func TestSendRecvBothTransports(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+
+			msgs := []wire.Message{
+				&wire.Hello{Role: wire.RoleWorker, ID: 3, Slots: 16},
+				&wire.Reserve{JobID: 9, SchedulerID: 1, VirtualSize: 12.5, RemTasks: 8},
+				&wire.Ping{Nonce: 77},
+			}
+			for _, m := range msgs {
+				if err := a.Send(m); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+			}
+			for _, want := range msgs {
+				got, err := b.Recv()
+				if err != nil {
+					t.Fatalf("recv: %v", err)
+				}
+				if got.Type() != want.Type() {
+					t.Fatalf("type %v, want %v", got.Type(), want.Type())
+				}
+			}
+		})
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+			if err := a.Send(&wire.Ping{Nonce: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Recv(); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Send(&wire.Pong{Nonce: 1}); err != nil {
+				t.Fatal(err)
+			}
+			m, err := a.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.(*wire.Pong).Nonce != 1 {
+				t.Fatal("nonce mismatch")
+			}
+		})
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+
+			const senders, per = 8, 50
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := a.Send(&wire.Ping{Nonce: uint64(s*1000 + i)}); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			got := 0
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for got < senders*per {
+					if _, err := b.Recv(); err != nil {
+						t.Errorf("recv: %v", err)
+						return
+					}
+					got++
+				}
+			}()
+			wg.Wait()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("received %d of %d", got, senders*per)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+			errc := make(chan error, 1)
+			go func() {
+				_, err := b.Recv()
+				errc <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			a.Close()
+			b.Close()
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Fatal("Recv returned nil after close")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv did not unblock on close")
+			}
+		})
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	a, b := Pair(1)
+	b.Close()
+	a.Close()
+	if err := a.Send(&wire.Ping{Nonce: 1}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
+
+func TestMemPairSelfChecksCodec(t *testing.T) {
+	a, b := Pair(4)
+	defer a.Close()
+	defer b.Close()
+	// A message that encodes fine must arrive decoded and equal.
+	m := &wire.Refuse{JobID: 5, NoDemand: true, HasUnsat: true, UnsatJobID: 7, UnsatVS: 3.5}
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*wire.Refuse)
+	if r.UnsatJobID != 7 || !r.NoDemand {
+		t.Fatalf("round trip mismatch: %+v", r)
+	}
+}

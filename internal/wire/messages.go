@@ -1,0 +1,345 @@
+package wire
+
+// TaskSpec describes one task inside a SubmitJob message. Durations are
+// in seconds; the live worker "executes" a task by holding a slot for the
+// scaled duration (the live cluster demonstrates the protocol, not real
+// computation — see DESIGN.md substitutions).
+type TaskSpec struct {
+	Phase    uint16
+	Index    uint32
+	MeanDur  float64
+	Replicas []uint32 // worker IDs holding input data
+}
+
+// PhaseSpec describes one DAG phase.
+type PhaseSpec struct {
+	Deps         []uint16
+	MeanDur      float64
+	TransferWork float64
+	NumTasks     uint32
+}
+
+// SubmitJob is a client's job submission to a scheduler.
+type SubmitJob struct {
+	JobID  uint64
+	Name   string
+	Phases []PhaseSpec
+}
+
+// Type implements Message.
+func (*SubmitJob) Type() MsgType { return TSubmitJob }
+
+func (m *SubmitJob) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putString(b, m.Name)
+	b = putU16(b, uint16(len(m.Phases)))
+	for _, p := range m.Phases {
+		b = putU16(b, uint16(len(p.Deps)))
+		for _, d := range p.Deps {
+			b = putU16(b, d)
+		}
+		b = putF64(b, p.MeanDur)
+		b = putF64(b, p.TransferWork)
+		b = putU32(b, p.NumTasks)
+	}
+	return b
+}
+
+func (m *SubmitJob) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Name = r.string()
+	n := int(r.u16())
+	if n > 0 {
+		m.Phases = make([]PhaseSpec, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var p PhaseSpec
+		nd := int(r.u16())
+		for k := 0; k < nd; k++ {
+			p.Deps = append(p.Deps, r.u16())
+		}
+		p.MeanDur = r.f64()
+		p.TransferWork = r.f64()
+		p.NumTasks = r.u32()
+		m.Phases = append(m.Phases, p)
+	}
+	return r.err
+}
+
+// JobComplete reports a finished job to the submitting client.
+type JobComplete struct {
+	JobID      uint64
+	Completion float64 // seconds from submission
+	TasksRun   uint32
+	SpecCopies uint32
+}
+
+// Type implements Message.
+func (*JobComplete) Type() MsgType { return TJobComplete }
+
+func (m *JobComplete) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putF64(b, m.Completion)
+	b = putU32(b, m.TasksRun)
+	b = putU32(b, m.SpecCopies)
+	return b
+}
+
+func (m *JobComplete) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Completion = r.f64()
+	m.TasksRun = r.u32()
+	m.SpecCopies = r.u32()
+	return r.err
+}
+
+// Reserve is a probe: a reservation request for a job at a worker,
+// carrying the ordering metadata workers queue (virtual size, remaining
+// tasks).
+type Reserve struct {
+	JobID       uint64
+	SchedulerID uint32
+	VirtualSize float64
+	RemTasks    uint32
+}
+
+// Type implements Message.
+func (*Reserve) Type() MsgType { return TReserve }
+
+func (m *Reserve) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU32(b, m.SchedulerID)
+	b = putF64(b, m.VirtualSize)
+	b = putU32(b, m.RemTasks)
+	return b
+}
+
+func (m *Reserve) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.SchedulerID = r.u32()
+	m.VirtualSize = r.f64()
+	m.RemTasks = r.u32()
+	return r.err
+}
+
+// Offer is a worker's response offering a slot to a job (Pseudocode 3):
+// refusable during the probing phase, non-refusable after the refusal
+// threshold.
+type Offer struct {
+	JobID     uint64
+	WorkerID  uint32
+	Seq       uint64 // correlates the scheduler's reply to this offer
+	Refusable bool
+}
+
+// Type implements Message.
+func (*Offer) Type() MsgType { return TOffer }
+
+func (m *Offer) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU32(b, m.WorkerID)
+	b = putU64(b, m.Seq)
+	b = putBool(b, m.Refusable)
+	return b
+}
+
+func (m *Offer) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.WorkerID = r.u32()
+	m.Seq = r.u64()
+	m.Refusable = r.bool()
+	return r.err
+}
+
+// Assign hands a task to the offering worker (Pseudocode 2's Accept).
+type Assign struct {
+	JobID       uint64
+	Seq         uint64
+	Phase       uint16
+	TaskIndex   uint32
+	Speculative bool
+	Duration    float64 // service time the worker should emulate
+	// VirtualSize piggybacks the job's updated ordering metadata.
+	VirtualSize float64
+	RemTasks    uint32
+}
+
+// Type implements Message.
+func (*Assign) Type() MsgType { return TAssign }
+
+func (m *Assign) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU64(b, m.Seq)
+	b = putU16(b, m.Phase)
+	b = putU32(b, m.TaskIndex)
+	b = putBool(b, m.Speculative)
+	b = putF64(b, m.Duration)
+	b = putF64(b, m.VirtualSize)
+	b = putU32(b, m.RemTasks)
+	return b
+}
+
+func (m *Assign) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Seq = r.u64()
+	m.Phase = r.u16()
+	m.TaskIndex = r.u32()
+	m.Speculative = r.bool()
+	m.Duration = r.f64()
+	m.VirtualSize = r.f64()
+	m.RemTasks = r.u32()
+	return r.err
+}
+
+// Refuse declines a refusable offer (the job is at its virtual size),
+// piggybacking the scheduler's smallest unsatisfied job if any
+// (Pseudocode 2).
+type Refuse struct {
+	JobID uint64
+	Seq   uint64
+	// NoDemand reports the job has nothing at all to run right now.
+	NoDemand bool
+	// HasUnsat + fields describe the smallest unsatisfied job.
+	HasUnsat    bool
+	UnsatJobID  uint64
+	UnsatVS     float64
+	VirtualSize float64 // updated ordering metadata for JobID
+	RemTasks    uint32
+}
+
+// Type implements Message.
+func (*Refuse) Type() MsgType { return TRefuse }
+
+func (m *Refuse) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU64(b, m.Seq)
+	b = putBool(b, m.NoDemand)
+	b = putBool(b, m.HasUnsat)
+	b = putU64(b, m.UnsatJobID)
+	b = putF64(b, m.UnsatVS)
+	b = putF64(b, m.VirtualSize)
+	b = putU32(b, m.RemTasks)
+	return b
+}
+
+func (m *Refuse) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Seq = r.u64()
+	m.NoDemand = r.bool()
+	m.HasUnsat = r.bool()
+	m.UnsatJobID = r.u64()
+	m.UnsatVS = r.f64()
+	m.VirtualSize = r.f64()
+	m.RemTasks = r.u32()
+	return r.err
+}
+
+// NoTask answers a non-refusable offer when the job has nothing to run
+// (or has finished, in which case the worker purges its reservations).
+type NoTask struct {
+	JobID    uint64
+	Seq      uint64
+	JobDone  bool
+	NoDemand bool
+}
+
+// Type implements Message.
+func (*NoTask) Type() MsgType { return TNoTask }
+
+func (m *NoTask) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU64(b, m.Seq)
+	b = putBool(b, m.JobDone)
+	b = putBool(b, m.NoDemand)
+	return b
+}
+
+func (m *NoTask) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Seq = r.u64()
+	m.JobDone = r.bool()
+	m.NoDemand = r.bool()
+	return r.err
+}
+
+// TaskDone reports a finished (or killed) copy to the job's scheduler.
+type TaskDone struct {
+	JobID     uint64
+	Phase     uint16
+	TaskIndex uint32
+	WorkerID  uint32
+	Duration  float64
+	Killed    bool
+}
+
+// Type implements Message.
+func (*TaskDone) Type() MsgType { return TTaskDone }
+
+func (m *TaskDone) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	b = putU16(b, m.Phase)
+	b = putU32(b, m.TaskIndex)
+	b = putU32(b, m.WorkerID)
+	b = putF64(b, m.Duration)
+	b = putBool(b, m.Killed)
+	return b
+}
+
+func (m *TaskDone) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Phase = r.u16()
+	m.TaskIndex = r.u32()
+	m.WorkerID = r.u32()
+	m.Duration = r.f64()
+	m.Killed = r.bool()
+	return r.err
+}
+
+// Node roles for Hello.
+const (
+	RoleScheduler uint8 = 1
+	RoleWorker    uint8 = 2
+	RoleClient    uint8 = 3
+)
+
+// Hello is the connection handshake.
+type Hello struct {
+	Role  uint8
+	ID    uint32
+	Slots uint32 // workers announce their slot count
+}
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return THello }
+
+func (m *Hello) encode(b []byte) []byte {
+	b = putU8(b, m.Role)
+	b = putU32(b, m.ID)
+	b = putU32(b, m.Slots)
+	return b
+}
+
+func (m *Hello) decode(r *reader) error {
+	m.Role = r.u8()
+	m.ID = r.u32()
+	m.Slots = r.u32()
+	return r.err
+}
+
+// Ping is a liveness probe.
+type Ping struct{ Nonce uint64 }
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TPing }
+
+func (m *Ping) encode(b []byte) []byte { return putU64(b, m.Nonce) }
+func (m *Ping) decode(r *reader) error { m.Nonce = r.u64(); return r.err }
+
+// Pong answers a Ping, echoing the nonce.
+type Pong struct{ Nonce uint64 }
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return TPong }
+
+func (m *Pong) encode(b []byte) []byte { return putU64(b, m.Nonce) }
+func (m *Pong) decode(r *reader) error { m.Nonce = r.u64(); return r.err }

@@ -1,0 +1,278 @@
+// Package wire defines the binary protocol spoken between live Hopper
+// schedulers, workers, and clients (Section 6.1's prototype uses Thrift
+// RPCs; we use a hand-rolled, dependency-free codec with the same message
+// vocabulary).
+//
+// Framing: every message is a length-prefixed frame
+//
+//	uint32  payload length (big endian, excluding the 5 header bytes)
+//	uint8   message type
+//	payload type-specific fields, fixed order
+//
+// Scalars are big-endian; strings and byte slices are uint16/uint32
+// length-prefixed. The codec is allocation-light: encoding appends to a
+// caller buffer, decoding reads from a byte slice without copying where
+// safe. All messages round-trip exactly (see the property tests).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message types. The vocabulary mirrors the simulator's protocol
+// one-to-one so the live system runs the same state machines.
+const (
+	// TSubmitJob: client -> scheduler. A job definition.
+	TSubmitJob MsgType = iota + 1
+	// TJobComplete: scheduler -> client. Job finished.
+	TJobComplete
+	// TReserve: scheduler -> worker. A reservation request (probe) for a
+	// job, carrying the job's current virtual size and remaining tasks.
+	TReserve
+	// TOffer: worker -> scheduler. The worker offers a slot to the job
+	// (refusable or not) — Pseudocode 3's Response.
+	TOffer
+	// TAssign: scheduler -> worker. A task to run (answer to TOffer).
+	TAssign
+	// TRefuse: scheduler -> worker. Refusable offer declined; piggybacks
+	// the scheduler's smallest unsatisfied job — Pseudocode 2.
+	TRefuse
+	// TNoTask: scheduler -> worker. Nothing to run (job done or drained).
+	TNoTask
+	// TTaskDone: worker -> scheduler. A task copy finished.
+	TTaskDone
+	// THello: node handshake (role + identity).
+	THello
+	// TPing / TPong: liveness checks.
+	TPing
+	TPong
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TSubmitJob:
+		return "SubmitJob"
+	case TJobComplete:
+		return "JobComplete"
+	case TReserve:
+		return "Reserve"
+	case TOffer:
+		return "Offer"
+	case TAssign:
+		return "Assign"
+	case TRefuse:
+		return "Refuse"
+	case TNoTask:
+		return "NoTask"
+	case TTaskDone:
+		return "TaskDone"
+	case THello:
+		return "Hello"
+	case TPing:
+		return "Ping"
+	case TPong:
+		return "Pong"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the message's wire type tag.
+	Type() MsgType
+	// encode appends the payload (not the frame header) to b.
+	encode(b []byte) []byte
+	// decode parses the payload.
+	decode(r *reader) error
+}
+
+// MaxFrameSize bounds a frame payload; a peer announcing more is treated
+// as malicious/corrupt and the connection is dropped.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// ErrUnknownType is returned for unrecognized message type tags.
+var ErrUnknownType = errors.New("wire: unknown message type")
+
+// --- primitive encoders ------------------------------------------------
+
+func putU8(b []byte, v uint8) []byte   { return append(b, v) }
+func putU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func putU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func putF64(b []byte, v float64) []byte {
+	return putU64(b, math.Float64bits(v))
+}
+func putBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func putString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = putU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader is a bounds-checked payload reader; the first error sticks.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = io.ErrUnexpectedEOF
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) string() string {
+	n := int(r.u16())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// remaining reports unread payload bytes (must be zero after decode).
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// --- framing ------------------------------------------------------------
+
+// Append encodes msg as a complete frame appended to dst.
+func Append(dst []byte, msg Message) []byte {
+	// Reserve the header, encode the payload, back-patch the length.
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(msg.Type()))
+	dst = msg.encode(dst)
+	payload := len(dst) - start - 5
+	binary.BigEndian.PutUint32(dst[start:], uint32(payload))
+	return dst
+}
+
+// WriteMsg encodes and writes one frame.
+func WriteMsg(w io.Writer, msg Message) error {
+	buf := Append(nil, msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMsg reads and decodes one frame.
+func ReadMsg(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Decode(MsgType(hdr[4]), payload)
+}
+
+// Decode parses a payload for the given type tag.
+func Decode(t MsgType, payload []byte) (Message, error) {
+	var m Message
+	switch t {
+	case TSubmitJob:
+		m = &SubmitJob{}
+	case TJobComplete:
+		m = &JobComplete{}
+	case TReserve:
+		m = &Reserve{}
+	case TOffer:
+		m = &Offer{}
+	case TAssign:
+		m = &Assign{}
+	case TRefuse:
+		m = &Refuse{}
+	case TNoTask:
+		m = &NoTask{}
+	case TTaskDone:
+		m = &TaskDone{}
+	case THello:
+		m = &Hello{}
+	case TPing:
+		m = &Ping{}
+	case TPong:
+		m = &Pong{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	rd := &reader{buf: payload}
+	if err := m.decode(rd); err != nil {
+		return nil, err
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", t, rd.err)
+	}
+	if rd.remaining() != 0 {
+		return nil, fmt.Errorf("wire: decoding %s: %d trailing bytes", t, rd.remaining())
+	}
+	return m, nil
+}
