@@ -3,11 +3,14 @@
 // Usage:
 //
 //	hopper-sim -list
-//	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-v]
+//	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-v]
 //	hopper-sim -all
 //
 // Each experiment prints the rows the corresponding paper figure reports;
 // EXPERIMENTS.md records expected shapes and paper-vs-measured values.
+// Simulation cells run on a worker pool (-workers, default GOMAXPROCS);
+// output is byte-identical whatever the parallelism — see DESIGN.md for
+// the determinism contract.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs")
 		scale   = flag.Float64("scale", 1, "job-count scale factor")
 		seeds   = flag.Int("seeds", 3, "independent replays per data point")
+		workers = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 		verbose = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
@@ -37,30 +41,42 @@ func main() {
 		return
 	}
 
-	h := experiments.Harness{Scale: *scale, Seeds: *seeds}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "-seeds must be at least 1")
+		os.Exit(2)
+	}
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "-scale must be positive")
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "-workers must be >= 0 (0 = GOMAXPROCS, 1 = serial)")
+		os.Exit(2)
+	}
+
+	h := experiments.Harness{Scale: *scale, Seeds: *seeds, Workers: *workers}
 	if *verbose {
 		h.Log = os.Stderr
 	}
 
-	run := func(e experiments.Experiment) {
-		start := time.Now()
-		res := e.Run(h)
-		fmt.Print(res.String())
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-	}
-
 	switch {
 	case *all:
-		for _, e := range experiments.Registry {
-			run(e)
+		start := time.Now()
+		for _, res := range experiments.RunExperiments(h, experiments.Registry) {
+			fmt.Print(res.String())
+			fmt.Println()
 		}
+		fmt.Printf("(%d experiments in %.1fs)\n", len(experiments.Registry), time.Since(start).Seconds())
 	case *exp != "":
 		e, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 			os.Exit(2)
 		}
-		run(e)
+		start := time.Now()
+		res := e.Run(h)
+		fmt.Print(res.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module github.com/hopper-sim/hopper
+
+go 1.22

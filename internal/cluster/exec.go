@@ -154,7 +154,7 @@ func (x *Executor) copyRNG(t *Task, attempt int) *rand.Rand {
 		h *= 0xBF58476D1CE4E5B9
 		h ^= h >> 27
 	}
-	return rand.New(rand.NewSource(int64(h >> 1)))
+	return stats.NewFastRand(h)
 }
 
 // AdmitJob marks the job's root phases runnable at the current time and
@@ -350,7 +350,7 @@ func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
 		}
 		q.RunnableAt = startAt
 		qq := q
-		x.Eng.At(startAt, func() {
+		x.Eng.Post(startAt, func() {
 			qq.Runnable = true
 			if x.OnPhaseRunnable != nil {
 				x.OnPhaseRunnable(qq)

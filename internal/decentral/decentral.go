@@ -268,11 +268,11 @@ func (s *System) toScheduler(sc *sched, fn func()) {
 	}
 	handle += s.Cfg.ProcDelay
 	sc.busyUntil = handle
-	s.Eng.At(handle, fn)
+	s.Eng.Post(handle, fn)
 }
 
 // toWorker delivers fn at the worker after network latency.
 func (s *System) toWorker(fn func()) {
 	s.Messages++
-	s.Eng.After(s.Cfg.MsgLatency, fn)
+	s.Eng.PostAfter(s.Cfg.MsgLatency, fn)
 }

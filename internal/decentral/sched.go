@@ -244,9 +244,9 @@ func (sc *sched) ensureTicker() {
 			return
 		}
 		sc.scanSpec()
-		sc.sys.Eng.After(sc.sys.Cfg.CheckInterval, tick)
+		sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
 	}
-	sc.sys.Eng.After(sc.sys.Cfg.CheckInterval, tick)
+	sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
 }
 
 // scanSpec asks the straggler policy for new speculation candidates and

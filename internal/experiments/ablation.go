@@ -53,16 +53,13 @@ func runAblation(h Harness) *Result {
 		Title:  "Ablation: avg job duration (s) and delta (%) vs full Hopper-D",
 		Header: []string{"variant", "avg duration", "delta vs full (%)"},
 	}
+	varAvgs := seedMatrix(h, len(variants), 3100, 43, func(hh Harness, v, _ int, seed int64) float64 {
+		tr := GenTrace(prof, hh.jobs(1200), 0.7, spec, seed)
+		return RunTrace(variants[v].kind, spec, CloneJobs(tr.Jobs), seed+1).Run.AvgCompletion()
+	})
 	var full float64
-	for _, v := range variants {
-		var avgs []float64
-		for s := 0; s < h.Seeds; s++ {
-			seed := int64(3100 + 43*s)
-			tr := GenTrace(prof, h.jobs(1200), 0.7, spec, seed)
-			r := RunTrace(v.kind, spec, CloneJobs(tr.Jobs), seed+1)
-			avgs = append(avgs, r.Run.AvgCompletion())
-		}
-		avg := stats.Median(avgs)
+	for vi, v := range variants {
+		avg := stats.Median(varAvgs[vi])
 		if v.name == "full Hopper-D" {
 			full = avg
 			tab.AddF(v.name, avg, 0.0)
@@ -92,15 +89,12 @@ func runAblation(h Harness) *Result {
 			return scheduler.NewSRPT(eng, exec, scheduler.Config{CheckInterval: 0.1})
 		})},
 	}
-	for _, k := range kinds {
-		var avgs []float64
-		for s := 0; s < h.Seeds; s++ {
-			seed := int64(3200 + 47*s)
-			tr := GenTrace(prof, h.jobs(1000), 0.7, spec, seed)
-			r := RunTrace(k.kind, spec, CloneJobs(tr.Jobs), seed+1)
-			avgs = append(avgs, r.Run.AvgCompletion())
-		}
-		ctab.AddF(k.name, stats.Median(avgs))
+	centAvgs := seedMatrix(h, len(kinds), 3200, 47, func(hh Harness, k, _ int, seed int64) float64 {
+		tr := GenTrace(prof, hh.jobs(1000), 0.7, spec, seed)
+		return RunTrace(kinds[k].kind, spec, CloneJobs(tr.Jobs), seed+1).Run.AvgCompletion()
+	})
+	for ki, k := range kinds {
+		ctab.AddF(k.name, stats.Median(centAvgs[ki]))
 	}
 	res.Tables = append(res.Tables, ctab)
 	res.Notes = append(res.Notes,

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// detHarness returns a small harness with the given worker bound and a
+// capture buffer for the progress log, so the test can compare both the
+// rendered tables and the log stream byte for byte.
+func detHarness(workers int) (Harness, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return Harness{Scale: 0.02, Seeds: 2, Workers: workers, Log: &buf}, &buf
+}
+
+// TestParallelOutputMatchesSerial is the parallel runner's determinism
+// contract: for several experiments spanning the centralized engines,
+// the decentralized system, and multi-table drivers, running the cells
+// on a parallel worker pool must produce byte-identical tables AND
+// byte-identical log output to fully serial execution (Workers=1).
+// This covers the engine's FIFO tie-break, the per-cell engine/RNG
+// isolation, and the canonical merge order of results and buffered logs.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replays are slow; skipped with -short")
+	}
+	for _, id := range []string{"table1", "fig3", "fig6", "fig12"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			hs, serialLog := detHarness(1)
+			serial := e.Run(hs).String()
+
+			hp, parallelLog := detHarness(8)
+			parallel := e.Run(hp).String()
+
+			if serial != parallel {
+				t.Errorf("parallel tables diverge from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial, parallel)
+			}
+			if !bytes.Equal(serialLog.Bytes(), parallelLog.Bytes()) {
+				t.Errorf("parallel log diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serialLog.String(), parallelLog.String())
+			}
+		})
+	}
+}
+
+// TestSameSeedRunsAreIdentical asserts two back-to-back parallel runs of
+// the same experiment produce byte-identical output — no state leaks
+// between runs, and nothing in a cell depends on scheduling order.
+func TestSameSeedRunsAreIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replays are slow; skipped with -short")
+	}
+	for _, id := range []string{"table1", "fig5b", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			h1, log1 := detHarness(4)
+			first := e.Run(h1).String()
+			h2, log2 := detHarness(4)
+			second := e.Run(h2).String()
+			if first != second {
+				t.Errorf("same-seed runs diverge:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+			}
+			if !bytes.Equal(log1.Bytes(), log2.Bytes()) {
+				t.Errorf("same-seed logs diverge")
+			}
+		})
+	}
+}

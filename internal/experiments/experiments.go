@@ -22,8 +22,17 @@ type Harness struct {
 	// Seeds is the number of independent replays; the paper replays each
 	// experiment five times and reports medians.
 	Seeds int
+	// Workers bounds how many simulation cells run concurrently; 0 means
+	// GOMAXPROCS, 1 forces fully serial execution. Whatever the setting,
+	// output is byte-identical: every cell owns a private engine and RNG,
+	// and results and log lines are merged in canonical cell order.
+	Workers int
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+
+	// pl is the shared worker-token pool; cells lazily creates one and
+	// threads it to sub-cells so nested fan-out stays bounded.
+	pl *workerPool
 }
 
 // DefaultHarness mirrors the paper's methodology at tractable scale.
@@ -135,34 +144,26 @@ func decentralKind(cfg decentral.Config) SchedulerKind {
 // across seeds and returns the median overall gain.
 func medianGain(h Harness, gen func(seed int64) *workload.Trace, spec ClusterSpec,
 	baseline, improved SchedulerKind) float64 {
-	var gains []float64
-	for s := 0; s < h.Seeds; s++ {
-		seed := int64(1000 + 77*s)
+	gains := forSeeds(h, 1000, 77, func(hh Harness, seed int64) float64 {
 		tr := gen(seed)
-		base := RunTrace(baseline, spec, CloneJobs(tr.Jobs), seed+1)
-		imp := RunTrace(improved, spec, CloneJobs(tr.Jobs), seed+1)
-		gains = append(gains, metrics.GainBetween(base.Run, imp.Run))
-	}
+		runs := pairedRuns(hh, spec, tr.Jobs, seed+1, baseline, improved)
+		return metrics.GainBetween(runs[0].Run, runs[1].Run)
+	})
 	return stats.Median(gains)
 }
 
-// pairedRuns replays one seed's trace under several schedulers, returning
-// runs aligned with the kinds slice.
-func pairedRuns(spec ClusterSpec, jobs []*cluster.Job, seed int64, kinds ...SchedulerKind) []RunResult {
-	out := make([]RunResult, len(kinds))
-	for i, k := range kinds {
-		out[i] = RunTrace(k, spec, CloneJobs(jobs), seed)
-	}
-	return out
+// pairedRuns replays one seed's trace under several schedulers in
+// parallel, returning runs aligned with the kinds slice. Each run clones
+// the jobs, so the shared trace is only ever read.
+func pairedRuns(h Harness, spec ClusterSpec, jobs []*cluster.Job, seed int64, kinds ...SchedulerKind) []RunResult {
+	return cells(h, len(kinds), func(_ Harness, i int) RunResult {
+		return RunTrace(kinds[i], spec, CloneJobs(jobs), seed)
+	})
 }
 
 // medianOf collects per-seed scalars and returns their median.
-func medianOf(h Harness, f func(seed int64) float64) float64 {
-	var xs []float64
-	for s := 0; s < h.Seeds; s++ {
-		xs = append(xs, f(int64(1000+77*s)))
-	}
-	return stats.Median(xs)
+func medianOf(h Harness, f func(h Harness, seed int64) float64) float64 {
+	return stats.Median(forSeeds(h, 1000, 77, f))
 }
 
 // sortedCopy returns a sorted copy of xs.

@@ -28,6 +28,14 @@ func centralKinds(check float64) (hopper, srpt SchedulerKind) {
 	return
 }
 
+// fig12Profile describes one workload column of Figures 12 and 13.
+type fig12Profile struct {
+	name  string
+	prof  workload.Profile
+	check float64
+	jobs  int
+}
+
 // runFig12 reproduces Figure 12: centralized Hopper against centralized
 // SRPT on the Hadoop-like (30s tasks, disk) and Spark-like (1s tasks,
 // memory) profiles: overall, by job bin, and by DAG length. Expected
@@ -38,15 +46,39 @@ func runFig12(h Harness) *Result {
 	res := &Result{ID: "fig12", Title: "Centralized Hopper vs SRPT (Hadoop & Spark profiles)"}
 	spec := Prototype200(1.5)
 
-	profiles := []struct {
-		name  string
-		prof  workload.Profile
-		check float64
-		jobs  int
-	}{
+	profiles := []fig12Profile{
 		{"hadoop", workload.Facebook(), 1.0, 500},
 		{"spark", workload.Sparkify(workload.Facebook()), 0.1, 1500},
 	}
+
+	type gains struct {
+		overall float64
+		byBin   map[string]float64
+		byLen   map[int]float64
+	}
+	rows := seedMatrix(h, len(profiles), 2500, 23, func(hh Harness, p, _ int, seed int64) gains {
+		pc := profiles[p]
+		hopKind, srptKind := centralKinds(pc.check)
+		tr := GenTrace(pc.prof, hh.jobs(pc.jobs), 0.6, spec, seed)
+		runs := pairedRuns(hh, spec, tr.Jobs, seed+1, srptKind, hopKind)
+		base, hop := runs[0], runs[1]
+		g := gains{
+			overall: metrics.GainBetween(base.Run, hop.Run),
+			byBin:   map[string]float64{},
+			byLen:   map[int]float64{},
+		}
+		for _, bin := range workload.SizeBins() {
+			bin := bin
+			g.byBin[bin] = metrics.GainWhere(base.Run, hop.Run,
+				func(j metrics.JobResult) bool { return workload.SizeBin(j.Tasks) == bin })
+		}
+		for l := 2; l <= 8; l++ {
+			l := l
+			g.byLen[l] = metrics.GainWhere(base.Run, hop.Run,
+				func(j metrics.JobResult) bool { return j.DAGLen == l })
+		}
+		return g
+	})
 
 	binTab := &metrics.Table{
 		Title:  "Figure 12a: reduction (%) in avg duration vs centralized SRPT",
@@ -58,27 +90,17 @@ func runFig12(h Harness) *Result {
 	}
 	binCols := map[string]map[string]float64{}
 	dagCols := map[string]map[int]float64{}
-
-	for _, pc := range profiles {
-		hopKind, srptKind := centralKinds(pc.check)
+	for pi, pc := range profiles {
 		var overall []float64
 		byBin := map[string][]float64{}
 		byLen := map[int][]float64{}
-		for s := 0; s < h.Seeds; s++ {
-			seed := int64(2500 + 23*s)
-			tr := GenTrace(pc.prof, h.jobs(pc.jobs), 0.6, spec, seed)
-			base := RunTrace(srptKind, spec, CloneJobs(tr.Jobs), seed+1)
-			hop := RunTrace(hopKind, spec, CloneJobs(tr.Jobs), seed+1)
-			overall = append(overall, metrics.GainBetween(base.Run, hop.Run))
+		for _, g := range rows[pi] {
+			overall = append(overall, g.overall)
 			for _, bin := range workload.SizeBins() {
-				bin := bin
-				byBin[bin] = append(byBin[bin], metrics.GainWhere(base.Run, hop.Run,
-					func(j metrics.JobResult) bool { return workload.SizeBin(j.Tasks) == bin }))
+				byBin[bin] = append(byBin[bin], g.byBin[bin])
 			}
 			for l := 2; l <= 8; l++ {
-				l := l
-				byLen[l] = append(byLen[l], metrics.GainWhere(base.Run, hop.Run,
-					func(j metrics.JobResult) bool { return j.DAGLen == l }))
+				byLen[l] = append(byLen[l], g.byLen[l])
 			}
 		}
 		binCols[pc.name] = map[string]float64{"overall": stats.Median(overall)}
@@ -110,15 +132,12 @@ func runFig12(h Harness) *Result {
 func runFig13(h Harness) *Result {
 	res := &Result{ID: "fig13", Title: "Locality allowance k sweep (centralized)"}
 	spec := Prototype200(1.5)
-	for _, pc := range []struct {
-		name  string
-		prof  workload.Profile
-		check float64
-		jobs  int
-	}{
+	ks := []float64{0.0001, 1, 3, 5, 7, 10, 15}
+	for _, pc := range []fig12Profile{
 		{"spark", workload.Sparkify(workload.Facebook()), 0.1, 1500},
 		{"hadoop", workload.Facebook(), 1.0, 500},
 	} {
+		pc := pc
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 13 (%s): gains vs SRPT and data-local fraction", pc.name),
 			Header: []string{"k (%)", "gain (%)", "local tasks (%)"},
@@ -126,19 +145,37 @@ func runFig13(h Harness) *Result {
 		srptKind := Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
 			return scheduler.NewSRPT(eng, exec, scheduler.Config{CheckInterval: pc.check})
 		})
-		for _, k := range []float64{0.0001, 1, 3, 5, 7, 10, 15} {
+
+		// The trace and SRPT baseline depend only on the seed; run them
+		// once per seed instead of once per k.
+		type fig13Base struct {
+			tr   *workload.Trace
+			base RunResult
+		}
+		bases := forSeeds(h, 2700, 29, func(hh Harness, seed int64) fig13Base {
+			tr := GenTrace(pc.prof, hh.jobs(pc.jobs), 0.6, spec, seed)
+			return fig13Base{tr: tr, base: RunTrace(srptKind, spec, CloneJobs(tr.Jobs), seed+1)}
+		})
+
+		type kGain struct{ gain, local float64 }
+		rows := seedMatrix(h, len(ks), 2700, 29, func(hh Harness, ki, s int, seed int64) kGain {
+			k := ks[ki]
+			b := bases[s]
+			hopKind := Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
+				return scheduler.NewHopper(eng, exec, scheduler.Config{CheckInterval: pc.check, LocalityK: k})
+			})
+			hop := RunTrace(hopKind, spec, CloneJobs(b.tr.Jobs), seed+1)
+			return kGain{
+				gain:  metrics.GainBetween(b.base.Run, hop.Run),
+				local: hop.LocalFraction * 100,
+			}
+		})
+
+		for ki, k := range ks {
 			var gains, locals []float64
-			for s := 0; s < h.Seeds; s++ {
-				seed := int64(2700 + 29*s)
-				tr := GenTrace(pc.prof, h.jobs(pc.jobs), 0.6, spec, seed)
-				base := RunTrace(srptKind, spec, CloneJobs(tr.Jobs), seed+1)
-				k := k
-				hopKind := Central(func(eng *simulator.Engine, exec *cluster.Executor) scheduler.Engine {
-					return scheduler.NewHopper(eng, exec, scheduler.Config{CheckInterval: pc.check, LocalityK: k})
-				})
-				hop := RunTrace(hopKind, spec, CloneJobs(tr.Jobs), seed+1)
-				gains = append(gains, metrics.GainBetween(base.Run, hop.Run))
-				locals = append(locals, hop.LocalFraction*100)
+			for _, g := range rows[ki] {
+				gains = append(gains, g.gain)
+				locals = append(locals, g.local)
 			}
 			label := fmt.Sprintf("%.0f", k)
 			if k < 0.5 {

@@ -24,7 +24,23 @@ func init() {
 func runFig3(h Harness) *Result {
 	res := &Result{ID: "fig3", Title: "Completion time vs normalized slots (200-task job)"}
 	const tasks = 200
-	for _, beta := range []float64{1.4, 1.6} {
+	betas := []float64{1.4, 1.6}
+	runs := h.Seeds * 6 // single-job runs are cheap; average more
+	ratiosFor := func(beta float64) []float64 {
+		return []float64{0.6, 0.8, 1.0, 1.2, 2 / beta, 1.6, 1.8, 2.0, 2.5}
+	}
+	nRatios := len(ratiosFor(betas[0]))
+
+	// One cell per (beta, ratio, replication) single-job run.
+	comps := cells(h, len(betas)*nRatios*runs, func(_ Harness, i int) float64 {
+		b, rest := i/(nRatios*runs), i%(nRatios*runs)
+		ri, s := rest/runs, rest%runs
+		beta := betas[b]
+		slots := int(ratiosFor(beta)[ri] * tasks)
+		return singleJobCompletion(tasks, beta, slots, int64(300+s))
+	})
+
+	for bi, beta := range betas {
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 3 (beta=%.1f): knee expected at %.2f", beta, 2/beta),
 			Header: []string{"slots/tasks", "completion (norm)", "marginal gain/slot (ms)"},
@@ -32,14 +48,10 @@ func runFig3(h Harness) *Result {
 		var base float64
 		var prev float64
 		prevSlots := 0
-		for _, ratio := range []float64{0.6, 0.8, 1.0, 1.2, 2 / beta, 1.6, 1.8, 2.0, 2.5} {
+		for ri, ratio := range ratiosFor(beta) {
 			slots := int(ratio * tasks)
-			var comps []float64
-			runs := h.Seeds * 6 // single-job runs are cheap; average more
-			for s := 0; s < runs; s++ {
-				comps = append(comps, singleJobCompletion(tasks, beta, slots, int64(300+s)))
-			}
-			comp := stats.Median(comps)
+			start := (bi*nRatios + ri) * runs
+			comp := stats.Median(comps[start : start+runs])
 			if base == 0 {
 				base = comp
 			}
@@ -81,7 +93,7 @@ func singleJobCompletion(tasks int, beta float64, slots int, seed int64) float64
 		ph.Tasks[i] = &cluster.Task{}
 	}
 	j := cluster.NewJob(1, "fig3", 0, []*cluster.Phase{ph})
-	eng.At(0, func() { sched.Arrive(j) })
+	eng.Post(0, func() { sched.Arrive(j) })
 	eng.Run()
 	if !j.Done() {
 		panic("fig3: job did not finish")
@@ -102,9 +114,14 @@ func runTable1(h Harness) *Result {
 		Header: []string{"strategy", "job A", "job B", "average"},
 	}
 
-	for _, strat := range []string{"best-effort", "budgeted", "hopper"} {
-		a, b := Table1Schedule(strat)
-		tab.AddF(strat, a, b, (a+b)/2)
+	strats := []string{"best-effort", "budgeted", "hopper"}
+	type pair struct{ a, b float64 }
+	times := cells(h, len(strats), func(_ Harness, i int) pair {
+		a, b := Table1Schedule(strats[i])
+		return pair{a, b}
+	})
+	for i, strat := range strats {
+		tab.AddF(strat, times[i].a, times[i].b, (times[i].a+times[i].b)/2)
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notes = append(res.Notes,
@@ -163,8 +180,8 @@ func Table1Schedule(strategy string) (jobA, jobB float64) {
 	default:
 		panic("unknown strategy " + strategy)
 	}
-	eng.At(0, func() { sched.Arrive(A) })
-	eng.At(0, func() { sched.Arrive(B) })
+	eng.Post(0, func() { sched.Arrive(A) })
+	eng.Post(0, func() { sched.Arrive(B) })
 	eng.Run()
 	return A.CompletionTime(), B.CompletionTime()
 }

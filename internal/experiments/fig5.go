@@ -40,6 +40,26 @@ func centralizedRef(spec ClusterSpec, jobs []*cluster.Job, seed int64) float64 {
 	return RunTrace(kind, spec, CloneJobs(jobs), seed).Run.AvgCompletion()
 }
 
+// fig5Ref is one (utilization, seed) cell's shared inputs: the trace and
+// the centralized reference duration every sweep point divides by.
+type fig5Ref struct {
+	tr  *workload.Trace
+	ref float64
+}
+
+// fig5Refs generates the per-(util, seed) traces and centralized
+// references once, instead of once per sweep point as the serial driver
+// used to; every sweep cell then reads the shared, immutable trace.
+func fig5Refs(h Harness, utils []float64, base, stride int64) [][]fig5Ref {
+	spec, _ := fig5Spec(h)
+	prof := workload.Sparkify(workload.Facebook())
+	prof.JobSizeCap = 400 // single-slot workers: keep jobs below cluster size
+	return seedMatrix(h, len(utils), base, stride, func(hh Harness, u, _ int, seed int64) fig5Ref {
+		tr := GenTrace(prof, hh.jobs(1500), utils[u], spec, seed)
+		return fig5Ref{tr: tr, ref: centralizedRef(spec, tr.Jobs, seed+1)}
+	})
+}
+
 // runFig5a reproduces Figure 5a: the ratio of decentralized job duration
 // to the centralized scheduler, as the probe count d grows, for Hopper
 // and Sparrow. Expected shape: Hopper approaches the centralized line
@@ -48,30 +68,41 @@ func centralizedRef(spec ClusterSpec, jobs []*cluster.Job, seed int64) float64 {
 func runFig5a(h Harness) *Result {
 	res := &Result{ID: "fig5a", Title: "Probe count d vs duration ratio over centralized"}
 	spec, nSched := fig5Spec(h)
-	prof := workload.Sparkify(workload.Facebook())
-	prof.JobSizeCap = 400 // single-slot workers: keep jobs below cluster size
+	utils := []float64{0.7, 0.9}
+	ds := []float64{2, 3, 4, 6, 8}
+	refs := fig5Refs(h, utils, 500, 31)
 
-	for _, util := range []float64{0.7, 0.9} {
+	type ratios struct{ hop, spw float64 }
+	rows := seedMatrix(h, len(utils)*len(ds), 500, 31, func(hh Harness, c, s int, seed int64) ratios {
+		u, di := c/len(ds), c%len(ds)
+		rf := refs[u][s]
+		runs := pairedRuns(hh, spec, rf.tr.Jobs, seed+1,
+			decentralKind(decentral.Config{
+				Mode: decentral.ModeHopper, NumSchedulers: nSched,
+				ProbeRatio: ds[di], CheckInterval: 0.1,
+			}),
+			decentralKind(decentral.Config{
+				Mode: decentral.ModeSparrow, NumSchedulers: nSched,
+				ProbeRatio: ds[di], CheckInterval: 0.1,
+			}),
+		)
+		return ratios{
+			hop: runs[0].Run.AvgCompletion() / rf.ref,
+			spw: runs[1].Run.AvgCompletion() / rf.ref,
+		}
+	})
+
+	for ui, util := range utils {
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 5a (util=%.0f%%): job duration ratio vs centralized", util*100),
 			Header: []string{"d", "Hopper-D", "Sparrow"},
 		}
-		for _, d := range []float64{2, 3, 4, 6, 8} {
+		for di, d := range ds {
+			perSeed := rows[ui*len(ds)+di]
 			var rH, rS []float64
-			for s := 0; s < h.Seeds; s++ {
-				seed := int64(500 + 31*s)
-				tr := GenTrace(prof, h.jobs(1500), util, spec, seed)
-				ref := centralizedRef(spec, tr.Jobs, seed+1)
-				hop := RunTrace(decentralKind(decentral.Config{
-					Mode: decentral.ModeHopper, NumSchedulers: nSched,
-					ProbeRatio: d, CheckInterval: 0.1,
-				}), spec, CloneJobs(tr.Jobs), seed+1)
-				spw := RunTrace(decentralKind(decentral.Config{
-					Mode: decentral.ModeSparrow, NumSchedulers: nSched,
-					ProbeRatio: d, CheckInterval: 0.1,
-				}), spec, CloneJobs(tr.Jobs), seed+1)
-				rH = append(rH, hop.Run.AvgCompletion()/ref)
-				rS = append(rS, spw.Run.AvgCompletion()/ref)
+			for _, r := range perSeed {
+				rH = append(rH, r.hop)
+				rS = append(rS, r.spw)
 			}
 			tab.AddF(fmt.Sprintf("%.0f", d),
 				fmt.Sprintf("%.2f", stats.Median(rH)),
@@ -90,27 +121,27 @@ func runFig5a(h Harness) *Result {
 func runFig5b(h Harness) *Result {
 	res := &Result{ID: "fig5b", Title: "Refusal threshold vs duration ratio over centralized"}
 	spec, nSched := fig5Spec(h)
-	prof := workload.Sparkify(workload.Facebook())
-	prof.JobSizeCap = 400
+	utils := []float64{0.7, 0.9}
+	rts := []int{1, 2, 3, 5, 8}
+	refs := fig5Refs(h, utils, 700, 37)
 
-	for _, util := range []float64{0.7, 0.9} {
+	rows := seedMatrix(h, len(utils)*len(rts), 700, 37, func(hh Harness, c, s int, seed int64) float64 {
+		u, ri := c/len(rts), c%len(rts)
+		rf := refs[u][s]
+		hop := RunTrace(decentralKind(decentral.Config{
+			Mode: decentral.ModeHopper, NumSchedulers: nSched,
+			RefusalThreshold: rts[ri], CheckInterval: 0.1,
+		}), spec, CloneJobs(rf.tr.Jobs), seed+1)
+		return hop.Run.AvgCompletion() / rf.ref
+	})
+
+	for ui, util := range utils {
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 5b (util=%.0f%%)", util*100),
 			Header: []string{"refusals", "Hopper-D vs centralized"},
 		}
-		for _, rt := range []int{1, 2, 3, 5, 8} {
-			var rr []float64
-			for s := 0; s < h.Seeds; s++ {
-				seed := int64(700 + 37*s)
-				tr := GenTrace(prof, h.jobs(1500), util, spec, seed)
-				ref := centralizedRef(spec, tr.Jobs, seed+1)
-				hop := RunTrace(decentralKind(decentral.Config{
-					Mode: decentral.ModeHopper, NumSchedulers: nSched,
-					RefusalThreshold: rt, CheckInterval: 0.1,
-				}), spec, CloneJobs(tr.Jobs), seed+1)
-				rr = append(rr, hop.Run.AvgCompletion()/ref)
-			}
-			tab.AddF(fmt.Sprintf("%d", rt), fmt.Sprintf("%.2f", stats.Median(rr)))
+		for ri, rt := range rts {
+			tab.AddF(fmt.Sprintf("%d", rt), fmt.Sprintf("%.2f", stats.Median(rows[ui*len(rts)+ri])))
 		}
 		res.Tables = append(res.Tables, tab)
 	}
@@ -130,27 +161,36 @@ func runFig11(h Harness) *Result {
 		Title:  "Figure 11: reduction (%) in avg job duration vs Sparrow-SRPT",
 		Header: []string{"probe ratio", "util 60%", "util 80%", "util 90%"},
 	}
+	utils := []float64{0.6, 0.8, 0.9}
 	ratios := []float64{2, 2.5, 3, 4, 5}
-	cols := map[float64][]string{}
-	for _, util := range []float64{0.6, 0.8, 0.9} {
-		for _, d := range ratios {
-			var gains []float64
-			for s := 0; s < h.Seeds; s++ {
-				seed := int64(1100 + 41*s)
-				tr := GenTrace(prof, h.jobs(1200), util, spec, seed)
-				base := RunTrace(decentralKind(decentral.Config{
-					Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1,
-				}), spec, CloneJobs(tr.Jobs), seed+1)
-				hop := RunTrace(decentralKind(decentral.Config{
-					Mode: decentral.ModeHopper, ProbeRatio: d, CheckInterval: 0.1,
-				}), spec, CloneJobs(tr.Jobs), seed+1)
-				gains = append(gains, metrics.GainBetween(base.Run, hop.Run))
-			}
-			cols[d] = append(cols[d], fmt.Sprintf("%.1f", stats.Median(gains)))
-		}
+
+	// The Sparrow-SRPT baseline depends only on (util, seed); run it once
+	// per cell instead of once per probe ratio.
+	type fig11Base struct {
+		tr   *workload.Trace
+		base RunResult
 	}
-	for _, d := range ratios {
-		row := append([]string{fmt.Sprintf("%.1f", d)}, cols[d]...)
+	bases := seedMatrix(h, len(utils), 1100, 41, func(hh Harness, u, _ int, seed int64) fig11Base {
+		tr := GenTrace(prof, hh.jobs(1200), utils[u], spec, seed)
+		return fig11Base{tr: tr, base: RunTrace(decentralKind(decentral.Config{
+			Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1,
+		}), spec, CloneJobs(tr.Jobs), seed+1)}
+	})
+
+	rows := seedMatrix(h, len(utils)*len(ratios), 1100, 41, func(hh Harness, c, s int, seed int64) float64 {
+		u, di := c/len(ratios), c%len(ratios)
+		b := bases[u][s]
+		hop := RunTrace(decentralKind(decentral.Config{
+			Mode: decentral.ModeHopper, ProbeRatio: ratios[di], CheckInterval: 0.1,
+		}), spec, CloneJobs(b.tr.Jobs), seed+1)
+		return metrics.GainBetween(b.base.Run, hop.Run)
+	})
+
+	for di, d := range ratios {
+		row := []string{fmt.Sprintf("%.1f", d)}
+		for ui := range utils {
+			row = append(row, fmt.Sprintf("%.1f", stats.Median(rows[ui*len(ratios)+di])))
+		}
 		tab.Add(row...)
 	}
 	res.Tables = append(res.Tables, tab)

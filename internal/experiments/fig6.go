@@ -23,28 +23,45 @@ func runFig6(h Harness) *Result {
 	utils := []float64{0.60, 0.70, 0.80, 0.90}
 	spec := Prototype200(1.5)
 
-	for _, profName := range []string{"facebook", "bing"} {
-		prof := workload.Sparkify(profileByName(profName))
+	profs := []string{"facebook", "bing"}
+	type cfg struct {
+		prof string
+		util float64
+	}
+	var cfgs []cfg
+	for _, p := range profs {
+		for _, u := range utils {
+			cfgs = append(cfgs, cfg{p, u})
+		}
+	}
+	type gains struct{ sparrow, srpt float64 }
+	rows := seedMatrix(h, len(cfgs), 9000, 311, func(hh Harness, c, _ int, seed int64) gains {
+		prof := workload.Sparkify(profileByName(cfgs[c].prof))
+		tr := GenTrace(prof, hh.jobs(1200), cfgs[c].util, spec, seed)
+		runs := pairedRuns(hh, spec, tr.Jobs, seed+1,
+			decentralKind(decentral.Config{Mode: decentral.ModeSparrow, CheckInterval: 0.1}),
+			decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
+			decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
+		)
+		hh.logf("fig6 %s util=%.0f%% seed=%d: sparrow=%.1fs srpt=%.1fs hopper=%.1fs",
+			cfgs[c].prof, cfgs[c].util*100, seed,
+			runs[0].Run.AvgCompletion(), runs[1].Run.AvgCompletion(), runs[2].Run.AvgCompletion())
+		return gains{
+			sparrow: metrics.GainBetween(runs[0].Run, runs[2].Run),
+			srpt:    metrics.GainBetween(runs[1].Run, runs[2].Run),
+		}
+	})
+	for pi, profName := range profs {
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 6 (%s): reduction (%%) in avg job duration", profName),
 			Header: []string{"util", "vs Sparrow", "vs Sparrow-SRPT"},
 		}
-		for _, util := range utils {
-			numJobs := h.jobs(1200)
+		for ui, util := range utils {
+			perSeed := rows[pi*len(utils)+ui]
 			var gSparrow, gSRPT []float64
-			for s := 0; s < h.Seeds; s++ {
-				seed := int64(9000 + 311*s)
-				tr := GenTrace(prof, numJobs, util, spec, seed)
-				runs := pairedRuns(spec, tr.Jobs, seed+1,
-					decentralKind(decentral.Config{Mode: decentral.ModeSparrow, CheckInterval: 0.1}),
-					decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
-					decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
-				)
-				gSparrow = append(gSparrow, metrics.GainBetween(runs[0].Run, runs[2].Run))
-				gSRPT = append(gSRPT, metrics.GainBetween(runs[1].Run, runs[2].Run))
-				h.logf("fig6 %s util=%.0f%% seed=%d: sparrow=%.1fs srpt=%.1fs hopper=%.1fs",
-					profName, util*100, seed,
-					runs[0].Run.AvgCompletion(), runs[1].Run.AvgCompletion(), runs[2].Run.AvgCompletion())
+			for _, g := range perSeed {
+				gSparrow = append(gSparrow, g.sparrow)
+				gSRPT = append(gSRPT, g.srpt)
 			}
 			tab.AddF(fmt.Sprintf("%.0f%%", util*100), stats.Median(gSparrow), stats.Median(gSRPT))
 		}

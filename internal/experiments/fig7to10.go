@@ -18,11 +18,31 @@ func init() {
 	register("fig10", "Fairness knob epsilon: sensitivity and slowdowns", runFig10)
 }
 
-// decentralPair runs Sparrow-SRPT and Hopper-D on the same trace.
-func decentralPair(spec ClusterSpec, jobs []*clusterJobList, seed int64) {}
+// srptVsHopperGains replays one trace under Sparrow-SRPT and Hopper-D and
+// returns the overall gain plus the per-bin breakdown — the common cell
+// body of Figures 7 and 9.
+type binGains struct {
+	overall float64
+	byBin   map[string]float64
+}
 
-// clusterJobList is unused; kept for symmetry (see pairedRuns).
-type clusterJobList struct{}
+func srptVsHopperGains(hh Harness, spec ClusterSpec, tr *workload.Trace, seed int64, sc speculation.Config) binGains {
+	runs := pairedRuns(hh, spec, tr.Jobs, seed,
+		decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, Spec: sc, CheckInterval: 0.1}),
+		decentralKind(decentral.Config{Mode: decentral.ModeHopper, Spec: sc, CheckInterval: 0.1}),
+	)
+	g := binGains{
+		overall: metrics.GainBetween(runs[0].Run, runs[1].Run),
+		byBin:   map[string]float64{},
+	}
+	for _, bin := range workload.SizeBins() {
+		bin := bin
+		g.byBin[bin] = metrics.GainWhere(runs[0].Run, runs[1].Run, func(j metrics.JobResult) bool {
+			return workload.SizeBin(j.Tasks) == bin
+		})
+	}
+	return g
+}
 
 // runFig7 reproduces Figure 7: gains over Sparrow-SRPT broken down by the
 // paper's job-size bins. Expected shape: small jobs gain least (the SRPT
@@ -31,33 +51,30 @@ type clusterJobList struct{}
 func runFig7(h Harness) *Result {
 	res := &Result{ID: "fig7", Title: "Gains by job bin (decentralized, util 60%)"}
 	spec := Prototype200(1.5)
-	for _, profName := range []string{"facebook", "bing"} {
-		prof := workload.Sparkify(profileByName(profName))
+	profs := []string{"facebook", "bing"}
+
+	rows := seedMatrix(h, len(profs), 1700, 13, func(hh Harness, p, _ int, seed int64) binGains {
+		prof := workload.Sparkify(profileByName(profs[p]))
+		tr := GenTrace(prof, hh.jobs(1500), 0.6, spec, seed)
+		return srptVsHopperGains(hh, spec, tr, seed+1, speculation.Config{})
+	})
+
+	for pi, profName := range profs {
 		tab := &metrics.Table{
 			Title:  fmt.Sprintf("Figure 7 (%s): reduction (%%) vs Sparrow-SRPT by job size", profName),
 			Header: append([]string{"bin"}, "gain"),
 		}
-		gains := map[string][]float64{}
-		overall := []float64{}
-		for s := 0; s < h.Seeds; s++ {
-			seed := int64(1700 + 13*s)
-			tr := GenTrace(prof, h.jobs(1500), 0.6, spec, seed)
-			runs := pairedRuns(spec, tr.Jobs, seed+1,
-				decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
-				decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
-			)
-			overall = append(overall, metrics.GainBetween(runs[0].Run, runs[1].Run))
+		var overall []float64
+		byBin := map[string][]float64{}
+		for _, g := range rows[pi] {
+			overall = append(overall, g.overall)
 			for _, bin := range workload.SizeBins() {
-				bin := bin
-				g := metrics.GainWhere(runs[0].Run, runs[1].Run, func(j metrics.JobResult) bool {
-					return workload.SizeBin(j.Tasks) == bin
-				})
-				gains[bin] = append(gains[bin], g)
+				byBin[bin] = append(byBin[bin], g.byBin[bin])
 			}
 		}
 		tab.AddF("overall", stats.Median(overall))
 		for _, bin := range workload.SizeBins() {
-			tab.AddF(bin, stats.Median(gains[bin]))
+			tab.AddF(bin, stats.Median(byBin[bin]))
 		}
 		res.Tables = append(res.Tables, tab)
 	}
@@ -75,7 +92,7 @@ func runFig8a(h Harness) *Result {
 	prof := workload.Sparkify(workload.Facebook())
 	seed := int64(1800)
 	tr := GenTrace(prof, h.jobs(2000), 0.6, spec, seed)
-	runs := pairedRuns(spec, tr.Jobs, seed+1,
+	runs := pairedRuns(h, spec, tr.Jobs, seed+1,
 		decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
 		decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
 	)
@@ -108,24 +125,29 @@ func runFig8b(h Harness) *Result {
 		Title:  "Figure 8b: reduction (%) vs Sparrow-SRPT by DAG length",
 		Header: []string{"phases", "gain"},
 	}
-	byLen := map[int][]float64{}
-	for s := 0; s < h.Seeds; s++ {
-		seed := int64(1900 + 17*s)
-		tr := GenTrace(prof, h.jobs(1500), 0.6, spec, seed)
-		runs := pairedRuns(spec, tr.Jobs, seed+1,
+
+	perSeed := forSeeds(h, 1900, 17, func(hh Harness, seed int64) map[int]float64 {
+		tr := GenTrace(prof, hh.jobs(1500), 0.6, spec, seed)
+		runs := pairedRuns(hh, spec, tr.Jobs, seed+1,
 			decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
 			decentralKind(decentral.Config{Mode: decentral.ModeHopper, CheckInterval: 0.1}),
 		)
+		byLen := map[int]float64{}
 		for l := 1; l <= 8; l++ {
 			l := l
-			g := metrics.GainWhere(runs[0].Run, runs[1].Run, func(j metrics.JobResult) bool {
+			byLen[l] = metrics.GainWhere(runs[0].Run, runs[1].Run, func(j metrics.JobResult) bool {
 				return j.DAGLen == l
 			})
-			byLen[l] = append(byLen[l], g)
 		}
-	}
+		return byLen
+	})
+
 	for l := 1; l <= 8; l++ {
-		tab.AddF(fmt.Sprintf("%d", l), stats.Median(byLen[l]))
+		var g []float64
+		for _, m := range perSeed {
+			g = append(g, m[l])
+		}
+		tab.AddF(fmt.Sprintf("%d", l), stats.Median(g))
 	}
 	res.Tables = append(res.Tables, tab)
 	res.Notes = append(res.Notes, "paper: gains hold across DAG lengths")
@@ -144,24 +166,22 @@ func runFig9(h Harness) *Result {
 		Title:  "Figure 9: reduction (%) vs Sparrow-SRPT with the same policy",
 		Header: []string{"bin", "LATE", "Mantri", "GRASS"},
 	}
+	pols := []string{"LATE", "Mantri", "GRASS"}
+
+	rows := seedMatrix(h, len(pols), 2100, 19, func(hh Harness, p, _ int, seed int64) binGains {
+		tr := GenTrace(prof, hh.jobs(1200), 0.6, spec, seed)
+		sc := speculation.Config{Policy: speculation.ByName(pols[p])}
+		return srptVsHopperGains(hh, spec, tr, seed+1, sc)
+	})
+
 	cols := map[string]map[string]float64{}
-	for _, polName := range []string{"LATE", "Mantri", "GRASS"} {
-		pol := speculation.ByName(polName)
+	for pi, polName := range pols {
 		var overall []float64
 		byBin := map[string][]float64{}
-		for s := 0; s < h.Seeds; s++ {
-			seed := int64(2100 + 19*s)
-			tr := GenTrace(prof, h.jobs(1200), 0.6, spec, seed)
-			sc := speculation.Config{Policy: pol}
-			runs := pairedRuns(spec, tr.Jobs, seed+1,
-				decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, Spec: sc, CheckInterval: 0.1}),
-				decentralKind(decentral.Config{Mode: decentral.ModeHopper, Spec: sc, CheckInterval: 0.1}),
-			)
-			overall = append(overall, metrics.GainBetween(runs[0].Run, runs[1].Run))
+		for _, g := range rows[pi] {
+			overall = append(overall, g.overall)
 			for _, bin := range workload.SizeBins() {
-				bin := bin
-				byBin[bin] = append(byBin[bin], metrics.GainWhere(runs[0].Run, runs[1].Run,
-					func(j metrics.JobResult) bool { return workload.SizeBin(j.Tasks) == bin }))
+				byBin[bin] = append(byBin[bin], g.byBin[bin])
 			}
 		}
 		cols[polName] = map[string]float64{"overall": stats.Median(overall)}
@@ -169,8 +189,7 @@ func runFig9(h Harness) *Result {
 			cols[polName][bin] = stats.Median(byBin[bin])
 		}
 	}
-	rows := append([]string{"overall"}, workload.SizeBins()...)
-	for _, r := range rows {
+	for _, r := range append([]string{"overall"}, workload.SizeBins()...) {
 		tab.AddF(r, cols["LATE"][r], cols["Mantri"][r], cols["GRASS"][r])
 	}
 	res.Tables = append(res.Tables, tab)
@@ -193,17 +212,25 @@ func runFig10(h Harness) *Result {
 	}
 	seed := int64(2300)
 	tr := GenTrace(prof, h.jobs(1500), 0.7, spec, seed)
-	baseSRPT := RunTrace(decentralKind(decentral.Config{
-		Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1,
-	}), spec, CloneJobs(tr.Jobs), seed+1)
-	fair := RunTrace(decentralKind(decentral.Config{
-		Mode: decentral.ModeHopper, Epsilon: 1e-9, CheckInterval: 0.1,
-	}), spec, CloneJobs(tr.Jobs), seed+1)
+	epss := []float64{1e-9, 0.05, 0.10, 0.15, 0.20, 0.30}
 
-	for _, eps := range []float64{1e-9, 0.05, 0.10, 0.15, 0.20, 0.30} {
-		hop := RunTrace(decentralKind(decentral.Config{
+	// One cell per run: the Sparrow-SRPT baseline, the perfectly fair
+	// allocation, then one Hopper run per epsilon — all on clones of the
+	// same trace.
+	kinds := []SchedulerKind{
+		decentralKind(decentral.Config{Mode: decentral.ModeSparrowSRPT, CheckInterval: 0.1}),
+		decentralKind(decentral.Config{Mode: decentral.ModeHopper, Epsilon: 1e-9, CheckInterval: 0.1}),
+	}
+	for _, eps := range epss {
+		kinds = append(kinds, decentralKind(decentral.Config{
 			Mode: decentral.ModeHopper, Epsilon: eps, CheckInterval: 0.1,
-		}), spec, CloneJobs(tr.Jobs), seed+1)
+		}))
+	}
+	runs := pairedRuns(h, spec, tr.Jobs, seed+1, kinds...)
+	baseSRPT, fair := runs[0], runs[1]
+
+	for i, eps := range epss {
+		hop := runs[2+i]
 		gain := metrics.GainBetween(baseSRPT.Run, hop.Run)
 		sd := metrics.Slowdowns(metrics.PerJobGains(fair.Run, hop.Run))
 		tab.AddF(fmt.Sprintf("%.0f%%", eps*100), gain,

@@ -39,6 +39,7 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 	for _, e := range Registry {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
 			res := e.Run(h)
 			if res.ID != e.ID {
 				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)

@@ -6,7 +6,11 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/decentral"
@@ -15,6 +19,155 @@ import (
 	"github.com/hopper-sim/hopper/internal/simulator"
 	"github.com/hopper-sim/hopper/internal/workload"
 )
+
+// --- parallel cell runner --------------------------------------------
+//
+// Every experiment decomposes into independent cells — one (configuration
+// × seed) simulation each. Cells share nothing mutable: each owns a
+// private engine, RNG, cluster, and trace, all derived from the cell's
+// seed. The runner fans cells out to a bounded worker pool and merges
+// results (and buffered log lines) in canonical cell order, so parallel
+// output is byte-identical to Workers=1. See DESIGN.md for the contract.
+
+// workerPool is a token bucket bounding helper goroutines across nested
+// cells calls. Callers always execute cells inline as well, so a nested
+// fan-out that finds the pool empty degrades to serial instead of
+// deadlocking.
+type workerPool struct{ tokens chan struct{} }
+
+func newWorkerPool(helpers int) *workerPool {
+	return &workerPool{tokens: make(chan struct{}, helpers)}
+}
+
+func (p *workerPool) tryAcquire() bool {
+	select {
+	case p.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *workerPool) release() { <-p.tokens }
+
+// workers resolves the effective parallelism bound.
+func (h Harness) workers() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cells runs f once per cell index on the harness worker pool and returns
+// the results in cell order. Each cell receives a harness whose Log is a
+// private buffer; buffers are flushed to h.Log in cell order afterwards,
+// keeping parallel log output identical to serial.
+func cells[T any](h Harness, n int, f func(h Harness, i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	var bufs []bytes.Buffer
+	var done []bool
+	var flushMu sync.Mutex
+	nextFlush := 0
+	if h.Log != nil {
+		bufs = make([]bytes.Buffer, n)
+		done = make([]bool, n)
+	}
+	if h.pl == nil {
+		h.pl = newWorkerPool(h.workers() - 1)
+	}
+	runCell := func(i int) {
+		hh := h
+		if bufs != nil {
+			hh.Log = &bufs[i]
+		}
+		out[i] = f(hh, i)
+		if bufs != nil {
+			// Stream each cell's log as soon as the canonical prefix is
+			// complete: serial runs flush every cell immediately, parallel
+			// runs flush in cell order as completions allow, and a panic
+			// mid-run loses only the unfinished suffix.
+			flushMu.Lock()
+			done[i] = true
+			for nextFlush < n && done[nextFlush] {
+				if bufs[nextFlush].Len() > 0 {
+					h.Log.Write(bufs[nextFlush].Bytes())
+				}
+				nextFlush++
+			}
+			flushMu.Unlock()
+		}
+	}
+
+	if h.workers() <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			runCell(i)
+		}
+	} else {
+		var next atomic.Int64
+		work := func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runCell(i)
+			}
+		}
+		var wg sync.WaitGroup
+		for spawned := 0; spawned < n-1 && h.pl.tryAcquire(); spawned++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer h.pl.release()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
+	return out
+}
+
+// seedMatrix runs f for every (config, seed) cell — the canonical
+// experiment shape — and returns results grouped by config with seeds in
+// order. Seed s is base + stride*s, preserving each experiment's
+// historical seed sequence. Cell order is (config-major, seed-minor),
+// matching the serial loops the drivers replaced.
+func seedMatrix[T any](h Harness, nCfg int, base, stride int64, f func(h Harness, cfg, s int, seed int64) T) [][]T {
+	if h.Seeds <= 0 {
+		panic("experiments: Harness.Seeds must be positive")
+	}
+	flat := cells(h, nCfg*h.Seeds, func(hh Harness, i int) T {
+		s := i % h.Seeds
+		return f(hh, i/h.Seeds, s, base+stride*int64(s))
+	})
+	out := make([][]T, nCfg)
+	for c := range out {
+		out[c] = flat[c*h.Seeds : (c+1)*h.Seeds]
+	}
+	return out
+}
+
+// forSeeds runs f once per seed in parallel and returns results in seed
+// order.
+func forSeeds[T any](h Harness, base, stride int64, f func(h Harness, seed int64) T) []T {
+	return seedMatrix(h, 1, base, stride, func(hh Harness, _, _ int, seed int64) T {
+		return f(hh, seed)
+	})[0]
+}
+
+// RunExperiments executes the given experiments, fanning their cells out
+// to one shared worker pool, and returns results in input order. Cell
+// parallelism inside each experiment does the heavy lifting; experiments
+// themselves start in order but overlap once workers free up.
+func RunExperiments(h Harness, exps []Experiment) []*Result {
+	return cells(h, len(exps), func(hh Harness, i int) *Result {
+		return exps[i].Run(hh)
+	})
+}
 
 // Arriver is the common contract of centralized engines and the
 // decentralized system.
@@ -98,13 +251,13 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 
 	for _, j := range jobs {
 		job := j
-		eng.At(job.Arrival, func() { arr.Arrive(job) })
+		eng.Post(job.Arrival, func() { arr.Arrive(job) })
 	}
 	eng.Run()
 
 	if got, want := len(arr.Completed()), len(jobs); got != want {
-		panic(fmt.Sprintf("experiments: %s finished %d of %d jobs — scheduler livelock or protocol bug",
-			arr.Name(), got, want))
+		panic(fmt.Sprintf("experiments: %s finished %d of %d jobs — scheduler livelock or protocol bug (pending=%d fired=%d now=%v)",
+			arr.Name(), got, want, eng.Pending(), eng.Fired, eng.Now()))
 	}
 	res := RunResult{
 		Run:     metrics.Run{Scheduler: arr.Name(), Jobs: metrics.Collect(arr.Completed())},

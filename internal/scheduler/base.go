@@ -222,7 +222,7 @@ func (b *Base) requestDispatch() {
 		return
 	}
 	b.dispatchPending = true
-	b.Eng.After(b.dispatchDelay, func() {
+	b.Eng.PostAfter(b.dispatchDelay, func() {
 		b.dispatchPending = false
 		b.dispatch()
 	})
@@ -259,9 +259,9 @@ func (b *Base) ensureTicker() {
 			return
 		}
 		b.scanAll()
-		b.Eng.After(b.Cfg.CheckInterval, tick)
+		b.Eng.PostAfter(b.Cfg.CheckInterval, tick)
 	}
-	b.Eng.After(b.Cfg.CheckInterval, tick)
+	b.Eng.PostAfter(b.Cfg.CheckInterval, tick)
 }
 
 // scanAll runs the speculation policy over every active job and

@@ -65,9 +65,9 @@ func (h *HopperEngine) ensureRefresher() {
 		}
 		h.refresh()
 		h.dispatch()
-		h.Eng.After(h.refreshPeriod(), tick)
+		h.Eng.PostAfter(h.refreshPeriod(), tick)
 	}
-	h.Eng.After(h.refreshPeriod(), tick)
+	h.Eng.PostAfter(h.refreshPeriod(), tick)
 }
 
 // refresh recomputes the guideline allocation for the current active set.

@@ -122,8 +122,11 @@ func TestBudgetedReservesSpecPool(t *testing.T) {
 
 func TestFairSharesAcrossJobs(t *testing.T) {
 	// Two identical jobs arriving together should finish at roughly the
-	// same time under Fair.
+	// same time under Fair. Constant durations isolate the allocation
+	// decision: with speculation off, a single heavy-tailed straggler
+	// would otherwise dominate either job's completion time.
 	eng, exec := mkSetup(4, 2, 11)
+	exec.DurationOverride = func(*cluster.Task, bool) float64 { return 1 }
 	sched := NewFair(eng, exec, Config{CheckInterval: 0.5, DisableSpec: true})
 	a := mkJob(1, 16, 1.0, 0)
 	b := mkJob(2, 16, 1.0, 0)

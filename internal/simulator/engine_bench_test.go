@@ -1,0 +1,100 @@
+package simulator
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// churn drives a simulation shaped like the scheduler workloads: n
+// initial events, each firing schedules a follow-up a short (Pareto-ish)
+// delay ahead, until total events have fired. This keeps a dense
+// near-future population — the regime the calendar queue targets.
+func churn(e *Engine, n, total int) {
+	rng := rand.New(rand.NewSource(7))
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired+e.Pending() < total {
+			e.PostAfter(0.01+rng.Float64(), tick)
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.PostAfter(rng.Float64(), tick)
+	}
+	e.Run()
+}
+
+// BenchmarkEngineChurnCalendar measures the two-level calendar fast path.
+func BenchmarkEngineChurnCalendar(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		churn(New(1), 4000, 200000)
+	}
+}
+
+// BenchmarkEngineChurnHeapOnly is the same workload pinned to the plain
+// binary heap — the pre-fast-path baseline structure.
+func BenchmarkEngineChurnHeapOnly(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		e.heapOnly = true
+		churn(e, 4000, 200000)
+	}
+}
+
+// BenchmarkEnginePost measures zero-handle scheduling throughput.
+func BenchmarkEnginePost(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(Time(i%1000), fn)
+		if e.Pending() >= 8192 {
+			b.StopTimer()
+			e.Drain()
+			e.now = 0
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEngineAt measures handle-returning scheduling (one small
+// allocation per event, for cancellation).
+func BenchmarkEngineAt(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i%1000), fn)
+		if e.Pending() >= 8192 {
+			b.StopTimer()
+			e.Drain()
+			e.now = 0
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkEngineMixedCancel exercises the At+Cancel pattern the executor
+// uses for speculative-copy kills: half the scheduled events are canceled
+// before they fire.
+func BenchmarkEngineMixedCancel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New(1)
+		var last *Event
+		for k := 0; k < 50000; k++ {
+			ev := e.At(Time(k)*0.01, func() {})
+			if k%2 == 0 {
+				last = ev
+			} else {
+				last.Cancel()
+			}
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,111 @@
+package simulator
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// runDiffWorkload drives a self-scheduling workload whose randomness is
+// drawn at schedule time from a stream keyed by event id, so the schedule
+// is identical regardless of queue implementation. The delay mix spans
+// four orders of magnitude to push the engine through calibration, width
+// resizes, and ring regrowth — the paths where calendar and heap could
+// diverge.
+func runDiffWorkload(heapOnly bool, seed int64, n, depth int) (times []Time, ids []int64) {
+	e := New(1)
+	e.heapOnly = heapOnly
+	var sched func(id int64, depth int)
+	sched = func(id int64, depth int) {
+		rng := rand.New(rand.NewSource(seed ^ id))
+		var d Time
+		switch rng.Intn(5) {
+		case 0:
+			d = 0
+		case 1:
+			d = rng.Float64() * 0.001
+		case 2:
+			d = rng.Float64() * 0.01
+		case 3:
+			d = rng.Float64()
+		case 4:
+			d = rng.Float64() * 100
+		}
+		kids := rng.Intn(3)
+		cancelKid := rng.Intn(4) == 0
+		e.After(d, func() {
+			times = append(times, e.Now())
+			ids = append(ids, id)
+			if depth > 0 {
+				for k := 0; k < kids; k++ {
+					sched(id*7+int64(k)+1, depth-1)
+				}
+				if cancelKid {
+					// Cancelled handles must be skipped identically in
+					// both implementations.
+					ev := e.After(rng.Float64(), func() { panic("canceled event fired") })
+					ev.Cancel()
+				}
+			}
+		})
+	}
+	for i := 0; i < n; i++ {
+		sched(int64(i+1)*1000003, depth)
+	}
+	e.Run()
+	return times, ids
+}
+
+// TestCalendarMatchesHeapOrder asserts the two-level calendar queue fires
+// the exact same event sequence — times and FIFO tie-breaks — as the
+// plain binary heap, across many randomized workloads.
+func TestCalendarMatchesHeapOrder(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		ta, ia := runDiffWorkload(true, seed, 300, 6)
+		tb, ib := runDiffWorkload(false, seed, 300, 6)
+		if !sort.Float64sAreSorted(tb) {
+			t.Fatalf("seed %d: calendar fired out of time order", seed)
+		}
+		if len(ia) != len(ib) {
+			t.Fatalf("seed %d: fired %d (heap) vs %d (calendar)", seed, len(ia), len(ib))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] || ia[i] != ib[i] {
+				t.Fatalf("seed %d: divergence at event %d: (t=%v id=%d) vs (t=%v id=%d)",
+					seed, i, ta[i], ia[i], tb[i], ib[i])
+			}
+		}
+	}
+}
+
+// TestCalendarResizeKeepsEvents drives a workload dense enough to force
+// occupancy resizes with ring regrowth and asserts no event is lost.
+func TestCalendarResizeKeepsEvents(t *testing.T) {
+	e := New(1)
+	rng := rand.New(rand.NewSource(5))
+	fired := 0
+	total := 30000
+	scheduled := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if scheduled < total {
+			scheduled++
+			e.PostAfter(0.001+rng.Float64()*50, tick)
+		}
+	}
+	for i := 0; i < 2000 && scheduled < total; i++ {
+		scheduled++
+		e.PostAfter(rng.Float64()*50, tick)
+	}
+	e.Run()
+	if fired != scheduled {
+		t.Fatalf("fired %d of %d events; %d stuck (pending=%d)", fired, scheduled, scheduled-fired, e.Pending())
+	}
+	if e.resizes == 0 {
+		t.Fatal("workload did not exercise the resize path")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending=%d after Run", e.Pending())
+	}
+}

@@ -54,10 +54,16 @@ func (p Pareto) Median() float64 {
 	return p.Xm * math.Pow(2, 1/p.Alpha)
 }
 
-// Quantile returns the q-th quantile for q in [0, 1).
+// Quantile returns the q-th quantile for q in [0, 1]. q=0 is the scale
+// Xm (the distribution minimum); q=1 returns +Inf, the supremum of a
+// heavy-tailed support — callers sweeping a CDF grid get the
+// mathematically consistent answer instead of a panic.
 func (p Pareto) Quantile(q float64) float64 {
-	if q < 0 || q >= 1 {
-		panic(fmt.Sprintf("stats: Pareto quantile %v out of [0,1)", q))
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Pareto quantile %v out of [0,1]", q))
+	}
+	if q == 1 {
+		return math.Inf(1)
 	}
 	return p.Xm / math.Pow(1-q, 1/p.Alpha)
 }
@@ -80,6 +86,35 @@ func SampleMean(rng *rand.Rand, mean, alpha float64) float64 {
 	}
 	xm := mean * (alpha - 1) / alpha
 	return NewPareto(xm, alpha).Sample(rng)
+}
+
+// SplitMix64 is a tiny deterministic rand.Source64 (Steele et al.'s
+// SplitMix64 finalizer). Unlike rand.NewSource, whose lagged-Fibonacci
+// state costs ~600 words of seeding work, constructing one is a single
+// store — the right tool when simulation code needs a fresh stream keyed
+// by an identity hash for every draw (e.g. per-copy service times).
+type SplitMix64 uint64
+
+// Uint64 advances the state and returns the next value.
+func (s *SplitMix64) Uint64() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 returns a non-negative 63-bit value (rand.Source interface).
+func (s *SplitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed resets the state (rand.Source interface).
+func (s *SplitMix64) Seed(seed int64) { *s = SplitMix64(seed) }
+
+// NewFastRand returns a *rand.Rand over a SplitMix64 stream. Construction
+// is O(1), so it is cheap enough to build one per sample.
+func NewFastRand(seed uint64) *rand.Rand {
+	src := SplitMix64(seed)
+	return rand.New(&src)
 }
 
 // TailEstimator is a streaming maximum-likelihood estimator of the Pareto

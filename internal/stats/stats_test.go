@@ -258,3 +258,98 @@ func TestWeightedChoiceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParetoQuantileEdges(t *testing.T) {
+	p := NewPareto(2, 1.5)
+	cases := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{"p=0 is the scale (distribution minimum)", 0, 2},
+		{"p=1 is the supremum of a heavy tail", 1, math.Inf(1)},
+		{"median matches Median()", 0.5, p.Median()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := p.Quantile(tc.q)
+			if got != tc.want && math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+	// CDF round-trips the finite quantiles, including the q=0 edge.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99} {
+		if got := p.CDF(p.Quantile(q)); math.Abs(got-q) > 1e-12 {
+			t.Errorf("CDF(Quantile(%v)) = %v", q, got)
+		}
+	}
+	for _, bad := range []float64{-0.01, 1.01} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) should panic", bad)
+				}
+			}()
+			p.Quantile(bad)
+		}()
+	}
+}
+
+func TestSingleSampleInputs(t *testing.T) {
+	// A single observation must answer every reducer with itself —
+	// degenerate inputs show up at tiny experiment scales (one seed,
+	// one matching job in a bin).
+	var s Summary
+	s.Add(7.25)
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got := s.Percentile(p); got != 7.25 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 7.25", p, got)
+		}
+	}
+	if s.Median() != 7.25 || s.Min() != 7.25 || s.Max() != 7.25 || s.Mean() != 7.25 {
+		t.Error("single-sample Summary reducers disagree with the sample")
+	}
+	if got := Median([]float64{7.25}); got != 7.25 {
+		t.Errorf("Median([x]) = %v, want x", got)
+	}
+	var w Welford
+	w.Add(7.25)
+	if w.Mean() != 7.25 {
+		t.Errorf("single-sample Welford mean = %v", w.Mean())
+	}
+	if !math.IsNaN(w.Variance()) {
+		t.Errorf("single-sample variance should be NaN, got %v", w.Variance())
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewFastRand(99), NewFastRand(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed SplitMix64 streams diverge")
+		}
+	}
+	// Different seeds must not produce the same stream.
+	c, d := NewFastRand(1), NewFastRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds collide on %d of 100 draws", same)
+	}
+	// The raw source covers the full uint64 range (top bits move).
+	src := SplitMix64(5)
+	var orbits uint64
+	for i := 0; i < 64; i++ {
+		orbits |= src.Uint64()
+	}
+	if orbits>>60 == 0 {
+		t.Error("SplitMix64 top bits never set across 64 draws")
+	}
+}

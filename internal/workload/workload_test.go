@@ -173,13 +173,39 @@ func TestSparkifyShortensTasksRaisesTransfer(t *testing.T) {
 	}
 }
 
-func TestSizeBins(t *testing.T) {
-	cases := map[int]string{1: "<50", 50: "<50", 51: "51-150", 150: "51-150",
-		151: "151-500", 500: "151-500", 501: ">500", 5000: ">500"}
-	for n, want := range cases {
-		if got := SizeBin(n); got != want {
-			t.Errorf("SizeBin(%d) = %q, want %q", n, got, want)
-		}
+func TestSizeBinBoundaries(t *testing.T) {
+	// The paper's bins are (<=50, 51-150, 151-500, >500]; each boundary
+	// pair pins which side the edge value lands on.
+	cases := []struct {
+		name  string
+		tasks int
+		want  string
+	}{
+		{"zero tasks", 0, "<50"},
+		{"single task", 1, "<50"},
+		{"last of first bin", 50, "<50"},
+		{"first of second bin", 51, "51-150"},
+		{"last of second bin", 150, "51-150"},
+		{"first of third bin", 151, "151-500"},
+		{"last of third bin", 500, "151-500"},
+		{"first of fourth bin", 501, ">500"},
+		{"huge job", 1 << 20, ">500"},
+	}
+	listed := map[string]bool{}
+	for _, b := range SizeBins() {
+		listed[b] = true
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := SizeBin(tc.tasks)
+			if got != tc.want {
+				t.Errorf("SizeBin(%d) = %q, want %q", tc.tasks, got, tc.want)
+			}
+			if !listed[got] {
+				t.Errorf("SizeBin(%d) = %q not listed in SizeBins()", tc.tasks, got)
+			}
+		})
 	}
 	if len(SizeBins()) != 4 {
 		t.Error("SizeBins should list 4 bins")
