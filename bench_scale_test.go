@@ -1,0 +1,116 @@
+// Scale benchmark suite smoke coverage: the BENCH_*.json trajectory
+// artifact must stay well-formed and the checked-in baseline must keep
+// satisfying the overhaul's acceptance ratios (≥2x ns/decision, ≥5x
+// allocs/decision on the central dispatch scenarios). The heavy
+// measurement itself lives in `hopper-sim -bench-scale`; see DESIGN.md
+// section 6.
+package hopper
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/experiments"
+)
+
+// TestScaleBenchSmokeReportWellFormed runs the smoke matrix end to end
+// and checks every field a downstream consumer (CI gate, trajectory
+// plots) relies on.
+func TestScaleBenchSmokeReportWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement; skipped with -short")
+	}
+	rep := experiments.RunScaleBench(true, nil)
+	if rep.Schema != experiments.BenchSchema || rep.Mode != "smoke" {
+		t.Fatalf("schema/mode = %q/%q", rep.Schema, rep.Mode)
+	}
+	if len(rep.Scenarios) != len(experiments.ScaleScenarios(true)) {
+		t.Fatalf("got %d scenarios, want %d", len(rep.Scenarios), len(experiments.ScaleScenarios(true)))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Optimized.Decisions <= 0 || s.Optimized.Events == 0 {
+			t.Errorf("%s: empty measurement %+v", s.Name, s.Optimized)
+		}
+		if s.Optimized.NsPerDecision <= 0 || s.Optimized.EventsPerSec <= 0 {
+			t.Errorf("%s: missing derived metrics %+v", s.Name, s.Optimized)
+		}
+		if s.Kind != "decentral-hopper" {
+			if s.Reference == nil || s.SpeedupNsPerDecision == 0 || s.AllocReduction == 0 {
+				t.Errorf("%s: central scenario missing reference column", s.Name)
+			}
+		}
+	}
+
+	// Round-trip through JSON the way -bench-out/-bench-check do.
+	f, err := os.CreateTemp(t.TempDir(), "bench*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := rep.WriteJSON(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := experiments.LoadBenchReport(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.CheckAgainst(back, 0.2); err != nil {
+		t.Fatalf("self-comparison must pass: %v", err)
+	}
+}
+
+// TestCheckedInBenchBaseline validates the committed trajectory file:
+// parseable, full-scale, and holding the acceptance ratios the overhaul
+// was merged on.
+func TestCheckedInBenchBaseline(t *testing.T) {
+	rep, err := experiments.LoadBenchReport("BENCH_PR2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "full" {
+		t.Fatalf("baseline mode %q, want full (10k machines)", rep.Mode)
+	}
+	tenK := 0
+	for _, s := range rep.Scenarios {
+		if s.Reference == nil {
+			continue
+		}
+		if s.SpeedupNsPerDecision <= 1 || s.AllocReduction <= 1 {
+			t.Errorf("%s: reference not slower than optimized (%.2fx ns, %.1fx allocs)",
+				s.Name, s.SpeedupNsPerDecision, s.AllocReduction)
+		}
+		if s.Machines < 10000 {
+			continue
+		}
+		tenK++
+		// The overhaul's acceptance bars apply at the 10k tier.
+		if s.SpeedupNsPerDecision < 2 {
+			t.Errorf("%s: speedup %.2fx below the 2x acceptance bar", s.Name, s.SpeedupNsPerDecision)
+		}
+		if s.AllocReduction < 5 {
+			t.Errorf("%s: alloc reduction %.1fx below the 5x acceptance bar", s.Name, s.AllocReduction)
+		}
+	}
+	if tenK == 0 {
+		t.Fatal("baseline has no reference-compared 10k-machine scenarios")
+	}
+	// The file must stay valid JSON for external tooling even if the
+	// struct grows fields.
+	raw, _ := os.ReadFile("BENCH_PR2.json")
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatalf("baseline is not generic JSON: %v", err)
+	}
+}
+
+// BenchmarkDispatchScaleSmoke tracks the smoke matrix under
+// `go test -bench`, surfacing the central-Hopper per-decision metrics
+// for quick local comparisons.
+func BenchmarkDispatchScaleSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunScaleBench(true, nil)
+		b.ReportMetric(rep.Scenarios[0].Optimized.NsPerDecision, "ns/decision")
+		b.ReportMetric(rep.Scenarios[0].Optimized.AllocsPerDecision, "allocs/decision")
+	}
+}

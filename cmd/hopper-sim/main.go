@@ -1,16 +1,24 @@
-// Command hopper-sim regenerates the paper's tables and figures.
+// Command hopper-sim regenerates the paper's tables and figures, and
+// runs the scale benchmark suite behind the BENCH_*.json trajectory.
 //
 // Usage:
 //
 //	hopper-sim -list
 //	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-v]
 //	hopper-sim -all
+//	hopper-sim -bench-scale full -bench-out BENCH_PR2.json
+//	hopper-sim -bench-scale smoke -bench-out new.json -bench-check BENCH_PR2.json
 //
 // Each experiment prints the rows the corresponding paper figure reports;
 // EXPERIMENTS.md records expected shapes and paper-vs-measured values.
 // Simulation cells run on a worker pool (-workers, default GOMAXPROCS);
 // output is byte-identical whatever the parallelism — see DESIGN.md for
-// the determinism contract.
+// the determinism contract. -bench-scale replays the canonical
+// 10k-machine scenario matrix (smoke = 1k machines for CI) under the
+// optimized and frozen-reference dispatch implementations and reports ns
+// per scheduling decision, allocs per decision, and events/sec;
+// -bench-check fails (exit 1) on a >20% ns/decision regression relative
+// to the ratios in the given baseline report (see DESIGN.md section 6).
 package main
 
 import (
@@ -24,13 +32,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		scale   = flag.Float64("scale", 1, "job-count scale factor")
-		seeds   = flag.Int("seeds", 3, "independent replays per data point")
-		workers = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
-		verbose = flag.Bool("v", false, "log per-run progress")
+		exp        = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		scale      = flag.Float64("scale", 1, "job-count scale factor")
+		seeds      = flag.Int("seeds", 3, "independent replays per data point")
+		workers    = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+		verbose    = flag.Bool("v", false, "log per-run progress")
+		benchScale = flag.String("bench-scale", "", "run the scale benchmark suite: \"full\" (10k machines) or \"smoke\" (1k)")
+		benchOut   = flag.String("bench-out", "", "write the scale benchmark report to this JSON file (requires -bench-scale)")
+		benchCheck = flag.String("bench-check", "", "compare against this baseline BENCH_*.json and fail on >20% ns/decision regression (requires -bench-scale)")
 	)
 	flag.Parse()
 
@@ -38,6 +49,19 @@ func main() {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *benchScale == "" && (*benchOut != "" || *benchCheck != "") {
+		fmt.Fprintln(os.Stderr, "-bench-out/-bench-check require -bench-scale")
+		os.Exit(2)
+	}
+	if *benchScale != "" {
+		if *benchScale != "full" && *benchScale != "smoke" {
+			fmt.Fprintf(os.Stderr, "-bench-scale must be \"full\" or \"smoke\", got %q\n", *benchScale)
+			os.Exit(2)
+		}
+		runScaleBench(*benchScale == "smoke", *benchOut, *benchCheck)
 		return
 	}
 
@@ -80,5 +104,32 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runScaleBench executes the scale suite, persists the report, and
+// optionally enforces the regression gate against a baseline.
+func runScaleBench(smoke bool, out, check string) {
+	start := time.Now()
+	rep := experiments.RunScaleBench(smoke, os.Stderr)
+	fmt.Fprintf(os.Stderr, "(scale bench %s in %.1fs)\n", rep.Mode, time.Since(start).Seconds())
+	if out != "" {
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", out)
+	}
+	if check != "" {
+		baseline, err := experiments.LoadBenchReport(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-check:", err)
+			os.Exit(1)
+		}
+		if err := rep.CheckAgainst(baseline, 0.2); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-check FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench-check OK: speedups within 20% of", check)
 	}
 }

@@ -123,6 +123,14 @@ type Executor struct {
 	saturated     bool
 
 	rng *rand.Rand
+
+	// amongScratch backs locality-aware machine choice (FreeAmong) and
+	// freedScratch the per-completion freed-slot list, so neither
+	// allocates per placement/completion. freedScratch is safe to reuse
+	// because OnSlotFree consumers only post events — copyFinished never
+	// re-enters synchronously.
+	amongScratch []MachineID
+	freedScratch []MachineID
 }
 
 // noteSlotChange updates the saturation clock after slot counts change.
@@ -163,7 +171,7 @@ func (x *Executor) AdmitJob(j *Job) {
 	now := x.Eng.Now()
 	for _, p := range j.Phases {
 		if len(p.Deps) == 0 {
-			p.Runnable = true
+			p.MarkRunnable()
 			p.RunnableAt = now
 			if x.OnPhaseRunnable != nil {
 				x.OnPhaseRunnable(p)
@@ -175,7 +183,10 @@ func (x *Executor) AdmitJob(j *Job) {
 // Place chooses a machine for the task (locality-aware) and starts a copy
 // there. Returns nil if the cluster has no free slot.
 func (x *Executor) Place(t *Task, speculative bool) *Copy {
-	m, local := x.Machines.PickForTask(x.rng, t)
+	if cap(x.amongScratch) < len(t.Replicas) {
+		x.amongScratch = make([]MachineID, 0, 2*len(t.Replicas))
+	}
+	m, local := x.Machines.PickForTask(x.rng, t, x.amongScratch)
 	if m < 0 {
 		return nil
 	}
@@ -251,7 +262,7 @@ func (x *Executor) copyFinished(c *Copy) {
 	}
 	x.Machines.Release(c.Machine)
 	x.noteSlotChange()
-	freed := []MachineID{c.Machine}
+	freed := append(x.freedScratch[:0], c.Machine)
 
 	// Kill racing siblings and reclaim their slots now.
 	for _, sib := range t.Copies {
@@ -282,6 +293,7 @@ func (x *Executor) copyFinished(c *Copy) {
 	if jobDone && x.OnJobDone != nil {
 		x.OnJobDone(t.Job)
 	}
+	x.freedScratch = freed
 	if x.OnSlotFree != nil {
 		for _, m := range freed {
 			x.OnSlotFree(m)
@@ -304,6 +316,7 @@ func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
 	}
 	p.DoneAt = now
 	j := t.Job
+	j.markPhaseDone(p)
 	j.donePhases++
 	if j.Done() {
 		j.DoneAt = now
@@ -351,7 +364,7 @@ func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
 		q.RunnableAt = startAt
 		qq := q
 		x.Eng.Post(startAt, func() {
-			qq.Runnable = true
+			qq.MarkRunnable()
 			if x.OnPhaseRunnable != nil {
 				x.OnPhaseRunnable(qq)
 			}

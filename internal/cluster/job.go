@@ -86,6 +86,12 @@ type Task struct {
 	State  TaskState
 	Copies []*Copy
 	DoneAt simulator.Time
+
+	// SchedPos is scheduler-owned scratch: the task's slot in the running
+	// set of whichever scheduler tracks it (a task belongs to exactly one
+	// scheduler per simulation). It makes running-set removal O(1) without
+	// a side map. The cluster package never reads it.
+	SchedPos int
 }
 
 // ID returns a human-readable identifier for logs and errors.
@@ -213,6 +219,13 @@ type Job struct {
 	StartAt simulator.Time
 
 	donePhases int
+
+	// runnable caches the phases that are Runnable && !Done, in phase-
+	// index order. Maintained by markRunnable/markPhaseDone (driven by the
+	// Executor), so RunnablePhases is a slice read instead of a per-call
+	// scan-and-allocate — it sits on every scheduler hot path (demand
+	// counting, virtual sizes, locality checks).
+	runnable []*Phase
 }
 
 // NewJob builds a job from phase specifications, wiring parent pointers.
@@ -255,8 +268,17 @@ func (j *Job) RemainingTasksTotal() int {
 
 // RunnablePhases returns phases that are runnable and unfinished — the
 // "current" phases in the paper's terminology (more than one for bushy
-// DAGs).
+// DAGs). The returned slice is the job's maintained cache: callers must
+// treat it as read-only and must not retain it across simulation events.
 func (j *Job) RunnablePhases() []*Phase {
+	return j.runnable
+}
+
+// RunnablePhasesScan recomputes the runnable set by scanning all phases,
+// allocating a fresh slice. It exists for the frozen reference dispatch
+// implementations (scheduler package), which must reproduce the pre-
+// overhaul cost profile, and as the oracle the cache is tested against.
+func (j *Job) RunnablePhasesScan() []*Phase {
 	var out []*Phase
 	for _, p := range j.Phases {
 		if p.Runnable && !p.Done() {
@@ -264,6 +286,54 @@ func (j *Job) RunnablePhases() []*Phase {
 		}
 	}
 	return out
+}
+
+// markRunnable records p's transition into the runnable set. Insertion
+// keeps phase-index order, matching the scan the cache replaces (bushy
+// DAGs can unlock phases out of index order).
+func (j *Job) markRunnable(p *Phase) {
+	i := len(j.runnable)
+	for i > 0 && j.runnable[i-1].Index > p.Index {
+		i--
+	}
+	j.runnable = append(j.runnable, nil)
+	copy(j.runnable[i+1:], j.runnable[i:])
+	j.runnable[i] = p
+}
+
+// MarkRunnable transitions the phase into the runnable state and updates
+// the owning job's runnable cache. All Runnable=true transitions must go
+// through here; setting the field directly leaves the cache stale (tests
+// that do so anyway must call Job.RecomputeRunnable).
+func (p *Phase) MarkRunnable() {
+	if p.Runnable {
+		return
+	}
+	p.Runnable = true
+	p.Job.markRunnable(p)
+}
+
+// RecomputeRunnable rebuilds the runnable cache from the Runnable/Done
+// flags. The simulation maintains the cache incrementally; this is the
+// escape hatch for tests that poke Phase.Runnable directly.
+func (j *Job) RecomputeRunnable() {
+	j.runnable = j.runnable[:0]
+	for _, p := range j.Phases {
+		if p.Runnable && !p.Done() {
+			j.runnable = append(j.runnable, p)
+		}
+	}
+}
+
+// markPhaseDone removes p from the runnable cache once all its tasks have
+// completed.
+func (j *Job) markPhaseDone(p *Phase) {
+	for i, q := range j.runnable {
+		if q == p {
+			j.runnable = append(j.runnable[:i], j.runnable[i+1:]...)
+			return
+		}
+	}
 }
 
 // RemainingCurrentTasks counts unfinished tasks in runnable phases; this

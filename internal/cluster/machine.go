@@ -22,6 +22,18 @@ type Machines struct {
 	// random choice plus a position index for O(1) removal.
 	free []MachineID
 	pos  []int // pos[id] = index in free, or -1
+
+	// freeSlots and totalSlots are cluster-wide slot counters maintained
+	// by Acquire/Release, so FreeSlots/TotalSlots are O(1) — schedulers
+	// read them on every dispatch pass.
+	freeSlots  int
+	totalSlots int
+
+	// sampleSeen/sampleEpoch implement the allocation-free Floyd sampler
+	// in RandomSubset: sampleSeen[v] == sampleEpoch marks v as drawn in
+	// the current call, replacing a per-call map.
+	sampleSeen  []int64
+	sampleEpoch int64
 }
 
 // NewMachines builds n machines with slotsPer slots each, all free.
@@ -30,9 +42,12 @@ func NewMachines(n, slotsPer int) *Machines {
 		panic(fmt.Sprintf("cluster: invalid machine set %d x %d", n, slotsPer))
 	}
 	ms := &Machines{
-		All:  make([]*Machine, n),
-		free: make([]MachineID, n),
-		pos:  make([]int, n),
+		All:        make([]*Machine, n),
+		free:       make([]MachineID, n),
+		pos:        make([]int, n),
+		freeSlots:  n * slotsPer,
+		totalSlots: n * slotsPer,
+		sampleSeen: make([]int64, n),
 	}
 	for i := range ms.All {
 		ms.All[i] = &Machine{ID: MachineID(i), Slots: slotsPer, Free: slotsPer}
@@ -43,22 +58,10 @@ func NewMachines(n, slotsPer int) *Machines {
 }
 
 // TotalSlots returns the cluster capacity in slots.
-func (ms *Machines) TotalSlots() int {
-	n := 0
-	for _, m := range ms.All {
-		n += m.Slots
-	}
-	return n
-}
+func (ms *Machines) TotalSlots() int { return ms.totalSlots }
 
 // FreeSlots returns the number of currently free slots cluster-wide.
-func (ms *Machines) FreeSlots() int {
-	n := 0
-	for _, m := range ms.All {
-		n += m.Free
-	}
-	return n
-}
+func (ms *Machines) FreeSlots() int { return ms.freeSlots }
 
 // Get returns the machine with the given ID.
 func (ms *Machines) Get(id MachineID) *Machine { return ms.All[id] }
@@ -71,6 +74,7 @@ func (ms *Machines) Acquire(id MachineID) {
 		panic(fmt.Sprintf("cluster: acquiring slot on full machine %d", id))
 	}
 	m.Free--
+	ms.freeSlots--
 	if m.Free == 0 {
 		ms.removeFree(id)
 	}
@@ -86,6 +90,7 @@ func (ms *Machines) Release(id MachineID) {
 		ms.addFree(id)
 	}
 	m.Free++
+	ms.freeSlots++
 }
 
 func (ms *Machines) removeFree(id MachineID) {
@@ -116,8 +121,11 @@ func (ms *Machines) RandomFree(rng *rand.Rand) MachineID {
 
 // FreeAmong returns a machine from candidates that has a free slot,
 // choosing uniformly at random among the free ones; -1 if none is free.
-func (ms *Machines) FreeAmong(rng *rand.Rand, candidates []MachineID) MachineID {
-	var avail []MachineID
+// scratch is a caller-owned buffer for the free-candidate set, reused
+// across calls so per-placement locality choice does not allocate; nil is
+// accepted (and allocates).
+func (ms *Machines) FreeAmong(rng *rand.Rand, candidates, scratch []MachineID) MachineID {
+	avail := scratch[:0]
 	for _, id := range candidates {
 		if ms.All[id].Free > 0 {
 			avail = append(avail, id)
@@ -132,10 +140,10 @@ func (ms *Machines) FreeAmong(rng *rand.Rand, candidates []MachineID) MachineID 
 // PickForTask chooses a machine for a task: one of its replica machines
 // if any has a free slot (data-local), otherwise a random free machine
 // (remote read). The bool reports locality. Returns -1 when the cluster
-// is full.
-func (ms *Machines) PickForTask(rng *rand.Rand, t *Task) (MachineID, bool) {
+// is full. scratch is the caller's FreeAmong buffer.
+func (ms *Machines) PickForTask(rng *rand.Rand, t *Task, scratch []MachineID) (MachineID, bool) {
 	if len(t.Replicas) > 0 {
-		if id := ms.FreeAmong(rng, t.Replicas); id >= 0 {
+		if id := ms.FreeAmong(rng, t.Replicas, scratch); id >= 0 {
 			return id, true
 		}
 	}
@@ -150,6 +158,10 @@ func (ms *Machines) PickForTask(rng *rand.Rand, t *Task) (MachineID, bool) {
 // from the whole cluster (free or busy) — the probe fan-out primitive in
 // decentralized mode. If k >= len(All), every machine is returned. The
 // returned slice aliases dst's backing array.
+//
+// Sampling is Floyd's algorithm with an epoch-stamped duplicate marker
+// instead of a per-call map, so a probe wave allocates nothing. The RNG
+// draw sequence is identical to the map-based version.
 func (ms *Machines) RandomSubset(rng *rand.Rand, k int, dst []MachineID) []MachineID {
 	n := len(ms.All)
 	if k >= n {
@@ -160,14 +172,15 @@ func (ms *Machines) RandomSubset(rng *rand.Rand, k int, dst []MachineID) []Machi
 		return dst
 	}
 	dst = dst[:0]
+	ms.sampleEpoch++
+	epoch := ms.sampleEpoch
 	// Floyd's algorithm: k distinct samples in O(k).
-	seen := make(map[int]struct{}, k)
 	for j := n - k; j < n; j++ {
 		v := rng.Intn(j + 1)
-		if _, dup := seen[v]; dup {
+		if ms.sampleSeen[v] == epoch {
 			v = j
 		}
-		seen[v] = struct{}{}
+		ms.sampleSeen[v] = epoch
 		dst = append(dst, MachineID(v))
 	}
 	return dst

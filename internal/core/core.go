@@ -116,17 +116,21 @@ func Constrained(jobs []JobDemand, slots int, beta float64) bool {
 // jobs in guideline order, keeping the allocation work-conserving.
 func Allocate(jobs []JobDemand, slots int, beta float64) []int {
 	alloc := make([]int, len(jobs))
-	if len(jobs) == 0 || slots <= 0 {
-		return alloc
-	}
+	allocateInto(jobs, slots, beta, alloc)
+	return alloc
+}
 
+// allocateInto runs Pseudocode 1 into a zeroed caller buffer.
+func allocateInto(jobs []JobDemand, slots int, beta float64, alloc []int) {
+	if len(jobs) == 0 || slots <= 0 {
+		return
+	}
 	order := sortedByPriority(jobs, beta)
 	if Constrained(jobs, slots, beta) {
 		allocConstrained(jobs, order, slots, beta, alloc)
 	} else {
 		allocProportional(jobs, order, slots, beta, alloc)
 	}
-	return alloc
 }
 
 // sortedByPriority returns job indices ascending by the DAG-aware
@@ -221,16 +225,35 @@ func allocProportional(jobs []JobDemand, order []int, slots int, beta float64, a
 // slots (capped by what it can use). epsilon = 0 is perfect fairness;
 // epsilon = 1 disables the floor entirely.
 func AllocateFair(jobs []JobDemand, slots int, beta, epsilon float64) []int {
+	return AllocateFairInto(nil, jobs, slots, beta, epsilon)
+}
+
+// AllocateFairInto is AllocateFair with a caller-owned result buffer:
+// dst is resized (reallocating only when capacity is short) and returned,
+// so a scheduler refreshing its allocation every arrival does not allocate
+// a fresh target vector each time. Inner projection rounds still allocate
+// working sets proportional to the pinned-job count; those are off the
+// per-event path.
+func AllocateFairInto(dst []int, jobs []JobDemand, slots int, beta, epsilon float64) []int {
 	if epsilon < 0 || epsilon > 1 {
 		panic(fmt.Sprintf("core: epsilon %v out of [0,1]", epsilon))
 	}
 	n := len(jobs)
-	alloc := make([]int, n)
+	alloc := dst
+	if cap(alloc) < n {
+		alloc = make([]int, n)
+	} else {
+		alloc = alloc[:n]
+		for i := range alloc {
+			alloc[i] = 0
+		}
+	}
 	if n == 0 || slots <= 0 {
 		return alloc
 	}
 	if epsilon >= 1 {
-		return Allocate(jobs, slots, beta)
+		allocateInto(jobs, slots, beta, alloc)
+		return alloc
 	}
 	floor := (1 - epsilon) * float64(slots) / float64(n)
 

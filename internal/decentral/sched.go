@@ -30,20 +30,25 @@ type reply struct {
 	remTask  int           // piggybacked remaining task count (SRPT order)
 }
 
-// dJob is scheduler-side state for one owned job.
+// dJob is scheduler-side state for one owned job. Queues are ring deques
+// and the running set is tombstoned (see scheduler.jobState — same
+// incremental-state contract, DESIGN.md section 6), because at cluster
+// scale every offer/refusal touches this state.
 type dJob struct {
 	job *cluster.Job
 
 	// pendingFresh holds launchable, not-yet-handed-out original tasks of
 	// runnable phases, in phase order.
-	pendingFresh []*cluster.Task
+	pendingFresh cluster.TaskDeque
 
 	// wants is the speculation queue (tasks to duplicate).
-	wants   []*cluster.Task
+	wants   cluster.TaskDeque
 	wantSet map[*cluster.Task]bool
 
-	// running tracks tasks with live copies, for the straggler monitor.
-	running []*cluster.Task
+	// running tracks tasks with live copies, for the straggler monitor
+	// (cluster.RunningSet: O(1) tombstone removal, live order = hand-out
+	// order).
+	running cluster.RunningSet
 
 	// occupied counts slots committed to the job: live copies plus
 	// accepts in flight (Pseudocode 2's current_occupied).
@@ -51,26 +56,23 @@ type dJob struct {
 }
 
 // demand is how many more slots the job could use right now.
-func (d *dJob) demand() int { return len(d.pendingFresh) + len(d.wants) }
+func (d *dJob) demand() int { return d.pendingFresh.Len() + d.wants.Len() }
 
 // takeTask hands out the next unit of work, preferring an original task
 // whose input is local on machine m, then any original task, then a
 // speculative copy. Returns (nil, false) when the job has nothing to run.
 func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool) {
-	for i, t := range d.pendingFresh {
-		if t.LocalOn(m) {
-			d.pendingFresh = append(d.pendingFresh[:i], d.pendingFresh[i+1:]...)
+	for i := 0; i < d.pendingFresh.Len(); i++ {
+		if t := d.pendingFresh.At(i); t.LocalOn(m) {
+			d.pendingFresh.RemoveAt(i)
 			return t, false
 		}
 	}
-	if len(d.pendingFresh) > 0 {
-		t := d.pendingFresh[0]
-		d.pendingFresh = d.pendingFresh[1:]
-		return t, false
+	if d.pendingFresh.Len() > 0 {
+		return d.pendingFresh.PopFront(), false
 	}
-	for len(d.wants) > 0 {
-		t := d.wants[0]
-		d.wants = d.wants[1:]
+	for d.wants.Len() > 0 {
+		t := d.wants.PopFront()
 		delete(d.wantSet, t)
 		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
 			return t, true
@@ -84,18 +86,10 @@ func (d *dJob) addWant(t *cluster.Task) bool {
 		return false
 	}
 	d.wantSet[t] = true
-	d.wants = append(d.wants, t)
+	d.wants.PushBack(t)
 	return true
 }
 
-func (d *dJob) removeRunning(t *cluster.Task) {
-	for i, rt := range d.running {
-		if rt == t {
-			d.running = append(d.running[:i], d.running[i+1:]...)
-			return
-		}
-	}
-}
 
 // sched is one autonomous job scheduler (Figure 4). It owns a subset of
 // jobs and knows nothing about other schedulers' jobs — coordination
@@ -113,6 +107,13 @@ type sched struct {
 	mon   *speculation.Monitor
 	beta  *stats.TailEstimator
 	alpha *estimate.AlphaEstimator
+
+	// Reusable scan/probe buffers (one scheduler handles one message at a
+	// time, so a single set per scheduler suffices).
+	candScratch   []*cluster.Task
+	freshScratch  []*cluster.Task
+	targetScratch []cluster.MachineID
+	subsetScratch []cluster.MachineID
 
 	tickerOn bool
 }
@@ -178,7 +179,7 @@ func (sc *sched) phaseRunnable(p *cluster.Phase) {
 		return
 	}
 	for _, t := range p.Tasks {
-		d.pendingFresh = append(d.pendingFresh, t)
+		d.pendingFresh.PushBack(t)
 	}
 	sc.probeForTasks(d, p.Tasks)
 }
@@ -205,10 +206,9 @@ func (sc *sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
 	vs := sc.orderVS(d)
 	rem := d.job.RemainingTasksTotal()
 	eng := sc.sys.Eng
-	var scratch []cluster.MachineID
 	for _, t := range tasks {
 		n := sc.probeCount()
-		targets := make([]cluster.MachineID, 0, n)
+		targets := sc.targetScratch[:0]
 		for _, r := range t.Replicas {
 			if len(targets) == n {
 				break
@@ -216,9 +216,10 @@ func (sc *sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
 			targets = append(targets, r)
 		}
 		if len(targets) < n {
-			scratch = sc.sys.Exec.Machines.RandomSubset(eng.Rand(), n-len(targets), scratch)
-			targets = append(targets, scratch...)
+			sc.subsetScratch = sc.sys.Exec.Machines.RandomSubset(eng.Rand(), n-len(targets), sc.subsetScratch)
+			targets = append(targets, sc.subsetScratch...)
 		}
+		sc.targetScratch = targets
 		job := d.job
 		for _, m := range targets {
 			w := sc.sys.workers[m]
@@ -257,12 +258,14 @@ func (sc *sched) ensureTicker() {
 func (sc *sched) scanSpec() {
 	now := sc.sys.Eng.Now()
 	for _, d := range sc.jobList {
-		var fresh []*cluster.Task
-		for _, t := range sc.mon.Candidates(now, d.running, -1) {
+		fresh := sc.freshScratch[:0]
+		sc.candScratch = sc.mon.CandidatesInto(now, d.running.Tasks(), -1, sc.candScratch)
+		for _, t := range sc.candScratch {
 			if t.RunningCopies() < sc.sys.Cfg.Spec.MaxCopies && d.addWant(t) {
 				fresh = append(fresh, t)
 			}
 		}
+		sc.freshScratch = fresh
 		if len(fresh) > 0 {
 			sc.probeForTasks(d, fresh)
 		}
@@ -279,15 +282,10 @@ func (sc *sched) taskDone(t *cluster.Task, winner *cluster.Copy) {
 		return
 	}
 	d.occupied -= len(t.Copies)
-	d.removeRunning(t)
+	d.running.Remove(t)
 	if d.wantSet[t] {
 		delete(d.wantSet, t)
-		for i, w := range d.wants {
-			if w == t {
-				d.wants = append(d.wants[:i], d.wants[i+1:]...)
-				break
-			}
-		}
+		d.wants.Remove(t)
 	}
 }
 
@@ -355,7 +353,7 @@ func (sc *sched) handleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 		// its virtual size, i.e. below its desired speculation level, so
 		// the slot goes to a racing copy of its worst observable
 		// straggler even if the detection policy has not flagged one.
-		if v := sc.mon.BestVictim(sc.sys.Eng.Now(), d.running, maxCopies); v != nil {
+		if v := sc.mon.BestVictim(sc.sys.Eng.Now(), d.running.Tasks(), maxCopies); v != nil {
 			t, spec = v, true
 		}
 	}
@@ -373,7 +371,7 @@ func (sc *sched) handleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 	}
 	d.occupied++
 	if !spec {
-		d.running = append(d.running, t)
+		d.running.Add(t)
 	}
 	return reply{task: t, spec: spec, from: sc, vs: sc.orderVS(d), remTask: d.job.RemainingTasksTotal()}
 }
@@ -400,7 +398,7 @@ func (sc *sched) handleGetTask(jobID cluster.JobID, m cluster.MachineID) reply {
 	}
 	d.occupied++
 	if !spec {
-		d.running = append(d.running, t)
+		d.running.Add(t)
 	}
 	return reply{task: t, spec: spec, remTask: d.job.RemainingTasksTotal()}
 }

@@ -37,6 +37,11 @@ type worker struct {
 	backoff      float64
 	retryEv      *simulator.Event
 	seqCounter   int64
+
+	// g3Cands/g3Weights back the weighted-choice step; used and drained
+	// within one synchronous stepG3 call, so per-worker reuse is safe.
+	g3Cands   []*entry
+	g3Weights []float64
 }
 
 func newWorker(sys *System, id cluster.MachineID) *worker {
@@ -128,7 +133,7 @@ func (w *worker) kick() {
 	for w.freeForRounds() > 0 && w.hasOfferableWork() {
 		w.activeRounds++
 		w.sys.RoundsStarted++
-		r := &round{w: w, tried: make(map[*entry]bool)}
+		r := &round{w: w, tried: make([]*entry, 0, 4)}
 		r.step()
 	}
 	w.scheduleRetry()
@@ -176,15 +181,31 @@ func (w *worker) place(sc *sched, t *cluster.Task, spec bool) bool {
 	return true
 }
 
-// round is one slot's negotiation (Pseudocode 3 in Hopper mode).
+// round is one slot's negotiation (Pseudocode 3 in Hopper mode). tried
+// is a small per-round list (a round touches at most a handful of
+// entries: the refusal threshold bounds Hopper offers and G3 samples) —
+// it must be round-private, not an entry-side stamp, because a
+// multi-slot worker runs up to maxConcurrentRounds rounds at once and
+// their tried sets are independent.
 type round struct {
 	w          *worker
-	tried      map[*entry]bool
+	tried      []*entry
 	refusals   int
 	unsat      *unsatInfo
 	g3         bool
 	g3Attempts int
 }
+
+func (r *round) wasTried(e *entry) bool {
+	for _, x := range r.tried {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *round) markTried(e *entry) { r.tried = append(r.tried, e) }
 
 // step advances the round until a message goes out or the round ends.
 func (r *round) step() {
@@ -201,7 +222,7 @@ func (r *round) pickMinVS() *entry {
 	now := r.w.sys.Eng.Now()
 	var best *entry
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.tried[e] || e.coolTill > now {
+		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
 			continue
 		}
 		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
@@ -217,7 +238,7 @@ func (r *round) pickSparrow() *entry {
 	var best *entry
 	srpt := r.w.sys.Cfg.Mode == ModeSparrowSRPT
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.tried[e] {
+		if e.count <= 0 || r.wasTried(e) {
 			continue
 		}
 		if best == nil {
@@ -251,7 +272,7 @@ func (r *round) stepHopper() {
 		r.conclude()
 		return
 	}
-	r.tried[e] = true
+	r.markTried(e)
 	sc, jobID, w := e.sc, e.jobID, r.w
 	w.sys.toScheduler(sc, func() {
 		rep := sc.handleOffer(jobID, w.id, true)
@@ -298,21 +319,22 @@ func (r *round) stepG3() {
 	}
 	r.g3Attempts++
 	now := r.w.sys.Eng.Now()
-	var cands []*entry
-	var weights []float64
+	cands := r.w.g3Cands[:0]
+	weights := r.w.g3Weights[:0]
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.tried[e] || e.coolTill > now {
+		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
 			continue
 		}
 		cands = append(cands, e)
 		weights = append(weights, e.vs)
 	}
+	r.w.g3Cands, r.w.g3Weights = cands, weights
 	if len(cands) == 0 {
 		r.w.endRound(false)
 		return
 	}
 	e := cands[stats.WeightedChoice(r.w.sys.Eng.Rand(), weights)]
-	r.tried[e] = true
+	r.markTried(e)
 	sc, jobID, w := e.sc, e.jobID, r.w
 	w.sys.toScheduler(sc, func() {
 		rep := sc.handleOffer(jobID, w.id, false)
@@ -394,7 +416,7 @@ func (r *round) stepSparrow() {
 	}
 	e.count--
 	if e.count <= 0 {
-		r.tried[e] = true
+		r.markTried(e)
 	}
 	sc, jobID, w := e.sc, e.jobID, r.w
 	w.sys.toScheduler(sc, func() {

@@ -72,7 +72,7 @@ func TestCooldownSkipsEntries(t *testing.T) {
 	if !w.hasAnyReservations() {
 		t.Fatal("cooling entry should still count as a reservation")
 	}
-	r := &round{w: w, tried: map[*entry]bool{}}
+	r := &round{w: w}
 	if r.pickMinVS() != nil {
 		t.Fatal("pickMinVS returned a cooling entry")
 	}
@@ -93,12 +93,12 @@ func TestPickMinVSOrdersByVirtualSize(t *testing.T) {
 		w.entries = append(w.entries, e)
 		w.index[entryKey{sc.id, j.ID}] = e
 	}
-	r := &round{w: w, tried: map[*entry]bool{}}
+	r := &round{w: w}
 	first := r.pickMinVS()
 	if first == nil || first.vs != 3 {
 		t.Fatalf("first pick vs=%v, want 3", first.vs)
 	}
-	r.tried[first] = true
+	r.markTried(first)
 	second := r.pickMinVS()
 	if second == nil || second.vs != 6 {
 		t.Fatalf("second pick vs=%v, want 6", second.vs)
@@ -122,7 +122,7 @@ func TestPickSparrowFIFOAndSRPT(t *testing.T) {
 			w.entries = append(w.entries, e)
 			w.index[entryKey{sc.id, j.ID}] = e
 		}
-		r := &round{w: w, tried: map[*entry]bool{}}
+		r := &round{w: w}
 		got := r.pickSparrow()
 		if mode == ModeSparrow && got.seq != 0 {
 			t.Fatalf("Sparrow should pick FIFO head, got seq %d", got.seq)
@@ -143,7 +143,7 @@ func TestSchedulerRefusesAtVirtualSize(t *testing.T) {
 	d := sc.jobs[j.ID]
 
 	// Drain the job's fresh demand and saturate occupancy past effVS.
-	d.pendingFresh = nil
+	d.pendingFresh = cluster.TaskDeque{}
 	d.occupied = 1000
 	rep := sc.handleOffer(j.ID, 0, true)
 	if !rep.refused {

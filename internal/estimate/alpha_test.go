@@ -25,7 +25,7 @@ func TestSinglePhaseJobAlphaOne(t *testing.T) {
 	a := NewAlphaEstimator()
 	ph := &cluster.Phase{MeanTaskDuration: 1, Tasks: []*cluster.Task{{}}}
 	j := cluster.NewJob(1, "f", 0, []*cluster.Phase{ph})
-	j.Phases[0].Runnable = true
+	j.Phases[0].MarkRunnable()
 	alpha, dv := a.Evaluate(j, 1.5)
 	if alpha != 1 || dv != 0 {
 		t.Fatalf("single-phase alpha=%v dv=%v, want 1, 0", alpha, dv)
@@ -37,7 +37,7 @@ func TestAlphaRatioMatchesTransferWork(t *testing.T) {
 	// 10 upstream tasks x 1s = 10 slot-s of compute; transfer 20 slot-s
 	// -> alpha = 2 at the start of the upstream phase.
 	j := mkDAG(1, "", 10, 4, 20)
-	j.Phases[0].Runnable = true
+	j.Phases[0].MarkRunnable()
 	alpha, dv := a.Evaluate(j, 2.0)
 	if alpha < 1.9 || alpha > 2.1 {
 		t.Fatalf("alpha = %v, want ~2", alpha)
@@ -50,13 +50,13 @@ func TestAlphaRatioMatchesTransferWork(t *testing.T) {
 func TestAlphaClamped(t *testing.T) {
 	a := NewAlphaEstimator()
 	j := mkDAG(1, "", 1, 1, 1e6)
-	j.Phases[0].Runnable = true
+	j.Phases[0].MarkRunnable()
 	alpha, _ := a.Evaluate(j, 1.5)
 	if alpha > 10 {
 		t.Fatalf("alpha %v above clamp", alpha)
 	}
 	j2 := mkDAG(2, "", 1000, 1, 1e-9)
-	j2.Phases[0].Runnable = true
+	j2.Phases[0].MarkRunnable()
 	alpha2, _ := a.Evaluate(j2, 1.5)
 	if alpha2 < 0.1 {
 		t.Fatalf("alpha %v below clamp", alpha2)
@@ -71,7 +71,7 @@ func TestFamilyLearningImprovesOverOracle(t *testing.T) {
 	// A running job of the same family with a different realized
 	// transfer gets the learned estimate, not the oracle.
 	j := mkDAG(3, "fam", 10, 4, 30)
-	j.Phases[0].Runnable = true
+	j.Phases[0].MarkRunnable()
 	before := a.OracleFallbacks
 	alpha, _ := a.Evaluate(j, 2.0)
 	if a.OracleFallbacks != before {
@@ -89,7 +89,7 @@ func TestFamilyLearningImprovesOverOracle(t *testing.T) {
 func TestUnknownFamilyFallsBackToOracle(t *testing.T) {
 	a := NewAlphaEstimator()
 	j := mkDAG(1, "newfam", 10, 4, 20)
-	j.Phases[0].Runnable = true
+	j.Phases[0].MarkRunnable()
 	alpha, _ := a.Evaluate(j, 2.0)
 	if a.OracleFallbacks == 0 {
 		t.Fatal("expected oracle fallback for unseen family")
@@ -103,13 +103,11 @@ func TestAlphaIgnoresCompletedDownstream(t *testing.T) {
 	a := NewAlphaEstimator()
 	j := mkDAG(1, "", 4, 2, 10)
 	// Simulate: upstream done, downstream runnable (it is the "current"
-	// phase now and has no further downstream) -> alpha 1.
-	j.Phases[0].Runnable = true
-	for range j.Phases[0].Tasks {
-		// cheat: mark tasks done through the public-ish path
-	}
+	// phase now and has no further downstream) -> alpha 1. The flags are
+	// poked directly, so the runnable cache is rebuilt explicitly.
 	j.Phases[1].Runnable = true
 	j.Phases[0].Runnable = false
+	j.RecomputeRunnable()
 	alpha, dv := a.Evaluate(j, 1.5)
 	if alpha != 1 && dv != 0 {
 		// With only the last phase runnable there is no downstream left.

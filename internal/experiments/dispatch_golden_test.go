@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/dispatch_golden.txt from the current implementation")
+
+// goldenHarness is the smoke-scale setting the dispatch identity contract
+// is pinned at: every registered driver, two seeds. Small enough for CI,
+// large enough that every engine exercises saturation, speculation races,
+// and locality promotion.
+var goldenHarness = Harness{Scale: 0.05, Seeds: 2, Workers: 0}
+
+const goldenPath = "testdata/dispatch_golden.txt"
+
+// renderAll renders every registered experiment at the golden scale into
+// one deterministic blob.
+func renderAll(h Harness) string {
+	var sb strings.Builder
+	for _, res := range RunExperiments(h, Registry) {
+		sb.WriteString(res.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestDispatchGolden is the scheduler-overhaul identity contract (see
+// DESIGN.md section 6): the optimized incremental dispatch paths must
+// produce experiment tables byte-identical to the pre-overhaul reference
+// implementation. The golden file was generated from the pre-change code
+// (PR 1 tree) with -update; regenerating it under the optimized engines
+// must be a no-op. Any diff here means a tie-break, an iteration order,
+// or an RNG consumption point changed — all Figure reproductions would
+// silently shift.
+func TestDispatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is seconds-long; skipped with -short")
+	}
+	got := renderAll(goldenHarness)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update on the reference tree): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("experiment tables diverged from the pre-overhaul reference.\nFirst divergence: %s\n(see DESIGN.md section 6 identity contract; regenerate only if a deliberate behavior change is intended)",
+			firstDiff(string(want), got))
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: want %d lines, got %d lines", len(wl), len(gl))
+}

@@ -56,6 +56,14 @@ type Config struct {
 	// budget; Section 4.1 and Figure 3). Set by the Hopper engine;
 	// best-effort baselines leave it off.
 	CapacitySpec bool
+
+	// ReferenceDispatch switches the engine to the frozen pre-overhaul
+	// dispatch implementation (reference.go): per-pass sorting, map
+	// rebuilds, and phase rescans. Behaviorally identical to the
+	// optimized paths — dispatch_diff_test.go proves it — it exists as
+	// the differential-testing oracle and the benchmark baseline, never
+	// for production use.
+	ReferenceDispatch bool
 }
 
 // WithDefaults fills zero-valued fields with the paper's defaults.
@@ -88,31 +96,71 @@ type Engine interface {
 }
 
 // jobState is the chassis' bookkeeping for one active job.
+//
+// Invariants (the incremental-state contract, DESIGN.md section 6):
+//   - fresh always equals the phase-scan count of never-scheduled tasks
+//     in runnable phases (maintained on phase-runnable and fresh
+//     placement; TestFreshCounterMatchesScan checks it against the scan
+//     on every dispatch, and dispatch_diff_test.go covers it end to end
+//     through placement-log identity);
+//   - the non-nil entries of running are exactly the tasks with a live
+//     copy, in placement order;
+//   - wants holds each policy-flagged task at most once (wantSet), in
+//     request order, with the retry-requeue at the front.
 type jobState struct {
 	job *cluster.Job
 
-	// running holds tasks with at least one live copy, in placement order.
-	running []*cluster.Task
+	// running holds tasks with at least one live copy, in placement
+	// order (cluster.RunningSet: O(1) tombstone removal via
+	// Task.SchedPos). Consumers — speculation scans, victim search,
+	// reservation counting — iterate running.Tasks() and skip nils, so
+	// the live order is exactly what the plain slice maintained.
+	running cluster.RunningSet
+
 	// wants is the FIFO queue of tasks the speculation policy asked to
-	// duplicate and that have not yet received a speculative copy.
-	wants   []*cluster.Task
+	// duplicate and that have not yet received a speculative copy. A
+	// ring deque: the place-failure retry re-queues at the front in O(1)
+	// instead of allocating a fresh slice per retry.
+	wants   cluster.TaskDeque
 	wantSet map[*cluster.Task]bool
 
 	// usage counts live copies across the job (slot occupancy).
 	usage int
+
+	// fresh counts never-scheduled tasks in runnable phases — the cached
+	// form of the per-dispatch phase rescan.
+	fresh int
+
+	// credited marks phases whose tasks were added to fresh, as a bitset
+	// over phase index (creditedBig for DAGs deeper than 64). The
+	// executor may fire OnPhaseRunnable more than once for a phase whose
+	// unlock was re-examined while its transfer-gated wakeup was in
+	// flight; the credit must happen exactly once.
+	credited    uint64
+	creditedBig map[*cluster.Phase]bool
+
+	// target and prio cache the Hopper engine's guideline allocation and
+	// DAG-aware priority for this job, rewritten by HopperEngine.refresh.
+	// Unused by the other engines.
+	target int
+	prio   float64
 }
 
 // freshDemand counts never-scheduled tasks in runnable phases.
-func (s *jobState) freshDemand() int {
+func (s *jobState) freshDemand() int { return s.fresh }
+
+// freshDemandScan recomputes freshDemand from the phases — the reference
+// implementation and the invariant oracle for the cached counter.
+func (s *jobState) freshDemandScan() int {
 	n := 0
-	for _, p := range s.job.RunnablePhases() {
+	for _, p := range s.job.RunnablePhasesScan() {
 		n += p.UnscheduledTasks()
 	}
 	return n
 }
 
 // demand is total placeable units: fresh tasks plus pending spec wants.
-func (s *jobState) demand() int { return s.freshDemand() + len(s.wants) }
+func (s *jobState) demand() int { return s.fresh + s.wants.Len() }
 
 // nextFresh returns the next unscheduled task in the earliest runnable
 // phase, or nil.
@@ -128,9 +176,8 @@ func (s *jobState) nextFresh() *cluster.Task {
 // popWant dequeues the next pending speculation target that is still
 // running and below the copy cap; stale entries are discarded.
 func (s *jobState) popWant(maxCopies int) *cluster.Task {
-	for len(s.wants) > 0 {
-		t := s.wants[0]
-		s.wants = s.wants[1:]
+	for s.wants.Len() > 0 {
+		t := s.wants.PopFront()
 		delete(s.wantSet, t)
 		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
 			return t
@@ -139,7 +186,7 @@ func (s *jobState) popWant(maxCopies int) *cluster.Task {
 	return nil
 }
 
-// pendingWants reports deduplicated, still-valid speculation requests.
+// addWant records a deduplicated speculation request.
 func (s *jobState) addWant(t *cluster.Task) bool {
 	if s.wantSet[t] {
 		return false
@@ -148,18 +195,10 @@ func (s *jobState) addWant(t *cluster.Task) bool {
 		s.wantSet = make(map[*cluster.Task]bool)
 	}
 	s.wantSet[t] = true
-	s.wants = append(s.wants, t)
+	s.wants.PushBack(t)
 	return true
 }
 
-func (s *jobState) removeRunning(t *cluster.Task) {
-	for i, rt := range s.running {
-		if rt == t {
-			s.running = append(s.running[:i], s.running[i+1:]...)
-			return
-		}
-	}
-}
 
 // Base is the shared chassis. Engines embed it and set dispatch.
 type Base struct {
@@ -192,8 +231,15 @@ type Base struct {
 	// dispatch (engines use it to refresh cached allocations).
 	onArrive func()
 
+	// onJobRemoved, when set, runs after a finished job leaves the
+	// active set (the Hopper engine prunes its cached priority order).
+	onJobRemoved func(s *jobState)
+
 	// OnJobComplete, when set, observes each finished job.
 	OnJobComplete func(j *cluster.Job)
+
+	// candScratch is the reusable result buffer for speculation scans.
+	candScratch []*cluster.Task
 
 	tickerOn bool
 }
@@ -211,9 +257,37 @@ func newBase(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *Base {
 		byID:  make(map[cluster.JobID]*jobState),
 	}
 	exec.OnTaskDone = b.onTaskDone
-	exec.OnPhaseRunnable = func(*cluster.Phase) { b.requestDispatch() }
+	exec.OnPhaseRunnable = b.onPhaseRunnable
 	exec.OnJobDone = b.onJobDone
 	return b
+}
+
+// onPhaseRunnable credits the job's fresh-demand counter with the phase's
+// (never yet scheduled) tasks — once per phase — and triggers a dispatch
+// pass.
+func (b *Base) onPhaseRunnable(p *cluster.Phase) {
+	if s := b.byID[p.Job.ID]; s != nil && !s.creditPhase(p) {
+		s.fresh += p.UnscheduledTasks()
+	}
+	b.requestDispatch()
+}
+
+// creditPhase marks p as credited, reporting whether it already was.
+func (s *jobState) creditPhase(p *cluster.Phase) (already bool) {
+	if p.Index < 64 {
+		bit := uint64(1) << p.Index
+		already = s.credited&bit != 0
+		s.credited |= bit
+		return already
+	}
+	if s.creditedBig[p] {
+		return true
+	}
+	if s.creditedBig == nil {
+		s.creditedBig = make(map[*cluster.Phase]bool)
+	}
+	s.creditedBig[p] = true
+	return false
 }
 
 // requestDispatch schedules a coalesced dispatch pass.
@@ -270,7 +344,8 @@ func (b *Base) scanAll() {
 	added := false
 	now := b.Eng.Now()
 	for _, s := range b.active {
-		for _, t := range b.Mon.Candidates(now, s.running, -1) {
+		b.candScratch = b.Mon.CandidatesInto(now, s.running.Tasks(), -1, b.candScratch)
+		for _, t := range b.candScratch {
 			if t.RunningCopies() < b.Cfg.Spec.MaxCopies && s.addWant(t) {
 				added = true
 			}
@@ -287,7 +362,8 @@ func (b *Base) scanJob(s *jobState) bool {
 		return false
 	}
 	added := false
-	for _, t := range b.Mon.Candidates(b.Eng.Now(), s.running, -1) {
+	b.candScratch = b.Mon.CandidatesInto(b.Eng.Now(), s.running.Tasks(), -1, b.candScratch)
+	for _, t := range b.candScratch {
 		if t.RunningCopies() < b.Cfg.Spec.MaxCopies && s.addWant(t) {
 			added = true
 		}
@@ -312,15 +388,10 @@ func (b *Base) onTaskDone(t *cluster.Task, winner *cluster.Copy) {
 			b.freshUsage--
 		}
 	}
-	s.removeRunning(t)
+	s.running.Remove(t)
 	if s.wantSet[t] {
 		delete(s.wantSet, t)
-		for i, w := range s.wants {
-			if w == t {
-				s.wants = append(s.wants[:i], s.wants[i+1:]...)
-				break
-			}
-		}
+		s.wants.Remove(t)
 	}
 	b.scanJob(s)
 	b.requestDispatch()
@@ -332,11 +403,17 @@ func (b *Base) onJobDone(j *cluster.Job) {
 	s := b.byID[j.ID]
 	if s != nil {
 		delete(b.byID, j.ID)
+		// Order-preserving removal: the active order is the stable-sort
+		// tie-break for every engine's priority order, so it must stay
+		// the arrival order of the surviving jobs.
 		for i, as := range b.active {
 			if as == s {
 				b.active = append(b.active[:i], b.active[i+1:]...)
 				break
 			}
+		}
+		if b.onJobRemoved != nil {
+			b.onJobRemoved(s)
 		}
 	}
 	b.done = append(b.done, j)
@@ -358,7 +435,8 @@ func (b *Base) placeFresh(s *jobState) bool {
 	if c == nil {
 		return false
 	}
-	s.running = append(s.running, t)
+	s.running.Add(t)
+	s.fresh--
 	s.usage++
 	b.freshUsage++
 	return true
@@ -372,7 +450,7 @@ func (b *Base) placeSpec(s *jobState) bool {
 	}
 	if c := b.Exec.Place(t, true); c == nil {
 		// No free slot; requeue at the front so it is retried first.
-		s.wants = append([]*cluster.Task{t}, s.wants...)
+		s.wants.PushFront(t)
 		s.wantSet[t] = true
 		return false
 	}
@@ -395,7 +473,7 @@ func (b *Base) placeOne(s *jobState) bool {
 	if !b.Cfg.CapacitySpec || b.Cfg.DisableSpec {
 		return false
 	}
-	v := b.Mon.BestVictim(b.Eng.Now(), s.running, b.Cfg.Spec.MaxCopies)
+	v := b.Mon.BestVictim(b.Eng.Now(), s.running.Tasks(), b.Cfg.Spec.MaxCopies)
 	if v == nil {
 		return false
 	}

@@ -15,6 +15,7 @@ type BudgetedEngine struct {
 	*Base
 	totalSlots int
 	budget     int
+	sorter     srptSorter
 }
 
 // NewBudgeted builds a budgeted-speculation SRPT engine; cfg.SpecBudget
@@ -26,6 +27,9 @@ func NewBudgeted(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *Bud
 	}
 	e.Base = newBase(eng, exec, cfg)
 	e.Base.dispatch = e.dispatch
+	if e.Cfg.ReferenceDispatch {
+		e.Base.dispatch = e.dispatchReference
+	}
 	return e
 }
 
@@ -33,15 +37,18 @@ func NewBudgeted(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *Bud
 func (e *BudgetedEngine) Name() string { return "Budgeted-SRPT" }
 
 func (e *BudgetedEngine) dispatch() {
+	// One SRPT ordering serves the whole pass: placements never change
+	// remaining-task counts (only completions do, and completions are
+	// events, never synchronous with this loop), so the old per-placement
+	// re-sort recomputed an identical permutation every iteration.
+	order := e.sorter.load(e.active)
 	for e.Exec.Machines.AnyFree() {
 		placed := false
-		order := srptOrder(e.active)
 
 		// Speculation pool: only specUsage counts against the budget.
 		if e.specUsage < e.budget {
-			for _, i := range order {
-				st := e.active[i]
-				if len(st.wants) == 0 {
+			for _, st := range order {
+				if st.wants.Len() == 0 {
 					continue
 				}
 				if e.placeSpec(st) {
@@ -52,8 +59,7 @@ func (e *BudgetedEngine) dispatch() {
 		}
 		// Original-task pool: the rest of the cluster.
 		if e.Exec.Machines.AnyFree() && e.freshUsage < e.totalSlots-e.budget {
-			for _, i := range order {
-				st := e.active[i]
+			for _, st := range order {
 				if st.freshDemand() == 0 {
 					continue
 				}

@@ -1,0 +1,248 @@
+// Frozen pre-overhaul dispatch implementations.
+//
+// These reproduce, line for line, the dispatch paths as they existed
+// before the scheduler hot-path overhaul (see DESIGN.md section 6):
+// per-pass index sorts, per-refresh map rebuilds, and per-call phase
+// rescans. They are selected by Config.ReferenceDispatch and serve two
+// purposes:
+//
+//   - dispatch_diff_test.go proves the optimized paths produce the exact
+//     same placement sequence (same tie-breaks, same RNG consumption);
+//   - the scale benchmark (experiments.RunScaleBench) measures them as
+//     the "before" column of BENCH_*.json, so the speedup the overhaul
+//     claims is re-measurable on any machine.
+//
+// Do not "improve" this file: its value is being a faithful snapshot of
+// the old cost profile with identical behavior.
+package scheduler
+
+import (
+	"sort"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/core"
+)
+
+// refFreshDemand is the pre-overhaul freshDemand: a phase rescan (with
+// the old per-call slice allocation) instead of the maintained counter.
+func refFreshDemand(s *jobState) int {
+	n := 0
+	for _, p := range s.job.RunnablePhasesScan() {
+		n += p.UnscheduledTasks()
+	}
+	return n
+}
+
+// refDemand is the pre-overhaul demand(): rescanned fresh count plus
+// pending wants.
+func refDemand(s *jobState) int { return refFreshDemand(s) + s.wants.Len() }
+
+// refHasLocalFresh is the pre-overhaul hasLocalFresh, phase rescan
+// included.
+func (b *Base) refHasLocalFresh(s *jobState) bool {
+	for _, p := range s.job.RunnablePhasesScan() {
+		t := p.NextUnscheduled()
+		if t == nil {
+			continue
+		}
+		if len(t.Replicas) == 0 {
+			return true // no preference: every machine is "local"
+		}
+		for _, m := range t.Replicas {
+			if b.Exec.Machines.Get(m).Free > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refreshReference rebuilds the map-keyed target/priority caches exactly
+// as the pre-overhaul refresh did (fresh maps every call). Values are
+// identical to the dense per-job fields refresh just wrote.
+func (h *HopperEngine) refreshReference() {
+	h.refTargets = make(map[cluster.JobID]int, len(h.active))
+	h.refPrios = make(map[cluster.JobID]float64, len(h.active))
+	for _, s := range h.active {
+		h.refTargets[s.job.ID] = s.target
+		h.refPrios[s.job.ID] = s.prio
+	}
+}
+
+// dispatchReference is the pre-overhaul HopperEngine.dispatch: a fresh
+// index slice and a stable sort over the priority map on every pass.
+func (h *HopperEngine) dispatchReference() {
+	if !h.Exec.Machines.AnyFree() || len(h.active) == 0 {
+		return
+	}
+
+	order := make([]int, len(h.active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return h.refPrios[h.active[order[a]].job.ID] < h.refPrios[h.active[order[b]].job.ID]
+	})
+
+	budget := h.Exec.Machines.FreeSlots()
+	window := core.LocalityWindow(len(order), h.Cfg.LocalityK)
+	if window > 32 {
+		window = 32
+	}
+	for i := 0; i < len(order) && budget > 0; i++ {
+		if window > 1 {
+			for k := i; k < i+window && k < len(order); k++ {
+				if h.refHasLocalFresh(h.active[order[k]]) {
+					order[i], order[k] = order[k], order[i]
+					break
+				}
+			}
+		}
+		s := h.active[order[i]]
+		quota := h.refTargets[s.job.ID] - s.usage
+		if quota <= 0 {
+			continue
+		}
+		if quota > budget {
+			quota = budget
+		}
+		filled := 0
+		for filled < quota {
+			if !h.placeOne(s) {
+				break
+			}
+			filled++
+		}
+		if filled == quota {
+			budget -= quota
+			continue
+		}
+		potential := 0
+		for _, t := range s.running.Tasks() {
+			if t == nil {
+				continue
+			}
+			if t.RunningCopies() < h.Cfg.Spec.MaxCopies {
+				potential++
+				if filled+potential >= quota {
+					break
+				}
+			}
+		}
+		hold := quota - filled
+		if potential < hold {
+			hold = potential
+		}
+		budget -= filled + hold
+	}
+}
+
+// refSRPTOrder is the pre-overhaul srptOrder: fresh index slice, stable
+// sort with RemainingTasksTotal recomputed inside the comparator.
+func refSRPTOrder(active []*jobState) []int {
+	order := make([]int, len(active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := active[order[a]].job.RemainingTasksTotal(), active[order[b]].job.RemainingTasksTotal()
+		if ra != rb {
+			return ra < rb
+		}
+		return active[order[a]].job.ID < active[order[b]].job.ID
+	})
+	return order
+}
+
+// dispatchReference is the pre-overhaul SRPTEngine.dispatch.
+func (s *SRPTEngine) dispatchReference() {
+	order := refSRPTOrder(s.active)
+	for s.Exec.Machines.AnyFree() {
+		placed := false
+		for _, i := range order {
+			st := s.active[i]
+			if refDemand(st) == 0 {
+				continue
+			}
+			if s.placeOne(st) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return
+		}
+	}
+}
+
+// dispatchReference is the pre-overhaul FairEngine.dispatch: fresh caps
+// and waterfill output slices every pass.
+func (f *FairEngine) dispatchReference() {
+	if len(f.active) == 0 {
+		return
+	}
+	caps := make([]int, len(f.active))
+	for i, st := range f.active {
+		caps[i] = st.usage + refDemand(st)
+	}
+	targets := waterfill(caps, f.totalSlots)
+	for f.Exec.Machines.AnyFree() {
+		pick, bestDeficit := -1, 0
+		for i, st := range f.active {
+			if refDemand(st) == 0 {
+				continue
+			}
+			d := targets[i] - st.usage
+			if d > bestDeficit {
+				bestDeficit = d
+				pick = i
+			}
+		}
+		if pick < 0 {
+			return
+		}
+		if !f.placeOne(f.active[pick]) {
+			if refDemand(f.active[pick]) == 0 {
+				continue
+			}
+			return
+		}
+	}
+}
+
+// dispatchReference is the pre-overhaul BudgetedEngine.dispatch,
+// re-sorting the SRPT order on every placement iteration.
+func (e *BudgetedEngine) dispatchReference() {
+	for e.Exec.Machines.AnyFree() {
+		placed := false
+		order := refSRPTOrder(e.active)
+
+		if e.specUsage < e.budget {
+			for _, i := range order {
+				st := e.active[i]
+				if st.wants.Len() == 0 {
+					continue
+				}
+				if e.placeSpec(st) {
+					placed = true
+					break
+				}
+			}
+		}
+		if e.Exec.Machines.AnyFree() && e.freshUsage < e.totalSlots-e.budget {
+			for _, i := range order {
+				st := e.active[i]
+				if refFreshDemand(st) == 0 {
+					continue
+				}
+				if e.placeFresh(st) {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return
+		}
+	}
+}

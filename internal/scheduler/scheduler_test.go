@@ -6,6 +6,7 @@ import (
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/simulator"
 	"github.com/hopper-sim/hopper/internal/speculation"
+	"github.com/hopper-sim/hopper/internal/workload"
 )
 
 // mkJob builds a single-phase job.
@@ -224,6 +225,49 @@ func TestOnlineBetaLearning(t *testing.T) {
 	if est > 1.85 {
 		t.Fatalf("beta estimate %v stuck at prior", est)
 	}
+}
+
+// mkChainJob builds a DAG chain job (each phase depends on the previous).
+func mkChainJob(id cluster.JobID, phases, tasksPer int, mean, arrival float64) *cluster.Job {
+	ps := make([]*cluster.Phase, phases)
+	for pi := range ps {
+		ph := &cluster.Phase{MeanTaskDuration: mean, Tasks: make([]*cluster.Task, tasksPer)}
+		for i := range ph.Tasks {
+			ph.Tasks[i] = &cluster.Task{}
+		}
+		if pi > 0 {
+			ph.Deps = []int{pi - 1}
+			ph.TransferWork = float64(tasksPer) * mean * 0.3
+		}
+		ps[pi] = ph
+	}
+	return cluster.NewJob(id, "", arrival, ps)
+}
+
+// TestFreshCounterMatchesScan checks the incremental-state invariant of
+// DESIGN.md section 6 on every dispatch pass: the cached fresh-demand
+// counter must equal the phase-scan count. The generated workload
+// includes bushy DAGs with transfer-gated phase unlocks — the regime
+// where the executor can fire OnPhaseRunnable twice for one phase (a
+// sibling phase completes while the wakeup is in flight), which the
+// credit bitset must absorb.
+func TestFreshCounterMatchesScan(t *testing.T) {
+	prof := workload.Sparkify(workload.Facebook())
+	tr := workload.Generate(workload.Config{Profile: prof, NumJobs: 120, TargetUtilization: 0.8,
+		TotalSlots: 480, NumMachines: 120, Seed: 11})
+	eng, exec := mkSetup(120, 4, 12)
+	h := NewFair(eng, exec, Config{CheckInterval: 0.05,
+		Spec: speculation.Config{MaxCopies: 3, EstimateNoise: 0.2}})
+	orig := h.Base.dispatch
+	h.Base.dispatch = func() {
+		for _, s := range h.active {
+			if got, want := s.freshDemand(), s.freshDemandScan(); got != want {
+				t.Fatalf("job %d: cached fresh=%d, scan=%d at t=%v", s.job.ID, got, want, eng.Now())
+			}
+		}
+		orig()
+	}
+	runJobs(t, eng, h, tr.Jobs)
 }
 
 func TestSpecCopiesRespectMaxCopies(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 // exactly the coupling failure Figure 1a illustrates.
 type SRPTEngine struct {
 	*Base
+	sorter srptSorter
 }
 
 // NewSRPT builds a centralized SRPT engine on the executor.
@@ -21,37 +22,60 @@ func NewSRPT(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *SRPTEng
 	s := &SRPTEngine{}
 	s.Base = newBase(eng, exec, cfg)
 	s.Base.dispatch = s.dispatch
+	if s.Cfg.ReferenceDispatch {
+		s.Base.dispatch = s.dispatchReference
+	}
 	return s
 }
 
 // Name implements Engine.
 func (s *SRPTEngine) Name() string { return "SRPT" }
 
-// srptOrder returns active-job indices ascending by total remaining tasks,
-// tie-broken by job ID for determinism.
-func srptOrder(active []*jobState) []int {
-	order := make([]int, len(active))
-	for i := range order {
-		order[i] = i
+// srptSorter orders active jobs ascending by total remaining tasks,
+// tie-broken by job ID, reusing its buffers across dispatch passes so a
+// pass allocates nothing. The remaining-task key is precomputed once per
+// load — the old per-comparison RemainingTasksTotal call rescanned the
+// job's phases O(n log n) times per sort.
+type srptSorter struct {
+	jobs []*jobState
+	rem  []int
+}
+
+func (o *srptSorter) Len() int { return len(o.jobs) }
+
+func (o *srptSorter) Less(a, b int) bool {
+	if o.rem[a] != o.rem[b] {
+		return o.rem[a] < o.rem[b]
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := active[order[a]].job.RemainingTasksTotal(), active[order[b]].job.RemainingTasksTotal()
-		if ra != rb {
-			return ra < rb
-		}
-		return active[order[a]].job.ID < active[order[b]].job.ID
-	})
-	return order
+	return o.jobs[a].job.ID < o.jobs[b].job.ID
+}
+
+func (o *srptSorter) Swap(a, b int) {
+	o.jobs[a], o.jobs[b] = o.jobs[b], o.jobs[a]
+	o.rem[a], o.rem[b] = o.rem[b], o.rem[a]
+}
+
+// load captures the active set and stable-sorts it into SRPT order.
+func (o *srptSorter) load(active []*jobState) []*jobState {
+	o.jobs = append(o.jobs[:0], active...)
+	if cap(o.rem) < len(active) {
+		o.rem = make([]int, 0, 2*len(active)+8)
+	}
+	o.rem = o.rem[:len(active)]
+	for i, s := range active {
+		o.rem[i] = s.job.RemainingTasksTotal()
+	}
+	sort.Stable(o)
+	return o.jobs
 }
 
 func (s *SRPTEngine) dispatch() {
 	// Placements do not change remaining-task counts, so one ordering per
 	// dispatch round suffices.
-	order := srptOrder(s.active)
+	order := s.sorter.load(s.active)
 	for s.Exec.Machines.AnyFree() {
 		placed := false
-		for _, i := range order {
-			st := s.active[i]
+		for _, st := range order {
 			if st.demand() == 0 {
 				continue
 			}
@@ -73,6 +97,8 @@ func (s *SRPTEngine) dispatch() {
 type FairEngine struct {
 	*Base
 	totalSlots int
+	caps       []int
+	targets    []int
 }
 
 // NewFair builds a centralized fair-share engine on the executor.
@@ -80,6 +106,9 @@ func NewFair(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *FairEng
 	f := &FairEngine{totalSlots: exec.Machines.TotalSlots()}
 	f.Base = newBase(eng, exec, cfg)
 	f.Base.dispatch = f.dispatch
+	if f.Cfg.ReferenceDispatch {
+		f.Base.dispatch = f.dispatchReference
+	}
 	return f
 }
 
@@ -89,7 +118,20 @@ func (f *FairEngine) Name() string { return "Fair" }
 // waterfill distributes slots among jobs with the given usable caps so
 // that shares are as equal as possible without exceeding any cap.
 func waterfill(caps []int, slots int) []int {
-	out := make([]int, len(caps))
+	return waterfillInto(nil, caps, slots)
+}
+
+// waterfillInto is waterfill with a caller-owned result buffer.
+func waterfillInto(dst, caps []int, slots int) []int {
+	out := dst
+	if cap(out) < len(caps) {
+		out = make([]int, len(caps))
+	} else {
+		out = out[:len(caps)]
+		for i := range out {
+			out[i] = 0
+		}
+	}
 	remainingJobs := 0
 	for _, c := range caps {
 		if c > 0 {
@@ -137,11 +179,14 @@ func (f *FairEngine) dispatch() {
 	if len(f.active) == 0 {
 		return
 	}
-	caps := make([]int, len(f.active))
-	for i, st := range f.active {
-		caps[i] = st.usage + st.demand()
+	if cap(f.caps) < len(f.active) {
+		f.caps = make([]int, 0, 2*len(f.active)+8)
 	}
-	targets := waterfill(caps, f.totalSlots)
+	f.caps = f.caps[:len(f.active)]
+	for i, st := range f.active {
+		f.caps[i] = st.usage + st.demand()
+	}
+	f.targets = waterfillInto(f.targets, f.caps, f.totalSlots)
 	for f.Exec.Machines.AnyFree() {
 		// Serve the job furthest below its target first (max deficit).
 		pick, bestDeficit := -1, 0
@@ -149,7 +194,7 @@ func (f *FairEngine) dispatch() {
 			if st.demand() == 0 {
 				continue
 			}
-			d := targets[i] - st.usage
+			d := f.targets[i] - st.usage
 			if d > bestDeficit {
 				bestDeficit = d
 				pick = i

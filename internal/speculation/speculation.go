@@ -156,22 +156,41 @@ func (c Config) WithDefaults() Config {
 
 // jobStats tracks per-job completion history for t_new and slow-threshold
 // estimation.
+//
+// version counts completions; it is the dirty cursor for the estimate
+// cache. The policy-visible t_new (median of completions) and slow
+// threshold (completion percentile) change only when a task of the job
+// completes, yet the old code recomputed both — each a sort-backed
+// percentile query — for every running task on every scan. The cache
+// recomputes them once per (job, completion), so a scan over R running
+// tasks costs O(R) instead of O(R · N log N).
 type jobStats struct {
-	done stats.Summary
+	done    stats.Summary
+	version int
+
+	cachedAt int // version estNew/slowThr were computed at; -1 = never
+	estNew   float64
+	slowThr  float64
 }
 
 // Monitor produces speculation candidates for running tasks. One Monitor
 // serves one scheduler (centralized engine or decentralized job
 // scheduler); it is not safe for concurrent use.
 type Monitor struct {
-	cfg  Config
-	rng  *rand.Rand
-	jobs map[cluster.JobID]*jobStats
+	cfg     Config
+	rng     *rand.Rand
+	jobs    map[cluster.JobID]*jobStats
+	slowPct float64 // percentile for the slow-task threshold (LATE)
 }
 
 // NewMonitor returns a Monitor with the given config (defaults applied).
 func NewMonitor(cfg Config, rng *rand.Rand) *Monitor {
-	return &Monitor{cfg: cfg.WithDefaults(), rng: rng, jobs: make(map[cluster.JobID]*jobStats)}
+	cfg = cfg.WithDefaults()
+	pct := 75.0
+	if l, ok := cfg.Policy.(LATE); ok && l.SlowTaskPercentile > 0 {
+		pct = 100 - l.SlowTaskPercentile
+	}
+	return &Monitor{cfg: cfg, rng: rng, jobs: make(map[cluster.JobID]*jobStats), slowPct: pct}
 }
 
 // Config returns the effective configuration.
@@ -182,10 +201,11 @@ func (m *Monitor) Config() Config { return m.cfg }
 func (m *Monitor) TaskCompleted(t *cluster.Task, winner *cluster.Copy) {
 	js := m.jobs[t.Job.ID]
 	if js == nil {
-		js = &jobStats{}
+		js = &jobStats{cachedAt: -1}
 		m.jobs[t.Job.ID] = js
 	}
 	js.done.Add(winner.Duration)
+	js.version++
 }
 
 // JobDone releases the job's history.
@@ -193,10 +213,22 @@ func (m *Monitor) JobDone(j *cluster.Job) {
 	delete(m.jobs, j.ID)
 }
 
+// refreshCache recomputes the job-level estimates if completions arrived
+// since they were last cached (the dirty-cursor check).
+func (js *jobStats) refreshCache(slowPct float64) {
+	if js.cachedAt == js.version {
+		return
+	}
+	js.estNew = js.done.Median()
+	js.slowThr = js.done.Percentile(slowPct)
+	js.cachedAt = js.version
+}
+
 // estNew returns the estimated duration of a fresh copy for a task.
 func (m *Monitor) estNew(t *cluster.Task) float64 {
 	if js := m.jobs[t.Job.ID]; js != nil && js.done.N() >= 5 {
-		return js.done.Median()
+		js.refreshCache(m.slowPct)
+		return js.estNew
 	}
 	return t.Phase.MeanTaskDuration
 }
@@ -204,12 +236,9 @@ func (m *Monitor) estNew(t *cluster.Task) float64 {
 // slowThreshold returns the straggler cutoff for LATE-style percentile
 // tests. Falls back to twice the phase mean before history accumulates.
 func (m *Monitor) slowThreshold(t *cluster.Task) float64 {
-	pct := 75.0
-	if l, ok := m.cfg.Policy.(LATE); ok && l.SlowTaskPercentile > 0 {
-		pct = 100 - l.SlowTaskPercentile
-	}
 	if js := m.jobs[t.Job.ID]; js != nil && js.done.N() >= 5 {
-		return js.done.Percentile(pct)
+		js.refreshCache(m.slowPct)
+		return js.slowThr
 	}
 	return 2 * t.Phase.MeanTaskDuration
 }
@@ -259,14 +288,23 @@ func (m *Monitor) Wants(now float64, t *cluster.Task) bool {
 
 // Candidates scans the given running tasks and returns those the policy
 // wants to speculate, up to budget (budget < 0 means unlimited). The
-// returned order matches the input order.
+// returned order matches the input order. Nil entries in running are
+// skipped (schedulers keep tombstoned running sets for O(1) removal).
+// Allocates per call; hot paths use CandidatesInto.
 func (m *Monitor) Candidates(now float64, running []*cluster.Task, budget int) []*cluster.Task {
-	var out []*cluster.Task
+	return m.CandidatesInto(now, running, budget, nil)
+}
+
+// CandidatesInto is Candidates with a caller-owned result buffer: dst is
+// truncated and reused, so the per-completion speculation scan allocates
+// nothing once the buffer has grown. The returned slice aliases dst.
+func (m *Monitor) CandidatesInto(now float64, running []*cluster.Task, budget int, dst []*cluster.Task) []*cluster.Task {
+	out := dst[:0]
 	for _, t := range running {
 		if budget >= 0 && len(out) >= budget {
 			break
 		}
-		if m.Wants(now, t) {
+		if t != nil && m.Wants(now, t) {
 			out = append(out, t)
 		}
 	}
@@ -290,7 +328,7 @@ func (m *Monitor) BestVictim(now float64, running []*cluster.Task, maxCopies int
 	var victim *cluster.Task
 	var victimRem float64
 	for _, t := range running {
-		if t.State != cluster.TaskRunning {
+		if t == nil || t.State != cluster.TaskRunning {
 			continue
 		}
 		live := 0
