@@ -1,0 +1,145 @@
+// Command hopper-loadgen replays a workload trace against a live Hopper
+// cluster at a target time scale and prints the same per-size-bin
+// metrics table the simulator harness emits, so live runs and simulator
+// figures are directly comparable.
+//
+// Replay an existing cluster (-workers/-slots describe that cluster:
+// they size the generated trace's offered load and replica locality):
+//
+//	hopper-loadgen -schedulers 127.0.0.1:7070,127.0.0.1:7071 -workers 20 -slots 4 -profile facebook -jobs 40
+//
+// Or boot an in-process cluster (2 schedulers, 20 workers) and drive it:
+//
+//	hopper-loadgen -boot -num-schedulers 2 -workers 20 -slots 4 -time-scale 0.01
+//
+// Traces come from the same generator the figures use (-profile/-util/
+// -jobs, deterministic under -seed) or from a JSON trace file written by
+// hopper-trace (-trace).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/live"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+func main() {
+	var (
+		scheds    = flag.String("schedulers", "", "comma-separated scheduler addresses (omit with -boot)")
+		boot      = flag.Bool("boot", false, "boot an in-process cluster instead of dialing one")
+		nSched    = flag.Int("num-schedulers", 2, "schedulers to boot (-boot)")
+		nWork     = flag.Int("workers", 20, "cluster worker count: booted with -boot, and ALWAYS used to size the trace (offered load, replica locality) — must match the real cluster when dialing")
+		slots     = flag.Int("slots", 4, "slots per worker: booted with -boot, and always used to size the trace — must match the real cluster when dialing")
+		profile   = flag.String("profile", "facebook", "workload profile: facebook or bing")
+		jobs      = flag.Int("jobs", 40, "jobs to generate")
+		util      = flag.Float64("util", 0.7, "target utilization for the generated trace")
+		maxTasks  = flag.Int("max-tasks", 200, "cap on tasks per generated job (0 = profile default)")
+		tracePath = flag.String("trace", "", "replay a JSON trace file instead of generating")
+		timeScale = flag.Float64("time-scale", 0.01, "virtual-to-wall time factor (must match the cluster)")
+		arrScale  = flag.Float64("arrival-scale", 1.0, "extra compression of inter-arrival gaps")
+		seed      = flag.Int64("seed", 1, "trace generation seed")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "replay deadline")
+	)
+	flag.Parse()
+
+	totalSlots := *nWork * *slots
+	numMachines := *nWork
+
+	var addrs []string
+	if *boot {
+		lc, err := live.StartLocalCluster(live.LocalClusterConfig{
+			Schedulers: *nSched,
+			Workers:    *nWork,
+			Slots:      *slots,
+			TimeScale:  *timeScale,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatalf("booting cluster: %v", err)
+		}
+		defer lc.Stop()
+		addrs = lc.Addrs
+		fmt.Printf("booted %d schedulers / %d workers x %d slots on localhost\n", *nSched, *nWork, *slots)
+	} else {
+		if *scheds == "" {
+			log.Fatal("need -schedulers or -boot")
+		}
+		addrs = strings.Split(*scheds, ",")
+		fmt.Printf("dialing %d schedulers; sizing trace for %d workers x %d slots (-workers/-slots must match the cluster)\n",
+			len(addrs), *nWork, *slots)
+	}
+
+	tr := loadTrace(*tracePath, *profile, *jobs, *util, totalSlots, numMachines, *maxTasks, *seed)
+	fmt.Printf("trace: %d jobs, %.0f slot-seconds of work, offered load %.2f\n",
+		len(tr.Jobs), tr.TotalWork, tr.OfferedLoad)
+
+	var clients []*live.Client
+	for _, a := range addrs {
+		c, err := live.NewClient(a)
+		if err != nil {
+			log.Fatalf("dialing scheduler %s: %v", a, err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+
+	run, stats, err := live.Replay(clients, tr.Jobs, live.ReplayConfig{
+		TimeScale:    *timeScale,
+		ArrivalScale: *arrScale,
+		Timeout:      *timeout,
+		Log:          os.Stderr,
+	})
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+
+	title := fmt.Sprintf("live replay: %s profile, %d schedulers, %d workers (time scale %g)",
+		*profile, len(addrs), numMachines, *timeScale)
+	fmt.Println()
+	fmt.Print(metrics.BinBreakdown(title, run).String())
+	fmt.Printf("\n%d speculative copies, %d aborted, %.1fs wall clock\n",
+		stats.SpecCopies, stats.Aborted, stats.WallTime.Seconds())
+}
+
+// loadTrace reads or generates the workload.
+func loadTrace(path, profile string, jobs int, util float64, totalSlots, numMachines, maxTasks int, seed int64) *workload.Trace {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening trace: %v", err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadTrace(f)
+		if err != nil {
+			log.Fatalf("reading trace: %v", err)
+		}
+		return tr
+	}
+	var p workload.Profile
+	switch profile {
+	case "facebook":
+		p = workload.Facebook()
+	case "bing":
+		p = workload.Bing()
+	default:
+		log.Fatalf("unknown profile %q", profile)
+	}
+	if maxTasks > 0 {
+		p.JobSizeCap = maxTasks
+	}
+	return workload.Generate(workload.Config{
+		Profile:           p,
+		NumJobs:           jobs,
+		TargetUtilization: util,
+		TotalSlots:        totalSlots,
+		NumMachines:       numMachines,
+		Seed:              seed,
+	})
+}

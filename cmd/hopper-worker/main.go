@@ -2,6 +2,10 @@
 // scheduler, queues reservations, and late-binds its slots through the
 // refusable-offer protocol (Pseudocode 3).
 //
+// On SIGINT/SIGTERM the worker drains gracefully: every in-flight copy
+// is reported to its scheduler as killed (so the task requeues
+// elsewhere) before the connections close.
+//
 //	hopper-worker -id 0 -slots 16 -schedulers 127.0.0.1:7070,127.0.0.1:7071
 package main
 
@@ -12,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/hopper-sim/hopper/internal/live"
 )
@@ -21,7 +26,7 @@ func main() {
 		id     = flag.Uint("id", 0, "worker ID")
 		slots  = flag.Int("slots", 4, "task slots on this worker")
 		scheds = flag.String("schedulers", "127.0.0.1:7070", "comma-separated scheduler addresses")
-		scale  = flag.Float64("time-scale", 1.0, "multiplier on task service times")
+		scale  = flag.Float64("time-scale", 1.0, "multiplier on task service times (must match schedulers)")
 	)
 	flag.Parse()
 
@@ -36,10 +41,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("worker %d up with %d slots, schedulers %s\n", *id, *slots, *scheds)
-	go w.Run()
+	done := make(chan struct{})
+	go func() {
+		w.Run() // reports in-flight copies as killed on shutdown
+		close(done)
+	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	fmt.Println("draining: reporting in-flight copies as killed")
 	w.Stop()
+	<-done
 }

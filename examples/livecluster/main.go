@@ -1,12 +1,15 @@
 // Live cluster: boots a real decentralized Hopper cluster on localhost —
-// two schedulers and eight workers as goroutines talking the binary wire
-// protocol over TCP — submits a batch of jobs, and prints completions.
+// two schedulers and twenty workers as goroutines talking the binary
+// wire protocol over TCP — replays a Facebook-profile workload trace
+// against it through the load-generation pipeline, and prints the same
+// per-size-bin metrics table the simulator harness emits.
 //
 // This is the same protocol the simulator models (probes, refusable
-// offers, late binding, virtual-size piggybacking), running over real
-// sockets with real concurrency. Task execution is emulated by holding a
-// slot for the drawn service time, scaled down so the demo finishes in
-// seconds.
+// offers, late binding, virtual-size piggybacking, speculation races
+// settled by Kill frames), running the same internal/protocol state
+// machines over real sockets with real concurrency. Task execution is
+// emulated by holding a slot for the drawn service time, scaled down so
+// the demo finishes in seconds.
 //
 //	go run ./examples/livecluster
 package main
@@ -14,67 +17,55 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/live"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/workload"
 )
 
 func main() {
-	logger := log.New(os.Stderr, "live: ", 0)
-	_ = logger // enable by passing into configs for verbose traces
+	const (
+		nSched    = 2
+		nWork     = 20
+		slots     = 2
+		timeScale = 0.004 // 30s mean tasks run in ~120ms of wall clock
+	)
 
-	// Two schedulers.
-	var schedAddrs []string
-	var scheds []*live.Scheduler
-	for i := 0; i < 2; i++ {
-		s, err := live.NewScheduler(live.SchedulerConfig{
-			ID:              uint32(i),
-			Addr:            "127.0.0.1:0",
-			Beta:            1.5,
-			MeanTaskSeconds: 2.0,
-			Seed:            int64(100 + i),
-		})
-		if err != nil {
-			log.Fatalf("scheduler %d: %v", i, err)
-		}
-		go s.Run()
-		scheds = append(scheds, s)
-		schedAddrs = append(schedAddrs, s.Addr())
-		fmt.Printf("scheduler %d listening on %s\n", i, s.Addr())
+	lc, err := live.StartLocalCluster(live.LocalClusterConfig{
+		Schedulers: nSched,
+		Workers:    nWork,
+		Slots:      slots,
+		TimeScale:  timeScale,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatalf("booting cluster: %v", err)
 	}
-	defer func() {
-		for _, s := range scheds {
-			s.Stop()
-		}
-	}()
-
-	// Eight workers with two slots each; 20x time compression.
-	var workers []*live.Worker
-	for i := 0; i < 8; i++ {
-		w, err := live.NewWorker(live.WorkerConfig{
-			ID:             uint32(i),
-			Slots:          2,
-			SchedulerAddrs: schedAddrs,
-			TimeScale:      0.05,
-		})
-		if err != nil {
-			log.Fatalf("worker %d: %v", i, err)
-		}
-		go w.Run()
-		workers = append(workers, w)
+	defer lc.Stop()
+	fmt.Printf("booted %d schedulers and %d workers x %d slots on localhost\n", nSched, nWork, slots)
+	for i, a := range lc.Addrs {
+		fmt.Printf("  scheduler %d on %s\n", i, a)
 	}
-	defer func() {
-		for _, w := range workers {
-			w.Stop()
-		}
-	}()
-	fmt.Printf("%d workers connected\n", len(workers))
 
-	// A client per scheduler, round-robin submissions.
+	// A Facebook-profile trace, size-capped so the demo's 40 slots finish
+	// it in seconds at the chosen compression.
+	prof := workload.Facebook()
+	prof.JobSizeCap = 60
+	tr := workload.Generate(workload.Config{
+		Profile:           prof,
+		NumJobs:           24,
+		TargetUtilization: 0.7,
+		TotalSlots:        nWork * slots,
+		NumMachines:       nWork,
+		Seed:              7,
+	})
+	fmt.Printf("generated %d jobs (%.0f slot-seconds, offered load %.2f)\n\n",
+		len(tr.Jobs), tr.TotalWork, tr.OfferedLoad)
+
 	var clients []*live.Client
-	for _, addr := range schedAddrs {
-		c, err := live.NewClient(addr)
+	for _, a := range lc.Addrs {
+		c, err := live.NewClient(a)
 		if err != nil {
 			log.Fatalf("client: %v", err)
 		}
@@ -82,48 +73,15 @@ func main() {
 		clients = append(clients, c)
 	}
 
-	const numJobs = 6
-	sizes := []int{4, 12, 3, 8, 16, 5}
-	start := time.Now()
-	for i := 0; i < numJobs; i++ {
-		c := clients[i%len(clients)]
-		job := live.SimpleJob(uint64(i+1), fmt.Sprintf("job-%d", i+1), sizes[i], 2.0)
-		if err := c.Submit(job); err != nil {
-			log.Fatalf("submit %d: %v", i+1, err)
-		}
-		fmt.Printf("submitted job %d (%d tasks)\n", i+1, sizes[i])
+	run, stats, err := live.Replay(clients, tr.Jobs, live.ReplayConfig{
+		TimeScale: timeScale,
+		Timeout:   2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatalf("replay: %v", err)
 	}
 
-	// Collect completions (each client sees its own jobs).
-	done := 0
-	results := make(chan string, numJobs)
-	for ci, c := range clients {
-		mine := 0
-		for i := 0; i < numJobs; i++ {
-			if i%len(clients) == ci {
-				mine++
-			}
-		}
-		go func(c *live.Client, n int) {
-			for k := 0; k < n; k++ {
-				jc, err := c.WaitAny()
-				if err != nil {
-					results <- fmt.Sprintf("error: %v", err)
-					return
-				}
-				results <- fmt.Sprintf("job %d complete in %.2fs (%d tasks, %d speculative copies)",
-					jc.JobID, jc.Completion, jc.TasksRun, jc.SpecCopies)
-			}
-		}(c, mine)
-	}
-	for done < numJobs {
-		select {
-		case line := <-results:
-			fmt.Println(line)
-			done++
-		case <-time.After(60 * time.Second):
-			log.Fatal("timed out waiting for completions")
-		}
-	}
-	fmt.Printf("all %d jobs finished in %.1fs wall clock\n", numJobs, time.Since(start).Seconds())
+	fmt.Print(metrics.BinBreakdown("live replay: facebook profile, 2 schedulers / 20 workers", run).String())
+	fmt.Printf("\n%d speculative copies launched; %.1fs wall clock for %.0fs of virtual workload\n",
+		stats.SpecCopies, stats.WallTime.Seconds(), tr.Horizon)
 }

@@ -64,12 +64,6 @@ func (em ExecModel) Duration(rng *rand.Rand, meanTask float64, local bool) float
 	return d
 }
 
-// transferOverlapFactor is how much of a phase's per-task transfer share
-// is hidden by pipelining with the upstream phase and by overlap with the
-// downstream tasks' own shuffle reads. Only 1/factor of the share gates
-// the phase start.
-const transferOverlapFactor = 4.0
-
 // Executor runs copies on machines inside a discrete-event simulation:
 // it owns slot accounting, the copy race (first finisher wins, siblings
 // are killed and their slots reclaimed), phase-dependency unlocking with
@@ -128,9 +122,11 @@ type Executor struct {
 	// freedScratch the per-completion freed-slot list, so neither
 	// allocates per placement/completion. freedScratch is safe to reuse
 	// because OnSlotFree consumers only post events — copyFinished never
-	// re-enters synchronously.
-	amongScratch []MachineID
-	freedScratch []MachineID
+	// re-enters synchronously. unlockScratch backs the phase-unlock list
+	// of Job.CompleteTask under the same single-event reuse rule.
+	amongScratch  []MachineID
+	freedScratch  []MachineID
+	unlockScratch []PhaseUnlock
 }
 
 // noteSlotChange updates the saturation clock after slot counts change.
@@ -156,7 +152,15 @@ func NewExecutor(eng *simulator.Engine, ms *Machines, model ExecModel) *Executor
 // straggler realizations, so paired per-job comparisons (Figures 8a and
 // 10) measure scheduling differences, not resampling noise.
 func (x *Executor) copyRNG(t *Task, attempt int) *rand.Rand {
-	h := uint64(x.durSeed)
+	return CopyServiceRNG(x.durSeed, t, attempt)
+}
+
+// CopyServiceRNG returns the deterministic service-time source for one
+// copy, keyed by (job, phase, task, attempt) under the given seed. The
+// live scheduler uses the same keying so emulated clusters inherit the
+// paired-comparison property of the simulator.
+func CopyServiceRNG(seed int64, t *Task, attempt int) *rand.Rand {
+	h := uint64(seed)
 	for _, v := range [4]uint64{uint64(t.Job.ID), uint64(t.Phase.Index), uint64(t.Index), uint64(attempt)} {
 		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
 		h *= 0xBF58476D1CE4E5B9
@@ -216,24 +220,7 @@ func (x *Executor) placeOn(t *Task, m MachineID, speculative, local bool) *Copy 
 	} else {
 		dur = x.Model.Duration(x.copyRNG(t, len(t.Copies)), t.Phase.MeanTaskDuration, local)
 	}
-	c := &Copy{
-		Task:        t,
-		Machine:     m,
-		Speculative: speculative,
-		Local:       local,
-		Start:       now,
-		Duration:    dur,
-	}
-	t.Copies = append(t.Copies, c)
-	if t.State == TaskUnscheduled {
-		t.State = TaskRunning
-		t.Phase.unscheduled--
-		t.Phase.advanceCursor()
-		if !t.Job.started {
-			t.Job.started = true
-			t.Job.StartAt = now
-		}
-	}
+	c := t.StartCopy(now, m, speculative, local, dur)
 	x.CopiesStarted++
 	if speculative {
 		x.SpeculativeCopies++
@@ -301,76 +288,23 @@ func (x *Executor) copyFinished(c *Copy) {
 	}
 }
 
-// taskDone performs phase/job completion bookkeeping and reports whether
-// the task's job just finished (the caller fires OnJobDone after
+// taskDone performs phase/job completion bookkeeping via
+// Job.CompleteTask, posts the resulting phase unlocks, and reports
+// whether the task's job just finished (the caller fires OnJobDone after
 // OnTaskDone).
 func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
-	p := t.Phase
-	p.doneTasks++
-	if !p.anyDone {
-		p.anyDone = true
-		p.firstDone = now
-	}
-	if !p.Done() {
-		return false
-	}
-	p.DoneAt = now
-	j := t.Job
-	j.markPhaseDone(p)
-	j.donePhases++
-	if j.Done() {
-		j.DoneAt = now
-		return true
-	}
-	// Unlock dependent phases whose dependencies are now all complete.
-	for _, q := range j.Phases {
-		if q.Runnable || q.Done() || len(q.Deps) == 0 {
-			continue
-		}
-		ready := true
-		var depsDone, transferStart simulator.Time
-		first := true
-		for _, di := range q.Deps {
-			d := j.Phases[di]
-			if !d.Done() {
-				ready = false
-				break
-			}
-			if d.DoneAt > depsDone {
-				depsDone = d.DoneAt
-			}
-			if first || d.firstDone < transferStart {
-				transferStart = d.firstDone
-				first = false
-			}
-		}
-		if !ready {
-			continue
-		}
-		// Pipelined transfer: TransferWork is total network work
-		// (slot-seconds); the phase's tasks pull their partitions in
-		// parallel, and most of the pull overlaps both the upstream
-		// phase (pipelining, Section 4.2) and the downstream tasks' own
-		// runtimes (shuffle reads are part of reduce-task durations), so
-		// only a fraction of the per-task share gates the phase start.
-		// The transfer began when the first upstream task produced
-		// output; the phase starts at whichever is later — all inputs
-		// computed, or residual inputs moved.
-		startAt := depsDone
-		wall := q.TransferWork / float64(len(q.Tasks)) / transferOverlapFactor
-		if end := transferStart + wall; end > startAt {
-			startAt = end
-		}
-		q.RunnableAt = startAt
-		qq := q
-		x.Eng.Post(startAt, func() {
+	jobDone, unlocks := t.Job.CompleteTask(t, now, x.unlockScratch[:0])
+	x.unlockScratch = unlocks
+	for _, u := range unlocks {
+		qq := u.Phase
+		x.Eng.Post(u.At, func() {
 			qq.MarkRunnable()
 			if x.OnPhaseRunnable != nil {
 				x.OnPhaseRunnable(qq)
 			}
 		})
 	}
-	return false
+	return jobDone
 }
 
 // SpeculationWasteFraction returns the fraction of consumed slot-seconds

@@ -346,6 +346,116 @@ func (j *Job) RemainingCurrentTasks() int {
 	return n
 }
 
+// StartCopy records a new copy of the task on machine m: it appends the
+// Copy and performs the task/phase/job state transitions of first
+// placement. It owns none of the execution-side concerns (slot
+// accounting, completion events) — the simulator's Executor layers those
+// on top, and the live scheduler drives the same bookkeeping from
+// TaskDone wire messages.
+func (t *Task) StartCopy(now simulator.Time, m MachineID, speculative, local bool, dur float64) *Copy {
+	c := &Copy{
+		Task:        t,
+		Machine:     m,
+		Speculative: speculative,
+		Local:       local,
+		Start:       now,
+		Duration:    dur,
+	}
+	t.Copies = append(t.Copies, c)
+	if t.State == TaskUnscheduled {
+		t.State = TaskRunning
+		t.Phase.unscheduled--
+		t.Phase.advanceCursor()
+		if !t.Job.started {
+			t.Job.started = true
+			t.Job.StartAt = now
+		}
+	}
+	return c
+}
+
+// PhaseUnlock pairs a phase whose dependencies just completed with the
+// time its pipelined input transfer allows it to start.
+type PhaseUnlock struct {
+	Phase *Phase
+	At    simulator.Time
+}
+
+// transferOverlapFactor is how much of a phase's per-task transfer share
+// is hidden by pipelining with the upstream phase and by overlap with the
+// downstream tasks' own shuffle reads. Only 1/factor of the share gates
+// the phase start.
+const transferOverlapFactor = 4.0
+
+// CompleteTask performs the phase/job completion bookkeeping for a task
+// whose winning copy finished at now (the caller marks the copy Won and
+// the task Done first). It reports whether the job just finished and
+// appends to dst the phases whose dependencies are now all complete,
+// each with the start time its pipelined transfer permits; the caller
+// marks those runnable at their unlock times (engine post in the
+// simulator, timer in a live node).
+func (j *Job) CompleteTask(t *Task, now simulator.Time, dst []PhaseUnlock) (jobDone bool, unlocks []PhaseUnlock) {
+	p := t.Phase
+	p.doneTasks++
+	if !p.anyDone {
+		p.anyDone = true
+		p.firstDone = now
+	}
+	if !p.Done() {
+		return false, dst
+	}
+	p.DoneAt = now
+	j.markPhaseDone(p)
+	j.donePhases++
+	if j.Done() {
+		j.DoneAt = now
+		return true, dst
+	}
+	// Unlock dependent phases whose dependencies are now all complete.
+	for _, q := range j.Phases {
+		if q.Runnable || q.Done() || len(q.Deps) == 0 {
+			continue
+		}
+		ready := true
+		var depsDone, transferStart simulator.Time
+		first := true
+		for _, di := range q.Deps {
+			d := j.Phases[di]
+			if !d.Done() {
+				ready = false
+				break
+			}
+			if d.DoneAt > depsDone {
+				depsDone = d.DoneAt
+			}
+			if first || d.firstDone < transferStart {
+				transferStart = d.firstDone
+				first = false
+			}
+		}
+		if !ready {
+			continue
+		}
+		// Pipelined transfer: TransferWork is total network work
+		// (slot-seconds); the phase's tasks pull their partitions in
+		// parallel, and most of the pull overlaps both the upstream
+		// phase (pipelining, Section 4.2) and the downstream tasks' own
+		// runtimes (shuffle reads are part of reduce-task durations), so
+		// only a fraction of the per-task share gates the phase start.
+		// The transfer began when the first upstream task produced
+		// output; the phase starts at whichever is later — all inputs
+		// computed, or residual inputs moved.
+		startAt := depsDone
+		wall := q.TransferWork / float64(len(q.Tasks)) / transferOverlapFactor
+		if end := transferStart + wall; end > startAt {
+			startAt = end
+		}
+		q.RunnableAt = startAt
+		dst = append(dst, PhaseUnlock{Phase: q, At: startAt})
+	}
+	return false, dst
+}
+
 // CompletionTime returns the job's response time (completion minus
 // arrival). It panics if the job has not finished — reading metrics from
 // an unfinished job is always a harness bug.

@@ -1,6 +1,6 @@
-// Package decentral implements the decentralized schedulers of Sections 5
-// and 6.1: decentralized Hopper, and the Sparrow and Sparrow-SRPT
-// baselines it is evaluated against.
+// Package decentral runs the decentralized schedulers of Sections 5 and
+// 6.1 — decentralized Hopper, and the Sparrow and Sparrow-SRPT baselines
+// it is evaluated against — inside the discrete-event simulator.
 //
 // Architecture (Figure 4): multiple independent job schedulers each own a
 // subset of jobs; workers own slots. A scheduler pushes reservation
@@ -8,20 +8,14 @@
 // a free slot late-binds — it asks the scheduler of a queued reservation
 // for a task, and the scheduler decides which task (if any) to hand over.
 //
-// Hopper's differences from Sparrow, all implemented here:
-//
-//   - power of many choices: probe ratio defaults to 4, not 2
-//     (Section 5.1 — heavy-tailed task durations back up worker queues,
-//     so two samples are not enough);
-//   - worker queues are ordered by job virtual size, not FIFO;
-//   - responses are refusable (Pseudocode 2/3): a scheduler whose job is
-//     already at its virtual size refuses, piggybacking its smallest
-//     *unsatisfied* job; after a threshold of refusals the worker either
-//     serves the smallest unsatisfied job (non-refusable — the system is
-//     capacity-constrained, Guideline 2) or, when refusals carried no
-//     unsatisfied-job info, concludes the system is unconstrained and
-//     picks a job at random weighted by virtual size (Guideline 3);
-//   - virtual-size updates piggyback on protocol messages — no gossip.
+// The protocol state machines themselves (Pseudocode 2/3: virtual-size
+// ordering, refusable offers, piggybacked smallest-unsatisfied jobs,
+// Guideline 3's weighted fallback) live in internal/protocol; this
+// package is the simulator adapter. It feeds the cores from executor
+// callbacks, realizes core actions as engine posts under the message
+// cost model, and owns nothing protocol-shaped beyond counters. The
+// same cores drive internal/live over real connections — the parity
+// test there pins the two adapters to identical assignment sequences.
 //
 // Messages are simulated with a one-way latency plus a serial
 // per-message processing delay at each scheduler, so higher probe ratios
@@ -29,42 +23,30 @@
 package decentral
 
 import (
-	"fmt"
-
 	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/simulator"
 	"github.com/hopper-sim/hopper/internal/speculation"
 )
 
-// Mode selects the scheduling protocol.
-type Mode int
+// Mode selects the scheduling protocol (re-exported from protocol so
+// experiment configs read as before).
+type Mode = protocol.Mode
 
 // The three decentralized systems evaluated in the paper.
 const (
 	// ModeHopper is decentralized Hopper (Section 5).
-	ModeHopper Mode = iota
+	ModeHopper = protocol.ModeHopper
 	// ModeSparrow is stock Sparrow: FIFO worker queues, batched
 	// power-of-two probes, best-effort speculation.
-	ModeSparrow
+	ModeSparrow = protocol.ModeSparrow
 	// ModeSparrowSRPT is the paper's aggressive baseline: Sparrow whose
 	// workers pick the job with the fewest unfinished tasks.
-	ModeSparrowSRPT
+	ModeSparrowSRPT = protocol.ModeSparrowSRPT
 )
 
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case ModeHopper:
-		return "Hopper-D"
-	case ModeSparrow:
-		return "Sparrow"
-	case ModeSparrowSRPT:
-		return "Sparrow-SRPT"
-	}
-	return fmt.Sprintf("Mode(%d)", int(m))
-}
-
-// Config holds the decentralized system's parameters.
+// Config holds the decentralized system's parameters: the shared
+// protocol parameters plus the simulator-only message cost model.
 type Config struct {
 	Mode Mode
 
@@ -120,45 +102,43 @@ type Config struct {
 
 // WithDefaults fills zero fields with the paper's defaults for the mode.
 func (c Config) WithDefaults() Config {
-	if c.NumSchedulers == 0 {
-		c.NumSchedulers = 10
-	}
-	if c.ProbeRatio == 0 {
-		if c.Mode == ModeHopper {
-			c.ProbeRatio = 4
-		} else {
-			c.ProbeRatio = 2
-		}
-	}
-	if c.RefusalThreshold == 0 {
-		c.RefusalThreshold = 2
-	}
+	p := c.protocol().WithDefaults()
+	c.NumSchedulers = p.NumSchedulers
+	c.ProbeRatio = p.ProbeRatio
+	c.RefusalThreshold = p.RefusalThreshold
+	c.Epsilon = p.Epsilon
+	c.Spec = p.Spec
+	c.BetaPrior = p.BetaPrior
+	c.RetryBackoffMin = p.RetryBackoffMin
+	c.RetryBackoffMax = p.RetryBackoffMax
+	c.RefusalCooldown = p.RefusalCooldown
 	if c.MsgLatency == 0 {
 		c.MsgLatency = 0.0005
 	}
 	if c.ProcDelay == 0 {
 		c.ProcDelay = 0.00002
 	}
-	if c.Epsilon == 0 {
-		c.Epsilon = 0.1
-	}
-	c.Spec = c.Spec.WithDefaults()
 	if c.CheckInterval == 0 {
 		c.CheckInterval = 0.25
 	}
-	if c.BetaPrior == 0 {
-		c.BetaPrior = 1.5
-	}
-	if c.RetryBackoffMin == 0 {
-		c.RetryBackoffMin = 0.25
-	}
-	if c.RetryBackoffMax == 0 {
-		c.RetryBackoffMax = 2.0
-	}
-	if c.RefusalCooldown == 0 {
-		c.RefusalCooldown = 0.1
-	}
 	return c
+}
+
+// protocol projects the shared protocol parameters out of the config.
+func (c Config) protocol() protocol.Config {
+	return protocol.Config{
+		Mode:             c.Mode,
+		NumSchedulers:    c.NumSchedulers,
+		ProbeRatio:       c.ProbeRatio,
+		RefusalThreshold: c.RefusalThreshold,
+		Epsilon:          c.Epsilon,
+		FairnessOff:      c.FairnessOff,
+		Spec:             c.Spec,
+		BetaPrior:        c.BetaPrior,
+		RetryBackoffMin:  c.RetryBackoffMin,
+		RetryBackoffMax:  c.RetryBackoffMax,
+		RefusalCooldown:  c.RefusalCooldown,
+	}
 }
 
 // System is a running decentralized cluster: schedulers, workers, and the
@@ -182,14 +162,17 @@ type System struct {
 	Messages int64
 
 	// Message/round breakdown for diagnostics and the overhead tables.
-	Probes        int64 // reservation requests sent
-	Offers        int64 // worker->scheduler offers / task pulls
-	RoundsStarted int64
-	RoundsPlaced  int64
+	Probes int64 // reservation requests sent
+	Offers int64 // worker->scheduler offers / task pulls
 
-	// OccupancyLeaks counts jobs that finished with nonzero occupancy —
-	// always a protocol accounting bug.
-	OccupancyLeaks int64
+	// Stats carries the core-side counters (RoundsStarted, RoundsPlaced,
+	// OccupancyLeaks), promoted so callers read them as System fields.
+	protocol.Stats
+
+	// OnPlace, when set, observes every successful placement in hand-out
+	// order — the assignment log the sim-vs-live parity test compares.
+	// Observation only: it must not mutate cluster state.
+	OnPlace func(t *cluster.Task, m cluster.MachineID, spec bool)
 }
 
 // New builds a decentralized system over the executor's machines.
@@ -201,12 +184,13 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 		Exec:  exec,
 		byJob: make(map[cluster.JobID]*sched),
 	}
+	pcfg := cfg.protocol()
 	for i := 0; i < cfg.NumSchedulers; i++ {
-		s.scheds = append(s.scheds, newSched(s, i))
+		s.scheds = append(s.scheds, newSched(s, i, pcfg))
 	}
 	s.workers = make([]*worker, len(exec.Machines.All))
 	for i := range s.workers {
-		s.workers[i] = newWorker(s, cluster.MachineID(i))
+		s.workers[i] = newWorker(s, cluster.MachineID(i), pcfg)
 	}
 	exec.OnTaskDone = s.onTaskDone
 	exec.OnPhaseRunnable = s.onPhaseRunnable
@@ -233,26 +217,27 @@ func (s *System) Arrive(j *cluster.Job) {
 
 func (s *System) onPhaseRunnable(p *cluster.Phase) {
 	if sc := s.byJob[p.Job.ID]; sc != nil {
-		sc.phaseRunnable(p)
+		sc.sendProbes(sc.core.PhaseRunnable(p))
 	}
 }
 
 func (s *System) onTaskDone(t *cluster.Task, winner *cluster.Copy) {
 	if sc := s.byJob[t.Job.ID]; sc != nil {
-		sc.taskDone(t, winner)
+		sc.core.TaskDone(t, winner)
 	}
 }
 
 func (s *System) onJobDone(j *cluster.Job) {
 	if sc := s.byJob[j.ID]; sc != nil {
-		sc.jobDone(j)
+		sc.core.JobDone(j)
 		delete(s.byJob, j.ID)
 	}
 	s.done = append(s.done, j)
 }
 
 func (s *System) onSlotFree(m cluster.MachineID) {
-	s.workers[m].kick()
+	w := s.workers[m]
+	w.exec(w.core.Kick())
 }
 
 // toScheduler delivers fn at the scheduler after network latency and the

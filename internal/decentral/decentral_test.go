@@ -1,9 +1,11 @@
 package decentral
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/simulator"
 )
 
@@ -149,6 +151,21 @@ func TestSparrowSRPTBeatsSparrowUnderLoad(t *testing.T) {
 	fifo, srpt := run(ModeSparrow), run(ModeSparrowSRPT)
 	if srpt >= fifo {
 		t.Fatalf("Sparrow-SRPT (%.2f) not better than Sparrow (%.2f) with a head-of-line elephant", srpt, fifo)
+	}
+}
+
+// TestConfigDefaultsMatchProtocol pins the projection/copy-back pair in
+// Config.WithDefaults: a protocol.Config field added without the
+// matching decentral plumbing would leave the decentral field zero
+// while the core runs with the default — this catches that silently
+// diverging config at test time.
+func TestConfigDefaultsMatchProtocol(t *testing.T) {
+	for _, mode := range []Mode{ModeHopper, ModeSparrow, ModeSparrowSRPT} {
+		got := Config{Mode: mode}.WithDefaults().protocol()
+		want := protocol.Config{Mode: mode}.WithDefaults()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: decentral defaults project to %+v, protocol defaults are %+v", mode, got, want)
+		}
 	}
 }
 

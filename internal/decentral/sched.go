@@ -2,403 +2,70 @@ package decentral
 
 import (
 	"github.com/hopper-sim/hopper/internal/cluster"
-	"github.com/hopper-sim/hopper/internal/core"
-	"github.com/hopper-sim/hopper/internal/estimate"
-	"github.com/hopper-sim/hopper/internal/speculation"
-	"github.com/hopper-sim/hopper/internal/stats"
+	"github.com/hopper-sim/hopper/internal/protocol"
 )
 
-// unsatInfo is the piggybacked "smallest unsatisfied job" a scheduler
-// attaches to a refusal (Pseudocode 2): a job still below its virtual
-// size with work available.
-type unsatInfo struct {
-	sc  *sched
-	job cluster.JobID
-	vs  float64
-}
-
-// reply is a scheduler's answer to a worker's response/offer.
-type reply struct {
-	task     *cluster.Task // nil = no task handed over
-	spec     bool          // the task is a speculative copy
-	from     *sched        // the replying scheduler
-	jobDone  bool          // purge this job's reservations
-	refused  bool          // refusable offer was declined (job satisfied)
-	noDemand bool          // the job has nothing to run right now at all
-	unsat    *unsatInfo    // piggybacked on refusals
-	vs       float64       // piggybacked virtual-size update for the job
-	remTask  int           // piggybacked remaining task count (SRPT order)
-}
-
-// dJob is scheduler-side state for one owned job. Queues are ring deques
-// and the running set is tombstoned (see scheduler.jobState — same
-// incremental-state contract, DESIGN.md section 6), because at cluster
-// scale every offer/refusal touches this state.
-type dJob struct {
-	job *cluster.Job
-
-	// pendingFresh holds launchable, not-yet-handed-out original tasks of
-	// runnable phases, in phase order.
-	pendingFresh cluster.TaskDeque
-
-	// wants is the speculation queue (tasks to duplicate).
-	wants   cluster.TaskDeque
-	wantSet map[*cluster.Task]bool
-
-	// running tracks tasks with live copies, for the straggler monitor
-	// (cluster.RunningSet: O(1) tombstone removal, live order = hand-out
-	// order).
-	running cluster.RunningSet
-
-	// occupied counts slots committed to the job: live copies plus
-	// accepts in flight (Pseudocode 2's current_occupied).
-	occupied int
-}
-
-// demand is how many more slots the job could use right now.
-func (d *dJob) demand() int { return d.pendingFresh.Len() + d.wants.Len() }
-
-// takeTask hands out the next unit of work, preferring an original task
-// whose input is local on machine m, then any original task, then a
-// speculative copy. Returns (nil, false) when the job has nothing to run.
-func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool) {
-	for i := 0; i < d.pendingFresh.Len(); i++ {
-		if t := d.pendingFresh.At(i); t.LocalOn(m) {
-			d.pendingFresh.RemoveAt(i)
-			return t, false
-		}
-	}
-	if d.pendingFresh.Len() > 0 {
-		return d.pendingFresh.PopFront(), false
-	}
-	for d.wants.Len() > 0 {
-		t := d.wants.PopFront()
-		delete(d.wantSet, t)
-		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
-			return t, true
-		}
-	}
-	return nil, false
-}
-
-func (d *dJob) addWant(t *cluster.Task) bool {
-	if d.wantSet[t] {
-		return false
-	}
-	d.wantSet[t] = true
-	d.wants.PushBack(t)
-	return true
-}
-
-
-// sched is one autonomous job scheduler (Figure 4). It owns a subset of
-// jobs and knows nothing about other schedulers' jobs — coordination
-// happens only through the worker protocol.
+// sched is the simulator adapter around one protocol.Sched core: it owns
+// the core's clock/RNG/topology bindings, the serial message-processing
+// queue (busyUntil), and the periodic speculation ticker. All protocol
+// decisions live in the core.
 type sched struct {
-	sys *System
-	id  int
+	sys  *System
+	id   int
+	core *protocol.Sched
 
 	// busyUntil serializes message processing (System.toScheduler).
 	busyUntil float64
 
-	jobs    map[cluster.JobID]*dJob
-	jobList []*dJob
-
-	mon   *speculation.Monitor
-	beta  *stats.TailEstimator
-	alpha *estimate.AlphaEstimator
-
-	// Reusable scan/probe buffers (one scheduler handles one message at a
-	// time, so a single set per scheduler suffices).
-	candScratch   []*cluster.Task
-	freshScratch  []*cluster.Task
-	targetScratch []cluster.MachineID
-	subsetScratch []cluster.MachineID
-
 	tickerOn bool
 }
 
-func newSched(sys *System, id int) *sched {
-	return &sched{
-		sys:   sys,
-		id:    id,
-		jobs:  make(map[cluster.JobID]*dJob),
-		mon:   speculation.NewMonitor(sys.Cfg.Spec, sys.Eng.Rand()),
-		beta:  stats.NewTailEstimator(1e-9, sys.Cfg.BetaPrior, 30),
-		alpha: estimate.NewAlphaEstimator(),
-	}
+func newSched(sys *System, id int, pcfg protocol.Config) *sched {
+	sc := &sched{sys: sys, id: id}
+	sc.core = protocol.NewSched(protocol.SchedID(id), pcfg, protocol.SchedEnv{
+		Now:           func() float64 { return sys.Eng.Now() },
+		Rand:          sys.Eng.Rand(),
+		TotalSlots:    func() int { return sys.Exec.Machines.TotalSlots() },
+		RandomWorkers: sys.Exec.Machines.RandomSubset,
+		Stats:         &sys.Stats,
+	})
+	return sc
 }
 
-// effVS returns the job's capacity target: virtual size with the
-// epsilon-fairness floor applied (decentralized fairness uses the
-// scheduler's local estimate of the cluster-wide job count: its own
-// active jobs times the number of schedulers, accurate under round-robin
-// admission).
-func (sc *sched) effVS(d *dJob) float64 {
-	beta := sc.beta.Estimate()
-	alpha, _ := sc.alpha.Evaluate(d.job, beta)
-	v := core.VirtualSize(d.job.RemainingCurrentTasks(), beta, alpha)
-	if sc.sys.Cfg.Mode == ModeHopper && !sc.sys.Cfg.FairnessOff {
-		n := len(sc.jobList) * len(sc.sys.scheds)
-		if n > 0 {
-			floor := (1 - sc.sys.Cfg.Epsilon) * float64(sc.sys.Exec.Machines.TotalSlots()) / float64(n)
-			if floor > v {
-				v = floor
-			}
-		}
-	}
-	return v
-}
-
-// orderVS returns the DAG-aware ordering key max(V, V') piggybacked to
-// workers for queue ordering. The fairness floor deliberately does not
-// enter the ordering: it guarantees capacity (effVS) without destroying
-// the smallest-first service order of Guideline 2.
-func (sc *sched) orderVS(d *dJob) float64 {
-	beta := sc.beta.Estimate()
-	alpha, dv := sc.alpha.Evaluate(d.job, beta)
-	return core.JobDemand{
-		Remaining:         d.job.RemainingCurrentTasks(),
-		Alpha:             alpha,
-		DownstreamVirtual: dv,
-	}.Priority(beta)
-}
-
-// admit registers a job with this scheduler.
+// admit registers a job with this scheduler and keeps the speculation
+// ticker armed.
 func (sc *sched) admit(j *cluster.Job) {
-	d := &dJob{job: j, wantSet: make(map[*cluster.Task]bool)}
-	sc.jobs[j.ID] = d
-	sc.jobList = append(sc.jobList, d)
+	sc.core.Admit(j)
 	sc.ensureTicker()
 }
 
-// phaseRunnable queues the phase's tasks and sends their probes.
-func (sc *sched) phaseRunnable(p *cluster.Phase) {
-	d := sc.jobs[p.Job.ID]
-	if d == nil {
-		return
-	}
-	for _, t := range p.Tasks {
-		d.pendingFresh.PushBack(t)
-	}
-	sc.probeForTasks(d, p.Tasks)
-}
-
-// probeCount returns the number of reservations for one task under the
-// configured probe ratio; fractional ratios are realized in expectation.
-func (sc *sched) probeCount() int {
-	r := sc.sys.Cfg.ProbeRatio
-	n := int(r)
-	if frac := r - float64(n); frac > 0 && sc.sys.Eng.Rand().Float64() < frac {
-		n++
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// probeForTasks places reservation requests for the given tasks: input
-// tasks probe their replica machines first; surplus probes go to random
-// workers, exactly as in Section 6.1 (such tasks may then run without
-// locality).
-func (sc *sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
-	vs := sc.orderVS(d)
-	rem := d.job.RemainingTasksTotal()
-	eng := sc.sys.Eng
-	for _, t := range tasks {
-		n := sc.probeCount()
-		targets := sc.targetScratch[:0]
-		for _, r := range t.Replicas {
-			if len(targets) == n {
-				break
-			}
-			targets = append(targets, r)
-		}
-		if len(targets) < n {
-			sc.subsetScratch = sc.sys.Exec.Machines.RandomSubset(eng.Rand(), n-len(targets), sc.subsetScratch)
-			targets = append(targets, sc.subsetScratch...)
-		}
-		sc.targetScratch = targets
-		job := d.job
-		for _, m := range targets {
-			w := sc.sys.workers[m]
-			vsCopy, remCopy := vs, rem
-			sc.sys.Probes++
-			sc.sys.toWorker(func() {
-				w.addReservation(sc, job, vsCopy, remCopy)
-			})
-		}
+// sendProbes realizes the core's probe list as simulated messages.
+func (sc *sched) sendProbes(probes []protocol.Probe) {
+	for _, p := range probes {
+		w := sc.sys.workers[p.Worker]
+		job, vs, rem := p.Job, p.VS, p.Rem
+		sid := protocol.SchedID(sc.id)
+		sc.sys.Probes++
+		sc.sys.toWorker(func() {
+			w.exec(w.core.AddReservation(sid, job, vs, rem))
+		})
 	}
 }
 
 // ensureTicker runs the periodic speculation scan for this scheduler.
 func (sc *sched) ensureTicker() {
-	if sc.tickerOn || sc.sys.Cfg.Spec.MaxCopies <= 1 {
+	if sc.tickerOn || !sc.core.NeedsTicker() {
 		return
 	}
 	sc.tickerOn = true
 	var tick func()
 	tick = func() {
-		if len(sc.jobList) == 0 {
+		if !sc.core.HasJobs() {
 			sc.tickerOn = false
 			return
 		}
-		sc.scanSpec()
+		sc.sendProbes(sc.core.ScanSpec())
 		sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
 	}
 	sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
-}
-
-// scanSpec asks the straggler policy for new speculation candidates and
-// probes for them. In Hopper mode the job's standing reservations usually
-// cover speculation (probe ratio > 1 leaves spares), but fresh probes both
-// top up the pool and wake idle workers; in the Sparrow baselines this is
-// the only way speculative copies reach workers at all.
-func (sc *sched) scanSpec() {
-	now := sc.sys.Eng.Now()
-	for _, d := range sc.jobList {
-		fresh := sc.freshScratch[:0]
-		sc.candScratch = sc.mon.CandidatesInto(now, d.running.Tasks(), -1, sc.candScratch)
-		for _, t := range sc.candScratch {
-			if t.RunningCopies() < sc.sys.Cfg.Spec.MaxCopies && d.addWant(t) {
-				fresh = append(fresh, t)
-			}
-		}
-		sc.freshScratch = fresh
-		if len(fresh) > 0 {
-			sc.probeForTasks(d, fresh)
-		}
-	}
-}
-
-// taskDone updates estimators and occupancy when one of the scheduler's
-// tasks completes.
-func (sc *sched) taskDone(t *cluster.Task, winner *cluster.Copy) {
-	sc.beta.Observe(winner.Duration)
-	sc.mon.TaskCompleted(t, winner)
-	d := sc.jobs[t.Job.ID]
-	if d == nil {
-		return
-	}
-	d.occupied -= len(t.Copies)
-	d.running.Remove(t)
-	if d.wantSet[t] {
-		delete(d.wantSet, t)
-		d.wants.Remove(t)
-	}
-}
-
-// jobDone drops the job's state.
-func (sc *sched) jobDone(j *cluster.Job) {
-	sc.alpha.JobCompleted(j)
-	sc.mon.JobDone(j)
-	d := sc.jobs[j.ID]
-	if d == nil {
-		return
-	}
-	if d.occupied != 0 {
-		sc.sys.OccupancyLeaks++
-	}
-	delete(sc.jobs, j.ID)
-	for i, dd := range sc.jobList {
-		if dd == d {
-			sc.jobList = append(sc.jobList[:i], sc.jobList[i+1:]...)
-			break
-		}
-	}
-}
-
-// smallestUnsatisfied returns this scheduler's job with the smallest
-// effective virtual size that is still below it and has work pending —
-// the info piggybacked on refusals (Pseudocode 2).
-func (sc *sched) smallestUnsatisfied() *unsatInfo {
-	var best *unsatInfo
-	for _, d := range sc.jobList {
-		if d.demand() == 0 {
-			continue
-		}
-		if float64(d.occupied) >= sc.effVS(d) {
-			continue
-		}
-		vs := sc.orderVS(d)
-		if best == nil || vs < best.vs {
-			best = &unsatInfo{sc: sc, job: d.job.ID, vs: vs}
-		}
-	}
-	return best
-}
-
-// handleOffer is Pseudocode 2's ResponseProcessing, executed at the
-// scheduler when a worker offers a slot for one of its jobs. It returns
-// the reply to transmit back.
-func (sc *sched) handleOffer(jobID cluster.JobID, m cluster.MachineID, refusable bool) reply {
-	d := sc.jobs[jobID]
-	if d == nil {
-		return reply{jobDone: true}
-	}
-	maxCopies := sc.sys.Cfg.Spec.MaxCopies
-	if refusable && float64(d.occupied) >= sc.effVS(d) {
-		return reply{
-			refused:  true,
-			noDemand: d.demand() == 0,
-			unsat:    sc.smallestUnsatisfied(),
-			vs:       sc.orderVS(d),
-			remTask:  d.job.RemainingTasksTotal(),
-		}
-	}
-	t, spec := d.takeTask(m, maxCopies)
-	if t == nil {
-		// Capacity-driven speculation (Pseudocode 2): the job is below
-		// its virtual size, i.e. below its desired speculation level, so
-		// the slot goes to a racing copy of its worst observable
-		// straggler even if the detection policy has not flagged one.
-		if v := sc.mon.BestVictim(sc.sys.Eng.Now(), d.running.Tasks(), maxCopies); v != nil {
-			t, spec = v, true
-		}
-	}
-	if t == nil {
-		if refusable {
-			return reply{
-				refused:  true,
-				noDemand: true,
-				unsat:    sc.smallestUnsatisfied(),
-				vs:       sc.orderVS(d),
-				remTask:  d.job.RemainingTasksTotal(),
-			}
-		}
-		return reply{noDemand: true, vs: sc.orderVS(d), remTask: d.job.RemainingTasksTotal()}
-	}
-	d.occupied++
-	if !spec {
-		d.running.Add(t)
-	}
-	return reply{task: t, spec: spec, from: sc, vs: sc.orderVS(d), remTask: d.job.RemainingTasksTotal()}
-}
-
-// placementFailed rolls back occupancy when a handed-out copy could not
-// start because the task finished while the accept was in flight.
-func (sc *sched) placementFailed(jobID cluster.JobID) {
-	if d := sc.jobs[jobID]; d != nil {
-		d.occupied--
-	}
-}
-
-// handleGetTask is the Sparrow baselines' task pull: hand over the next
-// task (original first, then best-effort speculative) or report no-task,
-// consuming the reservation either way.
-func (sc *sched) handleGetTask(jobID cluster.JobID, m cluster.MachineID) reply {
-	d := sc.jobs[jobID]
-	if d == nil {
-		return reply{jobDone: true}
-	}
-	t, spec := d.takeTask(m, sc.sys.Cfg.Spec.MaxCopies)
-	if t == nil {
-		return reply{remTask: d.job.RemainingTasksTotal()}
-	}
-	d.occupied++
-	if !spec {
-		d.running.Add(t)
-	}
-	return reply{task: t, spec: spec, remTask: d.job.RemainingTasksTotal()}
 }

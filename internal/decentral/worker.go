@@ -2,441 +2,96 @@ package decentral
 
 import (
 	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/simulator"
-	"github.com/hopper-sim/hopper/internal/stats"
 )
 
-// entry aggregates a worker's queued reservations for one (scheduler,
-// job) pair, with the latest piggybacked ordering metadata.
-type entry struct {
-	sc       *sched
-	jobID    cluster.JobID
-	count    int     // outstanding reservations
-	vs       float64 // latest known virtual size (Hopper ordering)
-	remTasks int     // latest known remaining tasks (Sparrow-SRPT ordering)
-	seq      int64   // arrival order (Sparrow FIFO)
-	coolTill float64 // skip offers until then (recently refused/drained)
-}
-
-type entryKey struct {
-	sched int
-	job   cluster.JobID
-}
-
-// worker owns one machine's slots and implements the late-binding pull
-// protocol: Pseudocode 3 in Hopper mode, plain Sparrow task pulls in the
-// baseline modes. A worker can run one negotiation round per free slot.
+// worker is the simulator adapter around one protocol.Worker core: it
+// binds the core to the executor's slot accounting, realizes offer
+// actions as simulated messages (scheduler processing delay included),
+// and maps retry actions onto engine events.
 type worker struct {
-	sys *System
-	id  cluster.MachineID
+	sys  *System
+	id   cluster.MachineID
+	core *protocol.Worker
 
-	entries []*entry
-	index   map[entryKey]*entry
-
-	activeRounds int
-	backoff      float64
-	retryEv      *simulator.Event
-	seqCounter   int64
-
-	// g3Cands/g3Weights back the weighted-choice step; used and drained
-	// within one synchronous stepG3 call, so per-worker reuse is safe.
-	g3Cands   []*entry
-	g3Weights []float64
+	retryEv *simulator.Event
 }
 
-func newWorker(sys *System, id cluster.MachineID) *worker {
-	return &worker{
-		sys:     sys,
-		id:      id,
-		index:   make(map[entryKey]*entry),
-		backoff: sys.Cfg.RetryBackoffMin,
-	}
-}
-
-// addReservation enqueues (or tops up) a reservation from a scheduler.
-func (w *worker) addReservation(sc *sched, job *cluster.Job, vs float64, remTasks int) {
-	k := entryKey{sc.id, job.ID}
-	e := w.index[k]
-	if e == nil {
-		e = &entry{sc: sc, jobID: job.ID, seq: w.seqCounter}
-		w.seqCounter++
-		w.index[k] = e
-		w.entries = append(w.entries, e)
-	}
-	e.count++
-	e.vs = vs
-	e.remTasks = remTasks
-	e.coolTill = 0 // fresh probes signal fresh demand
-	// A new reservation justifies an immediate try, but does not reset
-	// the failure backoff: only a successful placement does. This keeps a
-	// worker whose queue is full of satisfied jobs from re-walking it at
-	// the arrival rate of unrelated probes.
-	w.kick()
-}
-
-func (w *worker) purge(e *entry) {
-	delete(w.index, entryKey{e.sc.id, e.jobID})
-	for i, x := range w.entries {
-		if x == e {
-			w.entries = append(w.entries[:i], w.entries[i+1:]...)
-			return
-		}
-	}
-}
-
-// maxConcurrentRounds caps in-flight negotiations per worker: when a
-// round places a task it immediately starts the next, so throughput is
-// preserved while a queue full of satisfied jobs cannot fan out a burst
-// of doomed offers on every freed slot.
-const maxConcurrentRounds = 2
-
-// freeForRounds is how many additional negotiation rounds may start.
-func (w *worker) freeForRounds() int {
-	n := w.sys.Exec.Machines.Get(w.id).Free - w.activeRounds
-	if cap := maxConcurrentRounds - w.activeRounds; n > cap {
-		n = cap
-	}
-	return n
-}
-
-// hasOfferableWork reports whether some reservation can be offered right
-// now (outstanding count, not in refusal cooldown). Rounds only start
-// against offerable entries, so every round sends at least one message —
-// this is what makes the kick loop terminate.
-func (w *worker) hasOfferableWork() bool {
-	now := w.sys.Eng.Now()
-	for _, e := range w.entries {
-		if e.count > 0 && e.coolTill <= now {
-			return true
-		}
-	}
-	return false
-}
-
-// hasAnyReservations ignores cooldowns; used to decide whether a backoff
-// retry is worth arming (a cooling queue may become offerable later).
-func (w *worker) hasAnyReservations() bool {
-	for _, e := range w.entries {
-		if e.count > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// kick starts negotiation rounds while slots and reservations allow.
-func (w *worker) kick() {
-	if w.retryEv != nil {
-		w.retryEv.Cancel()
-		w.retryEv = nil
-	}
-	for w.freeForRounds() > 0 && w.hasOfferableWork() {
-		w.activeRounds++
-		w.sys.RoundsStarted++
-		r := &round{w: w, tried: make([]*entry, 0, 4)}
-		r.step()
-	}
-	w.scheduleRetry()
-}
-
-// scheduleRetry arms a backoff retry after an unsuccessful round, so a
-// queue that could not be served now (all jobs satisfied or cooling) is
-// re-offered later even if no new messages arrive.
-func (w *worker) scheduleRetry() {
-	if !w.hasAnyReservations() || w.retryEv != nil || w.freeForRounds() <= 0 {
-		return
-	}
-	d := w.backoff
-	w.backoff *= 2
-	if w.backoff > w.sys.Cfg.RetryBackoffMax {
-		w.backoff = w.sys.Cfg.RetryBackoffMax
-	}
-	w.retryEv = w.sys.Eng.After(d, func() {
-		w.retryEv = nil
-		w.kick()
+func newWorker(sys *System, id cluster.MachineID, pcfg protocol.Config) *worker {
+	w := &worker{sys: sys, id: id}
+	w.core = protocol.NewWorker(id, pcfg, protocol.WorkerEnv{
+		Now:       func() float64 { return sys.Eng.Now() },
+		Rand:      sys.Eng.Rand(),
+		FreeSlots: func() int { return sys.Exec.Machines.Get(id).Free },
+		Place:     w.place,
+		Stats:     &sys.Stats,
 	})
-}
-
-func (w *worker) endRound(placed bool) {
-	w.activeRounds--
-	if placed {
-		w.sys.RoundsPlaced++
-		w.backoff = w.sys.Cfg.RetryBackoffMin
-		w.kick()
-		return
-	}
-	w.scheduleRetry()
+	return w
 }
 
 // place runs the accepted task's copy on this worker's machine. It
 // returns false when the task finished while the accept was in flight (a
 // speculative copy racing its original); the scheduler is notified so its
 // occupancy count stays correct.
-func (w *worker) place(sc *sched, t *cluster.Task, spec bool) bool {
+func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
+	t := rep.Task
+	sc := w.sys.scheds[from]
 	if t.State == cluster.TaskDone {
-		w.sys.toScheduler(sc, func() { sc.placementFailed(t.Job.ID) })
+		jobID := t.Job.ID
+		w.sys.toScheduler(sc, func() { sc.core.PlacementFailed(jobID) })
 		return false
 	}
-	w.sys.Exec.PlaceOn(t, w.id, spec)
+	w.sys.Exec.PlaceOn(t, w.id, rep.Spec)
+	if w.sys.OnPlace != nil {
+		w.sys.OnPlace(t, w.id, rep.Spec)
+	}
 	return true
 }
 
-// round is one slot's negotiation (Pseudocode 3 in Hopper mode). tried
-// is a small per-round list (a round touches at most a handful of
-// entries: the refusal threshold bounds Hopper offers and G3 samples) —
-// it must be round-private, not an entry-side stamp, because a
-// multi-slot worker runs up to maxConcurrentRounds rounds at once and
-// their tried sets are independent.
-type round struct {
-	w          *worker
-	tried      []*entry
-	refusals   int
-	unsat      *unsatInfo
-	g3         bool
-	g3Attempts int
-}
-
-func (r *round) wasTried(e *entry) bool {
-	for _, x := range r.tried {
-		if x == e {
-			return true
-		}
-	}
-	return false
-}
-
-func (r *round) markTried(e *entry) { r.tried = append(r.tried, e) }
-
-// step advances the round until a message goes out or the round ends.
-func (r *round) step() {
-	switch r.w.sys.Cfg.Mode {
-	case ModeHopper:
-		r.stepHopper()
-	default:
-		r.stepSparrow()
-	}
-}
-
-// pickMinVS returns the untried entry with the smallest virtual size.
-func (r *round) pickMinVS() *entry {
-	now := r.w.sys.Eng.Now()
-	var best *entry
-	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
-			continue
-		}
-		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
-			best = e
-		}
-	}
-	return best
-}
-
-// pickSparrow returns the next entry under the baseline ordering: FIFO
-// for stock Sparrow, fewest-remaining-tasks for Sparrow-SRPT.
-func (r *round) pickSparrow() *entry {
-	var best *entry
-	srpt := r.w.sys.Cfg.Mode == ModeSparrowSRPT
-	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) {
-			continue
-		}
-		if best == nil {
-			best = e
-			continue
-		}
-		if srpt {
-			if e.remTasks < best.remTasks || (e.remTasks == best.remTasks && e.seq < best.seq) {
-				best = e
-			}
-		} else if e.seq < best.seq {
-			best = e
-		}
-	}
-	return best
-}
-
-// stepHopper implements the refusable phase of Pseudocode 3: offer the
-// slot to the smallest-virtual-size job, collecting refusals.
-func (r *round) stepHopper() {
-	if r.g3 {
-		r.stepG3()
-		return
-	}
-	if r.refusals >= r.w.sys.Cfg.RefusalThreshold {
-		r.conclude()
-		return
-	}
-	e := r.pickMinVS()
-	if e == nil {
-		r.conclude()
-		return
-	}
-	r.markTried(e)
-	sc, jobID, w := e.sc, e.jobID, r.w
-	w.sys.toScheduler(sc, func() {
-		rep := sc.handleOffer(jobID, w.id, true)
-		w.sys.toWorker(func() { r.onHopperReply(e, rep) })
-	})
-}
-
-// conclude ends the refusable phase: refusals that carried unsatisfied-job
-// info mean the system is still capacity constrained, so the slot goes
-// non-refusably to the smallest unsatisfied job (Guideline 2). Refusals
-// with no unsatisfied jobs signal spare capacity: switch to Guideline 3's
-// virtual-size-weighted random assignment.
-func (r *round) conclude() {
-	if r.unsat != nil {
-		u := r.unsat
-		r.unsat = nil
-		sc, jobID, w := u.sc, u.job, r.w
-		w.sys.toScheduler(sc, func() {
-			rep := sc.handleOffer(jobID, w.id, false)
-			w.sys.toWorker(func() { r.onHopperReply(w.index[entryKey{sc.id, jobID}], rep) })
-		})
-		return
-	}
-	if r.refusals == 0 {
-		// Nothing in the queue responded at all; give up this round.
-		r.w.endRound(false)
-		return
-	}
-	r.g3 = true
-	r.stepG3()
-}
-
-// stepG3 is the unconstrained regime: pick a job at random weighted by
-// virtual size (large jobs hold more stragglers, Guideline 3) and offer
-// the slot non-refusably.
-func (r *round) stepG3() {
-	// Bound attempts: a queue full of satisfied jobs must not be walked
-	// end to end every round — a couple of weighted samples is the
-	// "power of many choices" spirit, and the backoff retry covers the
-	// rest.
-	if r.g3Attempts >= r.w.sys.Cfg.RefusalThreshold+1 {
-		r.w.endRound(false)
-		return
-	}
-	r.g3Attempts++
-	now := r.w.sys.Eng.Now()
-	cands := r.w.g3Cands[:0]
-	weights := r.w.g3Weights[:0]
-	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
-			continue
-		}
-		cands = append(cands, e)
-		weights = append(weights, e.vs)
-	}
-	r.w.g3Cands, r.w.g3Weights = cands, weights
-	if len(cands) == 0 {
-		r.w.endRound(false)
-		return
-	}
-	e := cands[stats.WeightedChoice(r.w.sys.Eng.Rand(), weights)]
-	r.markTried(e)
-	sc, jobID, w := e.sc, e.jobID, r.w
-	w.sys.toScheduler(sc, func() {
-		rep := sc.handleOffer(jobID, w.id, false)
-		w.sys.toWorker(func() { r.onHopperReply(e, rep) })
-	})
-}
-
-// onHopperReply processes a scheduler's reply in Hopper mode. e may be
-// nil for non-refusable offers to jobs with no reservation here.
-func (r *round) onHopperReply(e *entry, rep reply) {
-	if e != nil {
-		if rep.vs > 0 {
-			e.vs = rep.vs
-		}
-		if rep.remTask > 0 {
-			e.remTasks = rep.remTask
-		}
-		if rep.jobDone {
-			r.w.purge(e)
-		}
-	}
-	switch {
-	case rep.task != nil:
-		var sc *sched
-		if e != nil {
-			sc = e.sc
-			if e.count > 0 {
-				e.coolTill = 0
-				e.count--
-				if e.count == 0 {
-					r.w.purge(e)
+// exec realizes a core action list: offers become simulated messages
+// whose replies are routed back to the issuing round, retry arms become
+// engine events.
+func (w *worker) exec(acts []protocol.WAction) {
+	for i := range acts {
+		a := acts[i]
+		switch a.Kind {
+		case protocol.WSendOffer:
+			sc := w.sys.scheds[a.Sched]
+			round, entry := a.Round, a.Entry
+			jobID, refusable, getTask := a.Job, a.Refusable, a.GetTask
+			sid := a.Sched
+			w.sys.toScheduler(sc, func() {
+				var rep protocol.Reply
+				if getTask {
+					rep = sc.core.HandleGetTask(jobID, w.id)
+				} else {
+					rep = sc.core.HandleOffer(jobID, w.id, refusable)
 				}
+				w.sys.toWorker(func() {
+					e := entry
+					if e == nil {
+						// Non-refusable offer to a job the worker may hold
+						// no reservation for: resolve at delivery time.
+						e = w.core.EntryFor(sid, jobID)
+					}
+					if getTask {
+						w.exec(w.core.OnSparrowReply(round, e, rep))
+					} else {
+						w.exec(w.core.OnHopperReply(round, e, rep))
+					}
+				})
+			})
+		case protocol.WArmRetry:
+			w.retryEv = w.sys.Eng.After(a.Delay, func() {
+				w.retryEv = nil
+				w.exec(w.core.RetryFired())
+			})
+		case protocol.WCancelRetry:
+			if w.retryEv != nil {
+				w.retryEv.Cancel()
+				w.retryEv = nil
 			}
-		} else {
-			sc = rep.from
-		}
-		r.w.endRound(r.w.place(sc, rep.task, rep.spec))
-	case rep.refused:
-		r.refusals++
-		if e != nil {
-			cd := r.w.sys.Cfg.RefusalCooldown
-			if rep.noDemand {
-				cd *= 8 // nothing to run at all: back off harder
-			}
-			e.coolTill = r.w.sys.Eng.Now() + cd
-		}
-		if rep.unsat != nil && (r.unsat == nil || rep.unsat.vs < r.unsat.vs) {
-			r.unsat = rep.unsat
-		}
-		r.stepHopper()
-	default:
-		// No task available (job finished or drained): keep going within
-		// the same phase of the round.
-		if e != nil && !rep.jobDone {
-			cd := r.w.sys.Cfg.RefusalCooldown
-			if rep.noDemand {
-				cd *= 8
-			}
-			e.coolTill = r.w.sys.Eng.Now() + cd
-		}
-		if r.g3 {
-			r.stepG3()
-		} else if r.refusals >= r.w.sys.Cfg.RefusalThreshold {
-			// Non-refusable target had nothing; end the round.
-			r.w.endRound(false)
-		} else {
-			r.stepHopper()
 		}
 	}
-}
-
-// stepSparrow is the baseline pull: consume one reservation of the chosen
-// entry and ask its scheduler for a task.
-func (r *round) stepSparrow() {
-	e := r.pickSparrow()
-	if e == nil {
-		r.w.endRound(false)
-		return
-	}
-	e.count--
-	if e.count <= 0 {
-		r.markTried(e)
-	}
-	sc, jobID, w := e.sc, e.jobID, r.w
-	w.sys.toScheduler(sc, func() {
-		rep := sc.handleGetTask(jobID, w.id)
-		w.sys.toWorker(func() { r.onSparrowReply(e, rep) })
-	})
-}
-
-func (r *round) onSparrowReply(e *entry, rep reply) {
-	if rep.remTask > 0 {
-		e.remTasks = rep.remTask
-	}
-	if e.count <= 0 || rep.jobDone {
-		r.w.purge(e)
-	}
-	if rep.task != nil {
-		if r.w.place(e.sc, rep.task, rep.spec) {
-			r.w.endRound(true)
-			return
-		}
-	}
-	r.stepSparrow()
 }

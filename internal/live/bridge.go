@@ -1,0 +1,133 @@
+package live
+
+import (
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// This file is the wire <-> protocol-core bridge: the only place where
+// core replies are serialized into frames and frames are rehydrated into
+// core replies. The sim-vs-live parity test drives the cores through
+// exactly these functions, so anything the mapping loses would break the
+// identical-assignment contract there.
+
+// wireFromReply renders a scheduler core's reply as the frame to send
+// back for offer sequence seq. dur is the drawn service time for task
+// hand-outs (ignored otherwise).
+func wireFromReply(rep protocol.Reply, seq uint64, dur float64) wire.Message {
+	switch {
+	case rep.HasTask:
+		return &wire.Assign{
+			JobID:       uint64(rep.Job),
+			Seq:         seq,
+			Phase:       uint16(rep.Phase),
+			TaskIndex:   uint32(rep.TaskIndex),
+			Speculative: rep.Spec,
+			Duration:    dur,
+			VirtualSize: rep.VS,
+			RemTasks:    uint32(rep.RemTask),
+		}
+	case rep.Refused:
+		return &wire.Refuse{
+			JobID:       uint64(rep.Job),
+			Seq:         seq,
+			NoDemand:    rep.NoDemand,
+			HasUnsat:    rep.HasUnsat,
+			UnsatJobID:  uint64(rep.UnsatJob),
+			UnsatVS:     rep.UnsatVS,
+			VirtualSize: rep.VS,
+			RemTasks:    uint32(rep.RemTask),
+		}
+	case rep.JobDone:
+		return &wire.NoTask{JobID: uint64(rep.Job), Seq: seq, JobDone: true}
+	default:
+		return &wire.NoTask{
+			JobID: uint64(rep.Job), Seq: seq, NoDemand: rep.NoDemand,
+			VirtualSize: rep.VS, RemTasks: uint32(rep.RemTask),
+		}
+	}
+}
+
+// replyFromWire rehydrates a scheduler's frame into the core reply the
+// worker round expects. from is the replying scheduler (connection
+// identity); it doubles as the unsatisfied job's owner — a scheduler
+// only ever piggybacks its own jobs.
+func replyFromWire(m wire.Message, from protocol.SchedID) (rep protocol.Reply, seq uint64, ok bool) {
+	switch t := m.(type) {
+	case *wire.Assign:
+		return protocol.Reply{
+			HasTask:   true,
+			Job:       cluster.JobID(t.JobID),
+			Phase:     int(t.Phase),
+			TaskIndex: int(t.TaskIndex),
+			Spec:      t.Speculative,
+			From:      from,
+			VS:        t.VirtualSize,
+			RemTask:   int(t.RemTasks),
+		}, t.Seq, true
+	case *wire.Refuse:
+		return protocol.Reply{
+			Job:      cluster.JobID(t.JobID),
+			From:     from,
+			Refused:  true,
+			NoDemand: t.NoDemand,
+			HasUnsat: t.HasUnsat,
+			UnsatJob: cluster.JobID(t.UnsatJobID),
+			UnsatVS:  t.UnsatVS,
+			VS:       t.VirtualSize,
+			RemTask:  int(t.RemTasks),
+		}, t.Seq, true
+	case *wire.NoTask:
+		return protocol.Reply{
+			Job:      cluster.JobID(t.JobID),
+			From:     from,
+			JobDone:  t.JobDone,
+			NoDemand: t.NoDemand,
+			VS:       t.VirtualSize,
+			RemTask:  int(t.RemTasks),
+		}, t.Seq, true
+	}
+	return protocol.Reply{}, 0, false
+}
+
+// pendingOffer is the worker-side context of one in-flight offer: the
+// round the reply resumes and the reservation entry captured at send
+// time (nil when the entry must be resolved at delivery — non-refusable
+// offers may target jobs the worker holds no reservation for).
+type pendingOffer struct {
+	round   *protocol.Round
+	entry   *protocol.Entry
+	sched   protocol.SchedID
+	job     cluster.JobID
+	getTask bool
+}
+
+// offerTracker correlates scheduler replies to in-flight offers by the
+// wire Seq field — the live replacement for the simulator adapter's
+// captured closures.
+type offerTracker struct {
+	next    uint64
+	pending map[uint64]pendingOffer
+}
+
+func newOfferTracker() *offerTracker {
+	return &offerTracker{pending: make(map[uint64]pendingOffer)}
+}
+
+// track registers an in-flight offer and returns its sequence number.
+func (t *offerTracker) track(po pendingOffer) uint64 {
+	t.next++
+	t.pending[t.next] = po
+	return t.next
+}
+
+// take resolves and removes an in-flight offer; stale or duplicate
+// replies return ok=false and are dropped.
+func (t *offerTracker) take(seq uint64) (pendingOffer, bool) {
+	po, ok := t.pending[seq]
+	if ok {
+		delete(t.pending, seq)
+	}
+	return po, ok
+}

@@ -1,7 +1,9 @@
 package live
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/transport"
@@ -19,6 +21,12 @@ func NewClient(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClientConn(conn)
+}
+
+// NewClientConn wraps a pre-established connection (in-memory
+// transports, tests).
+func NewClientConn(conn transport.Conn) (*Client, error) {
 	if err := conn.Send(&wire.Hello{Role: wire.RoleClient}); err != nil {
 		conn.Close()
 		return nil, err
@@ -36,15 +44,31 @@ func (c *Client) Submit(job *wire.SubmitJob) error {
 
 // WaitJob blocks until the given job completes or the timeout elapses.
 // Completions for other jobs received while waiting are discarded (use
-// WaitAny to multiplex).
+// WaitAny to multiplex). A draining scheduler fails its jobs instead of
+// dropping them: check JobComplete.Aborted.
+//
+// On timeout the connection is closed and the Client is no longer
+// usable: the deadline may have expired mid-frame, leaving the stream
+// position undefined (see transport.Conn.SetRecvDeadline).
 func (c *Client) WaitJob(jobID uint64, timeout time.Duration) (*wire.JobComplete, error) {
-	deadline := time.Now().Add(timeout)
+	// A real receive deadline, not a between-frames check: a silent
+	// connection must still time out.
+	if err := c.conn.SetRecvDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	defer c.conn.SetRecvDeadline(time.Time{})
 	for {
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("live: timeout waiting for job %d", jobID)
-		}
 		m, err := c.conn.Recv()
 		if err != nil {
+			if errors.Is(err, wire.ErrUnknownType) {
+				continue // newer peer's message type; stream still in sync
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				// The deadline may have cut a frame in half; the stream
+				// position is undefined, so the connection is done.
+				c.conn.Close()
+				return nil, fmt.Errorf("live: timeout waiting for job %d (connection closed)", jobID)
+			}
 			return nil, err
 		}
 		if jc, ok := m.(*wire.JobComplete); ok && jc.JobID == jobID {
@@ -58,6 +82,9 @@ func (c *Client) WaitAny() (*wire.JobComplete, error) {
 	for {
 		m, err := c.conn.Recv()
 		if err != nil {
+			if errors.Is(err, wire.ErrUnknownType) {
+				continue // newer peer's message type; stream still in sync
+			}
 			return nil, err
 		}
 		if jc, ok := m.(*wire.JobComplete); ok {

@@ -18,6 +18,7 @@
 package live
 
 import (
+	"errors"
 	"log"
 	"sync"
 
@@ -57,7 +58,16 @@ func newLoop(logger *log.Logger) *loop {
 	}
 }
 
-// readFrom pumps messages from a connection into the inbox until error.
+// readFrom pumps messages from a connection into the inbox until a
+// stream-level error.
+//
+// Unknown-type frames (a newer peer speaking messages this build does
+// not know) are logged and skipped — the connection carries every
+// in-flight negotiation and stays up. Only that class is safe to skip:
+// a malformed frame of a KNOWN type means the peer committed protocol
+// state we did not see (an Assign the scheduler already counted, an
+// Offer holding a round open), so it is treated as a connection failure
+// and the disconnect paths unwind the shared state.
 func (l *loop) readFrom(p *peer) {
 	for {
 		m, err := p.conn.Recv()
@@ -66,7 +76,17 @@ func (l *loop) readFrom(p *peer) {
 			return
 		default:
 		}
-		l.inbox <- envelope{from: p, msg: m, err: err}
+		if err != nil && errors.Is(err, wire.ErrUnknownType) {
+			l.logf("dropping unknown-type frame from %s: %v", p.conn.RemoteAddr(), err)
+			continue
+		}
+		select {
+		case l.inbox <- envelope{from: p, msg: m, err: err}:
+		case <-l.done:
+			// The node stopped with a full inbox; don't wedge this
+			// reader goroutine on a send no one will drain.
+			return
+		}
 		if err != nil {
 			return
 		}
@@ -76,6 +96,15 @@ func (l *loop) readFrom(p *peer) {
 // stop terminates the loop.
 func (l *loop) stop() {
 	l.once.Do(func() { close(l.done) })
+}
+
+// post enqueues a message (usually an internal event from a timer or
+// executor goroutine) onto the loop, giving up if the node stopped.
+func (l *loop) post(msg interface{}, from *peer) {
+	select {
+	case l.inbox <- envelope{from: from, msg: msg}:
+	case <-l.done:
+	}
 }
 
 func (l *loop) logf(format string, args ...interface{}) {

@@ -1,0 +1,281 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/protocol"
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// This file is the load-generation layer: it converts workload traces
+// (generated or loaded — the same ones every simulator figure replays)
+// into wire submissions, paces them against a live cluster at the
+// trace's arrival times, and folds the completions back into the
+// metrics.JobResult pipeline the experiment harness reports with.
+
+// SubmitFromJob converts a workload job into its wire submission,
+// carrying DAG dependencies, per-phase transfer work, and per-task
+// replica locality hints.
+func SubmitFromJob(j *cluster.Job) *wire.SubmitJob {
+	m := &wire.SubmitJob{JobID: uint64(j.ID), Name: j.Name}
+	for _, p := range j.Phases {
+		ps := wire.PhaseSpec{
+			MeanDur:      p.MeanTaskDuration,
+			TransferWork: p.TransferWork,
+			NumTasks:     uint32(len(p.Tasks)),
+		}
+		for _, d := range p.Deps {
+			ps.Deps = append(ps.Deps, uint16(d))
+		}
+		hasReps := false
+		for _, t := range p.Tasks {
+			if len(t.Replicas) > 0 {
+				hasReps = true
+				break
+			}
+		}
+		if hasReps {
+			ps.Replicas = make([][]uint32, 0, len(p.Tasks))
+			for _, t := range p.Tasks {
+				var reps []uint32
+				for _, r := range t.Replicas {
+					reps = append(reps, uint32(r))
+				}
+				ps.Replicas = append(ps.Replicas, reps)
+			}
+		}
+		m.Phases = append(m.Phases, ps)
+	}
+	return m
+}
+
+// ReplayConfig drives one trace replay against a live cluster.
+type ReplayConfig struct {
+	// TimeScale maps trace (virtual) seconds to wall seconds; must match
+	// the cluster's. Default 1.
+	TimeScale float64
+	// ArrivalScale additionally compresses inter-arrival gaps (2 = twice
+	// the arrival rate). Default 1.
+	ArrivalScale float64
+	// Timeout bounds the whole replay. Default 5m.
+	Timeout time.Duration
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.ArrivalScale == 0 {
+		c.ArrivalScale = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	return c
+}
+
+// ReplayStats summarizes one replay beyond the per-job results.
+type ReplayStats struct {
+	SpecCopies int // speculative copies the schedulers launched
+	Aborted    int // jobs failed by scheduler drain
+	WallTime   time.Duration
+}
+
+// Replay submits the jobs round-robin across the clients at their trace
+// arrival times (scaled) and collects every completion into the same
+// metrics.Run shape the simulator experiments report. Jobs are paced by
+// a single goroutine; each client's completions are collected
+// concurrently.
+//
+// On success the clients remain usable (every collector has drained its
+// share and exited). On error the clients are CLOSED before returning:
+// collectors may still be blocked reading them, and a second Replay on
+// the same connections would race those orphaned readers.
+func Replay(clients []*Client, jobs []*cluster.Job, cfg ReplayConfig) (metrics.Run, ReplayStats, error) {
+	cfg = cfg.withDefaults()
+	var stats ReplayStats
+	if len(clients) == 0 || len(jobs) == 0 {
+		return metrics.Run{}, stats, fmt.Errorf("live: replay needs clients and jobs")
+	}
+	failed := func(err error) error {
+		for _, c := range clients {
+			c.Close()
+		}
+		return err
+	}
+	ordered := append([]*cluster.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Arrival < ordered[b].Arrival })
+	base := ordered[0].Arrival
+
+	info := make(map[uint64]*cluster.Job, len(ordered))
+	perClient := make([]int, len(clients))
+	for i, j := range ordered {
+		info[uint64(j.ID)] = j
+		perClient[i%len(clients)]++
+	}
+
+	type completion struct {
+		jc  *wire.JobComplete
+		err error
+	}
+	results := make(chan completion, len(ordered))
+	for ci, c := range clients {
+		// Each collector reads until it has seen its client's share of
+		// THIS replay's completions. Foreign completions (a client
+		// reused across replays, leftovers from earlier submissions) are
+		// discarded without consuming the budget — counting them would
+		// leave a genuine completion unread and time the replay out.
+		go func(c *Client, n int) {
+			for k := 0; k < n; {
+				jc, err := c.WaitAny()
+				if err != nil {
+					results <- completion{nil, err}
+					return
+				}
+				if _, mine := info[jc.JobID]; !mine {
+					continue
+				}
+				results <- completion{jc, nil}
+				k++
+			}
+		}(c, perClient[ci])
+	}
+
+	start := time.Now()
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	// Pace submissions at scaled trace arrivals.
+	for i, j := range ordered {
+		at := time.Duration((j.Arrival - base) / cfg.ArrivalScale * cfg.TimeScale * float64(time.Second))
+		if sleep := at - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if err := clients[i%len(clients)].Submit(SubmitFromJob(j)); err != nil {
+			return metrics.Run{}, stats, failed(fmt.Errorf("live: submitting job %d: %w", j.ID, err))
+		}
+	}
+	logf("submitted %d jobs over %.1fs, waiting for completions", len(ordered), time.Since(start).Seconds())
+
+	run := metrics.Run{Scheduler: "Hopper-D (live)"}
+	deadline := time.After(cfg.Timeout)
+	for done := 0; done < len(ordered); done++ {
+		select {
+		case c := <-results:
+			if c.err != nil {
+				return run, stats, failed(fmt.Errorf("live: collecting completions: %w", c.err))
+			}
+			jc := c.jc
+			j := info[jc.JobID] // collectors forward only in-replay jobs
+			if jc.Aborted {
+				stats.Aborted++
+				continue
+			}
+			stats.SpecCopies += int(jc.SpecCopies)
+			run.Jobs = append(run.Jobs, metrics.JobResult{
+				ID:         j.ID,
+				Tasks:      j.TotalTasks(),
+				DAGLen:     len(j.Phases),
+				Arrival:    j.Arrival,
+				Completion: jc.Completion,
+			})
+		case <-deadline:
+			return run, stats, failed(fmt.Errorf("live: replay timeout with %d of %d jobs complete", done, len(ordered)))
+		}
+	}
+	stats.WallTime = time.Since(start)
+	// Canonical order for reporting: by job ID, like the simulator's
+	// collected runs.
+	sort.Slice(run.Jobs, func(a, b int) bool { return run.Jobs[a].ID < run.Jobs[b].ID })
+	return run, stats, nil
+}
+
+// LocalClusterConfig sizes an in-process cluster (goroutine nodes over
+// loopback TCP) for demos, load generation, and tests.
+type LocalClusterConfig struct {
+	Schedulers int
+	Workers    int
+	Slots      int
+	Mode       protocol.Mode
+	TimeScale  float64
+	Seed       int64
+	// DurationOverride scripts service times (tests); nil draws from the
+	// heavy-tailed model.
+	DurationOverride func(t *cluster.Task, speculative bool) float64
+}
+
+// LocalCluster is a running in-process cluster.
+type LocalCluster struct {
+	Scheds  []*Scheduler
+	Workers []*Worker
+	Addrs   []string
+}
+
+// StartLocalCluster boots schedulers and workers as goroutines talking
+// real loopback TCP.
+func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
+	if cfg.Schedulers <= 0 {
+		cfg.Schedulers = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	lc := &LocalCluster{}
+	for i := 0; i < cfg.Schedulers; i++ {
+		s, err := NewScheduler(SchedulerConfig{
+			ID:               uint32(i),
+			Addr:             "127.0.0.1:0",
+			Mode:             cfg.Mode,
+			NumSchedulers:    cfg.Schedulers,
+			TimeScale:        cfg.TimeScale,
+			Seed:             cfg.Seed + int64(i),
+			DurationOverride: cfg.DurationOverride,
+		})
+		if err != nil {
+			lc.Stop()
+			return nil, err
+		}
+		go s.Run()
+		lc.Scheds = append(lc.Scheds, s)
+		lc.Addrs = append(lc.Addrs, s.Addr())
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID:             uint32(i),
+			Slots:          cfg.Slots,
+			SchedulerAddrs: lc.Addrs,
+			Mode:           cfg.Mode,
+			TimeScale:      cfg.TimeScale,
+		})
+		if err != nil {
+			lc.Stop()
+			return nil, err
+		}
+		go w.Run()
+		lc.Workers = append(lc.Workers, w)
+	}
+	return lc, nil
+}
+
+// Stop tears the cluster down (workers first, so their drains reach
+// live schedulers).
+func (lc *LocalCluster) Stop() {
+	for _, w := range lc.Workers {
+		w.Stop()
+	}
+	for _, s := range lc.Scheds {
+		s.Stop()
+	}
+}

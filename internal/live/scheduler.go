@@ -4,10 +4,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 	"time"
 
-	"github.com/hopper-sim/hopper/internal/core"
-	"github.com/hopper-sim/hopper/internal/stats"
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/transport"
 	"github.com/hopper-sim/hopper/internal/wire"
 )
@@ -15,111 +16,254 @@ import (
 // SchedulerConfig configures a live scheduler node.
 type SchedulerConfig struct {
 	ID uint32
-	// Addr is the TCP listen address (":0" picks a port).
+	// Addr is the TCP listen address (":0" picks a port). Leave empty to
+	// run without a listener and feed connections via ServeConn (in-memory
+	// clusters, tests).
 	Addr string
-	// ProbeRatio is reservations per task (default 4).
-	ProbeRatio int
+	// Mode selects the protocol (Hopper by default; the Sparrow baselines
+	// also run live via the GetTask pull).
+	Mode protocol.Mode
+	// NumSchedulers is the cluster-wide scheduler count, used by the
+	// fairness floor estimate. Default 1.
+	NumSchedulers int
+	// ProbeRatio is reservations per task (default 4 for Hopper, 2 for
+	// the Sparrow modes).
+	ProbeRatio float64
+	// RefusalThreshold is Pseudocode 3's refusal bound (default 2).
+	RefusalThreshold int
 	// Beta is the Pareto tail index used for virtual sizes and service
 	// time draws (default 1.5). Live mode draws service times scheduler-
 	// side so the straggler race is reproducible; see package docs.
 	Beta float64
-	// MeanTaskSeconds scales drawn task durations before TimeScale.
+	// MeanTaskSeconds is the fallback mean task duration for submitted
+	// phases that carry none.
 	MeanTaskSeconds float64
 	// MaxCopies caps live copies per task (default 2).
 	MaxCopies int
+	// TimeScale maps virtual protocol seconds to wall seconds (0.05 runs
+	// a 20s workload in 1s). Must match the workers'. Default 1.
+	TimeScale float64
+	// CheckInterval is the speculation scan period in virtual seconds
+	// (default 0.25).
+	CheckInterval float64
 	// Seed drives the service-time RNG.
 	Seed int64
+	// DurationOverride, when set, supplies copy service times instead of
+	// the heavy-tailed draw — scripted schedules for tests and the
+	// sim-vs-live parity harness.
+	DurationOverride func(t *cluster.Task, speculative bool) float64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
 
-// lTask is scheduler-side task state in the live cluster.
-type lTask struct {
-	phase    uint16
-	index    uint32
-	copies   int // live copies
-	done     bool
-	started  bool
-	startAt  time.Time
-	duration float64 // drawn service time of the first copy
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.NumSchedulers == 0 {
+		c.NumSchedulers = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 1.5
+	}
+	if c.MeanTaskSeconds == 0 {
+		c.MeanTaskSeconds = 1
+	}
+	if c.MaxCopies == 0 {
+		c.MaxCopies = 2
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.CheckInterval == 0 {
+		c.CheckInterval = 0.25
+	}
+	return c
 }
 
-// lJob is scheduler-side job state.
+// lJob is scheduler-side job state: the cluster.Job driving the protocol
+// core plus submission bookkeeping.
 type lJob struct {
-	id         uint64
+	job        *cluster.Job
 	client     *peer
-	submit     time.Time
-	phases     []wire.PhaseSpec
-	tasks      [][]*lTask // [phase][index]
-	curPhase   int
-	pending    []*lTask // unlaunched tasks of the current phase
-	occupied   int
-	remaining  int
+	submitVirt float64
 	specCopies int
 }
 
-// Scheduler is a live Hopper job scheduler: accepts job submissions,
-// probes workers, and drives Pseudocode 2 over real connections.
-type Scheduler struct {
-	cfg  SchedulerConfig
-	loop *loop
-	ln   *transport.Listener
-	rng  *rand.Rand
-
-	workers map[uint32]*peer
-	jobs    map[uint64]*lJob
-	order   []uint64 // job admission order for deterministic iteration
+// lCopy is one in-flight emulated copy, keyed by (worker, assign seq).
+type lCopy struct {
+	job      *lJob
+	task     *cluster.Task
+	copy     *cluster.Copy
+	worker   *peer
+	workerID uint32
+	seq      uint64
 }
 
-// NewScheduler binds the listener; Addr() reports the bound address.
+type copyKey struct {
+	worker uint32
+	seq    uint64
+}
+
+// Scheduler is a live Hopper job scheduler: a thin adapter that feeds a
+// protocol.Sched core from real connections. It accepts job submissions,
+// probes workers, answers offers (Pseudocode 2), runs the speculation
+// scan, settles copy races with Kill frames, and reports per-job results
+// to the submitting client.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	loop  *loop
+	ln    *transport.Listener
+	rng   *rand.Rand
+	model cluster.ExecModel
+	core  *protocol.Sched
+	stats protocol.Stats
+	start time.Time
+
+	workers    map[uint32]*peer
+	workerIDs  []cluster.MachineID // sorted; topology for probe aiming
+	totalSlots int
+
+	jobs   map[uint64]*lJob
+	copies map[copyKey]*lCopy
+	// byTask indexes the in-flight copies of each task so settling a
+	// race touches only that task's copies, not the cluster-wide map.
+	byTask map[*cluster.Task][]*lCopy
+
+	// pendingAdmit buffers submissions and pendingProbes buffers probes
+	// that arrive while no worker is registered (cluster boot, full
+	// outage); both flush when the next worker registers.
+	pendingAdmit  []pendingSubmit
+	pendingProbes []protocol.Probe
+	unlockScr     []cluster.PhaseUnlock
+	tickerOn      bool
+}
+
+// pendingSubmit is one buffered submission with its submitter.
+type pendingSubmit struct {
+	msg  *wire.SubmitJob
+	from *peer
+}
+
+// maxTasksPerPhase / maxTasksPerJob bound client-supplied job shapes:
+// far above any paper workload (job sizes cap at a few thousand tasks)
+// while keeping a single malicious frame — one huge phase, or thousands
+// of large ones — from allocating gigabytes of task state. Totals are
+// validated before anything is allocated.
+const (
+	maxTasksPerPhase = 1 << 20
+	maxTasksPerJob   = 1 << 21
+)
+
+// NewScheduler binds the listener (when Addr is set); Addr() reports the
+// bound address.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
-	if cfg.ProbeRatio == 0 {
-		cfg.ProbeRatio = 4
-	}
-	if cfg.Beta == 0 {
-		cfg.Beta = 1.5
-	}
-	if cfg.MeanTaskSeconds == 0 {
-		cfg.MeanTaskSeconds = 1
-	}
-	if cfg.MaxCopies == 0 {
-		cfg.MaxCopies = 2
-	}
-	ln, err := transport.Listen(cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Scheduler{
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
 		cfg:     cfg,
 		loop:    newLoop(cfg.Logger),
-		ln:      ln,
 		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
 		workers: make(map[uint32]*peer),
 		jobs:    make(map[uint64]*lJob),
-	}, nil
+		copies:  make(map[copyKey]*lCopy),
+		byTask:  make(map[*cluster.Task][]*lCopy),
+		start:   time.Now(),
+	}
+	s.model = cluster.DefaultExecModel()
+	s.model.Beta = cfg.Beta
+	pcfg := protocol.Config{
+		Mode:             cfg.Mode,
+		NumSchedulers:    cfg.NumSchedulers,
+		ProbeRatio:       cfg.ProbeRatio,
+		RefusalThreshold: cfg.RefusalThreshold,
+		BetaPrior:        cfg.Beta, // virtual sizes see the same tail index as service draws
+	}.WithDefaults()
+	pcfg.Spec.MaxCopies = cfg.MaxCopies
+	s.core = protocol.NewSched(protocol.SchedID(cfg.ID), pcfg, protocol.SchedEnv{
+		Now:           s.now,
+		Rand:          s.rng,
+		TotalSlots:    func() int { return max(s.totalSlots, 1) },
+		RandomWorkers: s.randomWorkers,
+		Stats:         &s.stats,
+	})
+	if cfg.Addr != "" {
+		ln, err := transport.Listen(cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		s.ln = ln
+	}
+	return s, nil
 }
 
-// Addr returns the listener's address.
-func (s *Scheduler) Addr() string { return s.ln.Addr() }
+// Addr returns the listener's address (empty without a listener).
+func (s *Scheduler) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr()
+}
 
-// Run accepts connections and processes messages until Stop.
-func (s *Scheduler) Run() {
-	go func() {
-		for {
-			conn, err := s.ln.Accept()
-			if err != nil {
-				return
+// now is the scheduler's virtual clock: wall seconds since start divided
+// by the time scale, so protocol state (copy starts, estimators,
+// cooldowns) lives in workload time regardless of compression.
+func (s *Scheduler) now() float64 {
+	return time.Since(s.start).Seconds() / s.cfg.TimeScale
+}
+
+// randomWorkers samples n distinct registered workers
+// (cluster.Machines.RandomSubset semantics; fewer when the cluster is
+// smaller than n).
+func (s *Scheduler) randomWorkers(rng *rand.Rand, n int, scratch []cluster.MachineID) []cluster.MachineID {
+	out := scratch[:0]
+	ids := s.workerIDs
+	if n >= len(ids) {
+		return append(out, ids...)
+	}
+	// n is a handful (probe surplus); rejection sampling over the sorted
+	// ID list is cheap and allocation-free.
+	for len(out) < n {
+		cand := ids[rng.Intn(len(ids))]
+		dup := false
+		for _, x := range out {
+			if x == cand {
+				dup = true
+				break
 			}
-			p := &peer{conn: conn}
-			go s.loop.readFrom(p)
 		}
-	}()
+		if !dup {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// ServeConn registers an inbound connection (in-memory transports,
+// tests) exactly as if it had been accepted from the listener.
+func (s *Scheduler) ServeConn(conn transport.Conn) {
+	p := &peer{conn: conn}
+	go s.loop.readFrom(p)
+}
+
+// Run accepts connections and processes messages until Stop, then fails
+// all pending jobs with an aborted JobComplete before returning.
+func (s *Scheduler) Run() {
+	if s.ln != nil {
+		go func() {
+			for {
+				conn, err := s.ln.Accept()
+				if err != nil {
+					return
+				}
+				s.ServeConn(conn)
+			}
+		}()
+	}
 	for {
 		select {
 		case <-s.loop.done:
+			s.drain()
 			return
 		case env := <-s.loop.inbox:
 			if env.err != nil {
+				s.onDisconnect(env.from)
 				continue
 			}
 			s.handle(env)
@@ -127,10 +271,119 @@ func (s *Scheduler) Run() {
 	}
 }
 
-// Stop terminates the scheduler.
+// onDisconnect handles an abruptly lost connection. A dead worker
+// (crash, network drop — anything but a graceful drain) is removed from
+// the topology and its in-flight copies are unwound and requeued, the
+// same settlement its own drain would have reported.
+func (s *Scheduler) onDisconnect(p *peer) {
+	if p == nil {
+		return
+	}
+	if p.hello.Role != wire.RoleWorker {
+		// Client or unidentified peer: close our half so the peer sees
+		// the break instead of submitting into a stream with no reader.
+		p.conn.Close()
+		return
+	}
+	id := p.hello.ID
+	if s.workers[id] != p {
+		p.conn.Close()
+		return // already replaced by a reconnect
+	}
+	s.loop.logf("worker %d connection lost; unwinding its copies", id)
+	// Close our half too: after a known-type decode failure the reader
+	// abandons the stream deliberately, and a half-open socket would let
+	// the peer keep writing into the void with all its protocol state
+	// pinned on replies that cannot come.
+	p.conn.Close()
+	delete(s.workers, id)
+	for i, wid := range s.workerIDs {
+		if wid == cluster.MachineID(id) {
+			s.workerIDs = append(s.workerIDs[:i], s.workerIDs[i+1:]...)
+			break
+		}
+	}
+	s.totalSlots -= int(p.hello.Slots)
+	s.unwindWorkerCopies(p)
+}
+
+// unwindWorkerCopies settles every in-flight copy that lived on the
+// given connection as lost.
+func (s *Scheduler) unwindWorkerCopies(p *peer) {
+	var lost []*lCopy
+	for _, lc := range s.copies {
+		if lc.worker == p {
+			lost = append(lost, lc)
+		}
+	}
+	for _, lc := range lost {
+		s.settleLostCopy(lc)
+	}
+}
+
+// settleLostCopy unwinds a copy that died on its worker: occupancy
+// rolls back, and a task left with no live copy requeues — with its
+// probes aimed away from the worker that lost it (likely draining; its
+// still-registered connection would swallow them).
+func (s *Scheduler) settleLostCopy(lc *lCopy) {
+	t := lc.copy.Task
+	lc.copy.Killed = true
+	s.detachCopy(lc)
+	s.removeCopy(t, lc.copy)
+	s.core.PlacementFailed(t.Job.ID)
+	if t.State == cluster.TaskRunning && t.RunningCopies() == 0 {
+		s.sendProbesAvoiding(s.core.RequeueLost(t), int64(lc.workerID))
+	}
+}
+
+// detachCopy removes a copy from both in-flight indexes.
+func (s *Scheduler) detachCopy(lc *lCopy) {
+	delete(s.copies, copyKey{lc.workerID, lc.seq})
+	list := s.byTask[lc.task]
+	for i, x := range list {
+		if x == lc {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.byTask, lc.task)
+	} else {
+		s.byTask[lc.task] = list
+	}
+}
+
+// Stop terminates the scheduler; Run drains pending jobs on its way out.
 func (s *Scheduler) Stop() {
+	if s.ln != nil {
+		s.ln.Close()
+	}
 	s.loop.stop()
-	s.ln.Close()
+}
+
+// drain fails every still-pending job with an explicit aborted
+// JobComplete — the client learns its fate instead of watching a
+// connection die mid-round — then closes worker connections.
+func (s *Scheduler) drain() {
+	for id, j := range s.jobs {
+		if j.client != nil {
+			s.loop.send(j.client, &wire.JobComplete{
+				JobID:   id,
+				Aborted: true,
+				Error:   fmt.Sprintf("scheduler %d shutting down", s.cfg.ID),
+			})
+		}
+	}
+	for _, ps := range s.pendingAdmit {
+		if ps.from != nil {
+			s.loop.send(ps.from, &wire.JobComplete{
+				JobID:   ps.msg.JobID,
+				Aborted: true,
+				Error:   fmt.Sprintf("scheduler %d shutting down before any worker registered", s.cfg.ID),
+			})
+		}
+	}
 	for _, p := range s.workers {
 		p.conn.Close()
 	}
@@ -139,15 +392,92 @@ func (s *Scheduler) Stop() {
 func (s *Scheduler) handle(env envelope) {
 	switch m := env.msg.(type) {
 	case *wire.Hello:
+		// Capture the pre-overwrite announcement: when the re-Hello rides
+		// the SAME connection, old.hello below would already alias the
+		// new values and the slot delta would always read zero.
+		prevHello := env.from.hello
 		env.from.hello = *m
 		if m.Role == wire.RoleWorker {
+			if prevHello.Role == wire.RoleWorker && prevHello.ID != m.ID && s.workers[prevHello.ID] == env.from {
+				// The connection re-announced under a different ID:
+				// deregister the previous identity or it lingers as a
+				// ghost that double-counts slots and swallows probes.
+				delete(s.workers, prevHello.ID)
+				for i, wid := range s.workerIDs {
+					if wid == cluster.MachineID(prevHello.ID) {
+						s.workerIDs = append(s.workerIDs[:i], s.workerIDs[i+1:]...)
+						break
+					}
+				}
+				s.totalSlots -= int(prevHello.Slots)
+			}
+			old, known := s.workers[m.ID]
+			// Always adopt the new connection: a restarted worker (drain +
+			// relaunch) must replace its stale peer or every future probe
+			// goes to a dead conn. Topology/slot accounting is keyed by ID.
 			s.workers[m.ID] = env.from
+			if known {
+				oldSlots := old.hello.Slots
+				if old == env.from {
+					oldSlots = prevHello.Slots
+				}
+				s.totalSlots += int(m.Slots) - int(oldSlots)
+				if old != env.from {
+					// A genuine replacement: the old connection's
+					// in-flight copies died with it. Unwind them now —
+					// the late-arriving read error will hit
+					// onDisconnect's replaced-peer guard and must not be
+					// the only settlement path. This also clears stale
+					// (workerID, seq) keys before the restarted worker's
+					// sequence numbers start over. Close the replaced
+					// conn so its reader exits and the old peer (if
+					// half-open rather than dead) sees the break instead
+					// of negotiating into the void. Probes shelved while
+					// this worker was the only (unusable) target flush
+					// to the fresh connection. (A redundant Hello on the
+					// SAME connection must not unwind live copies.)
+					s.unwindWorkerCopies(old)
+					old.conn.Close()
+					s.flushPendingProbes()
+				}
+			} else {
+				// Sorted insert (the slice stays sorted between Hellos; a
+				// full re-sort per registration is O(n log n) x n during
+				// mass boot, all on the scheduler loop).
+				at := sort.Search(len(s.workerIDs), func(i int) bool {
+					return s.workerIDs[i] >= cluster.MachineID(m.ID)
+				})
+				s.workerIDs = append(s.workerIDs, 0)
+				copy(s.workerIDs[at+1:], s.workerIDs[at:])
+				s.workerIDs[at] = cluster.MachineID(m.ID)
+				s.totalSlots += int(m.Slots)
+				s.flushPending()
+			}
 		}
 	case *wire.SubmitJob:
-		s.onSubmit(env.from, m)
+		if len(s.workers) == 0 {
+			// No probe targets yet: buffer until the first worker
+			// registers (cluster boot races submissions otherwise).
+			s.pendingAdmit = append(s.pendingAdmit, pendingSubmit{msg: m, from: env.from})
+			return
+		}
+		s.admit(env.from, m)
 	case *wire.Offer:
+		// Worker frames must arrive on the worker's REGISTERED
+		// connection: a frame queued from a replaced (crashed/restarted)
+		// connection would otherwise create copies bound to a dead peer
+		// that no disconnect path will ever unwind, or settle copies of
+		// the new incarnation via colliding sequence numbers.
+		if s.workers[m.WorkerID] != env.from {
+			s.loop.logf("dropping offer from stale connection of worker %d", m.WorkerID)
+			return
+		}
 		s.onOffer(env.from, m)
 	case *wire.TaskDone:
+		if s.workers[m.WorkerID] != env.from {
+			s.loop.logf("dropping task report from stale connection of worker %d", m.WorkerID)
+			return
+		}
 		s.onTaskDone(m)
 	case *wire.Ping:
 		s.loop.send(env.from, &wire.Pong{Nonce: m.Nonce})
@@ -156,219 +486,358 @@ func (s *Scheduler) handle(env envelope) {
 	}
 }
 
-func (s *Scheduler) onSubmit(client *peer, m *wire.SubmitJob) {
-	j := &lJob{
-		id:     m.JobID,
-		client: client,
-		submit: time.Now(),
-		phases: m.Phases,
+func (s *Scheduler) flushPending() {
+	pend := s.pendingAdmit
+	s.pendingAdmit = nil
+	for _, ps := range pend {
+		s.admit(ps.from, ps.msg)
 	}
-	for pi, p := range m.Phases {
-		row := make([]*lTask, p.NumTasks)
-		for i := range row {
-			row[i] = &lTask{phase: uint16(pi), index: uint32(i)}
-		}
-		j.tasks = append(j.tasks, row)
-		j.remaining += int(p.NumTasks)
-	}
-	s.jobs[m.JobID] = j
-	s.order = append(s.order, m.JobID)
-	s.startPhase(j, 0)
+	s.flushPendingProbes()
 }
 
-// startPhase queues a phase's tasks and probes workers for them.
-func (s *Scheduler) startPhase(j *lJob, phase int) {
-	if phase >= len(j.tasks) {
-		return
-	}
-	j.curPhase = phase
-	j.pending = append(j.pending[:0], j.tasks[phase]...)
-	s.probeFor(j, len(j.tasks[phase])*s.cfg.ProbeRatio)
+// flushPendingProbes re-sends probes that had no usable target when
+// first aimed (full outage, or requeues avoiding the only worker).
+func (s *Scheduler) flushPendingProbes() {
+	probes := s.pendingProbes
+	s.pendingProbes = nil
+	s.sendProbes(probes)
 }
 
-// probeFor sends n reservations to uniformly random workers.
-func (s *Scheduler) probeFor(j *lJob, n int) {
-	if len(s.workers) == 0 {
-		return
-	}
-	ids := make([]uint32, 0, len(s.workers))
-	for id := range s.workers {
-		ids = append(ids, id)
-	}
-	for i := 0; i < n; i++ {
-		id := ids[s.rng.Intn(len(ids))]
-		s.loop.send(s.workers[id], &wire.Reserve{
-			JobID:       j.id,
-			SchedulerID: s.cfg.ID,
-			VirtualSize: s.virtualSize(j),
-			RemTasks:    uint32(j.remaining),
-		})
-	}
-}
-
-// virtualSize is (2/beta) * remaining-in-phase (alpha omitted: live jobs
-// carry explicit per-phase transfer already reflected in durations).
-func (s *Scheduler) virtualSize(j *lJob) float64 {
-	rem := 0
-	for _, t := range j.tasks[j.curPhase] {
-		if !t.done {
-			rem++
-		}
-	}
-	return core.VirtualSize(rem, s.cfg.Beta, 1)
-}
-
-// smallestUnsat reports the scheduler's smallest unsatisfied job.
-func (s *Scheduler) smallestUnsat() (uint64, float64, bool) {
-	var bestID uint64
-	var bestVS float64
-	found := false
-	for _, id := range s.order {
-		j := s.jobs[id]
-		if j == nil || j.remaining == 0 {
-			continue
-		}
-		vs := s.virtualSize(j)
-		if float64(j.occupied) >= vs {
-			continue
-		}
-		if s.nextWork(j) == nil {
-			continue
-		}
-		if !found || vs < bestVS {
-			bestID, bestVS, found = id, vs, true
-		}
-	}
-	return bestID, bestVS, found
-}
-
-// nextWork picks the job's next assignable unit: a fresh task, else a
-// speculation victim (slowest running task below the copy cap).
-func (s *Scheduler) nextWork(j *lJob) *lTask {
-	if len(j.pending) > 0 {
-		return j.pending[0]
-	}
-	var victim *lTask
-	var worst time.Duration
-	for _, t := range j.tasks[j.curPhase] {
-		if t.done || !t.started || t.copies >= s.cfg.MaxCopies {
-			continue
-		}
-		elapsed := time.Since(t.startAt)
-		remaining := time.Duration(t.duration*float64(time.Second)) - elapsed
-		if remaining <= 0 {
-			continue
-		}
-		if victim == nil || remaining > worst {
-			victim, worst = t, remaining
-		}
-	}
-	return victim
-}
-
-func (s *Scheduler) onOffer(from *peer, m *wire.Offer) {
-	j := s.jobs[m.JobID]
-	if j == nil {
-		s.loop.send(from, &wire.NoTask{JobID: m.JobID, JobDone: true})
-		return
-	}
-	vs := s.virtualSize(j)
-	if m.Refusable && float64(j.occupied) >= vs {
-		uid, uvs, ok := s.smallestUnsat()
-		s.loop.send(from, &wire.Refuse{
-			JobID:       m.JobID,
-			NoDemand:    s.nextWork(j) == nil,
-			HasUnsat:    ok,
-			UnsatJobID:  uid,
-			UnsatVS:     uvs,
-			VirtualSize: vs,
-			RemTasks:    uint32(j.remaining),
+// admit converts the submission into a cluster.Job, registers it with
+// the core, and probes for its root phases.
+func (s *Scheduler) admit(client *peer, m *wire.SubmitJob) {
+	if _, dup := s.jobs[m.JobID]; dup {
+		// Core job state is keyed by ID; re-admitting would orphan the
+		// first registration in the scheduler's job list forever.
+		s.loop.send(client, &wire.JobComplete{
+			JobID: m.JobID, Aborted: true,
+			Error: fmt.Sprintf("job %d is already active on this scheduler", m.JobID),
 		})
 		return
 	}
-	t := s.nextWork(j)
-	if t == nil {
-		if m.Refusable {
-			uid, uvs, ok := s.smallestUnsat()
-			s.loop.send(from, &wire.Refuse{
-				JobID: m.JobID, NoDemand: true,
-				HasUnsat: ok, UnsatJobID: uid, UnsatVS: uvs,
-				VirtualSize: vs, RemTasks: uint32(j.remaining),
+	// Validate the whole shape before allocating anything: bounds on
+	// per-phase and total task counts (NumTasks is a client-supplied
+	// u32), and dependency indices that must point at earlier phases (an
+	// out-of-range index would panic the unlock scan on the scheduler
+	// loop — a remote crash). Same rules as the trace loader.
+	totalTasks := 0
+	for pi, ps := range m.Phases {
+		if ps.NumTasks == 0 || ps.NumTasks > maxTasksPerPhase {
+			s.loop.send(client, &wire.JobComplete{
+				JobID: m.JobID, Aborted: true,
+				Error: fmt.Sprintf("phase %d task count %d outside [1, %d]", pi, ps.NumTasks, maxTasksPerPhase),
 			})
-		} else {
-			s.loop.send(from, &wire.NoTask{JobID: m.JobID, NoDemand: true})
+			return
 		}
+		totalTasks += int(ps.NumTasks)
+		if totalTasks > maxTasksPerJob {
+			s.loop.send(client, &wire.JobComplete{
+				JobID: m.JobID, Aborted: true,
+				Error: fmt.Sprintf("job exceeds %d total tasks", maxTasksPerJob),
+			})
+			return
+		}
+		for _, d := range ps.Deps {
+			if int(d) >= pi {
+				s.loop.send(client, &wire.JobComplete{
+					JobID: m.JobID, Aborted: true,
+					Error: fmt.Sprintf("phase %d dep %d out of range", pi, d),
+				})
+				return
+			}
+		}
+	}
+	var phases []*cluster.Phase
+	for _, ps := range m.Phases {
+		mean := ps.MeanDur
+		if mean <= 0 {
+			mean = s.cfg.MeanTaskSeconds
+		}
+		ph := &cluster.Phase{
+			MeanTaskDuration: mean,
+			TransferWork:     ps.TransferWork,
+			Tasks:            make([]*cluster.Task, int(ps.NumTasks)),
+		}
+		for _, d := range ps.Deps {
+			ph.Deps = append(ph.Deps, int(d))
+		}
+		for i := range ph.Tasks {
+			t := &cluster.Task{}
+			if ps.Replicas != nil && i < len(ps.Replicas) {
+				for _, r := range ps.Replicas[i] {
+					t.Replicas = append(t.Replicas, cluster.MachineID(r))
+				}
+			}
+			ph.Tasks[i] = t
+		}
+		phases = append(phases, ph)
+	}
+	if len(phases) == 0 {
+		s.loop.send(client, &wire.JobComplete{JobID: m.JobID, Aborted: true, Error: "job has no phases"})
 		return
 	}
-	spec := t.started
-	dur := stats.SampleMean(s.rng, s.cfg.MeanTaskSeconds, s.cfg.Beta)
-	if !spec {
-		j.pending = j.pending[1:]
-		t.started = true
-		t.startAt = time.Now()
-		t.duration = dur
-	} else {
-		j.specCopies++
+	now := s.now()
+	j := cluster.NewJob(cluster.JobID(m.JobID), m.Name, now, phases)
+	lj := &lJob{job: j, client: client, submitVirt: now}
+	s.jobs[m.JobID] = lj
+	s.core.Admit(j)
+	s.ensureTicker()
+	for _, p := range j.Phases {
+		if len(p.Deps) == 0 {
+			p.MarkRunnable()
+			p.RunnableAt = now
+			s.sendProbes(s.core.PhaseRunnable(p))
+		}
 	}
-	t.copies++
-	j.occupied++
-	s.loop.send(from, &wire.Assign{
-		JobID:       j.id,
-		Phase:       t.phase,
-		TaskIndex:   t.index,
-		Speculative: spec,
-		Duration:    dur,
-		VirtualSize: vs,
-		RemTasks:    uint32(j.remaining),
-	})
 }
 
+// sendProbes realizes a core probe list as Reserve frames.
+func (s *Scheduler) sendProbes(probes []protocol.Probe) {
+	s.sendProbesAvoiding(probes, -1)
+}
+
+// sendProbesAvoiding is sendProbes with one worker treated as
+// untargetable (the worker whose killed-copy report triggered a requeue
+// — it is draining or just rejected an assign, so probes to it would be
+// dropped or doomed). A probe aimed at it or at an unregistered worker
+// (replica hint for a crashed worker, over-sized trace) is re-aimed at
+// another registered worker rather than dropped — a task whose replica
+// hints covered the whole probe count would otherwise get zero
+// reservations and hang its job. With no eligible worker at all the
+// probe is buffered and flushed at the next registration.
+func (s *Scheduler) sendProbesAvoiding(probes []protocol.Probe, avoid int64) {
+	for _, p := range probes {
+		wid := uint32(p.Worker)
+		w := s.workers[wid]
+		if w == nil || int64(wid) == avoid {
+			// Deterministic scan from a random offset: finds an eligible
+			// worker whenever one is registered (bounded random sampling
+			// could shelve the probe even with healthy workers present).
+			w = nil
+			if n := len(s.workerIDs); n > 0 {
+				start := s.rng.Intn(n)
+				for k := 0; k < n; k++ {
+					alt := s.workerIDs[(start+k)%n]
+					if int64(alt) == avoid {
+						continue
+					}
+					if cand := s.workers[uint32(alt)]; cand != nil {
+						w = cand
+						break
+					}
+				}
+			}
+			if w == nil {
+				// Full outage, or the avoided worker is the only one
+				// left: hold the probe for the next registration instead
+				// of stranding the task with zero reservations. (The
+				// job's remaining aggregate reservations still cover it
+				// if the lone worker is actually healthy.) One shelved
+				// probe per job: the periodic reprobe would otherwise
+				// grow the backlog without bound during a long outage
+				// and flood the first worker to register.
+				replaced := false
+				for i := range s.pendingProbes {
+					if s.pendingProbes[i].Job == p.Job {
+						s.pendingProbes[i] = p
+						replaced = true
+						break
+					}
+				}
+				if !replaced {
+					s.pendingProbes = append(s.pendingProbes, p)
+				}
+				continue
+			}
+		}
+		s.loop.send(w, &wire.Reserve{
+			JobID:       uint64(p.Job),
+			SchedulerID: s.cfg.ID,
+			VirtualSize: p.VS,
+			RemTasks:    uint32(p.Rem),
+		})
+	}
+}
+
+// reprobeEvery is how many ticker periods pass between reservation
+// refreshes (ReprobeStalled): infrequent enough to stay out of the way,
+// frequent enough to unstick a task whose probes were all lost.
+const reprobeEvery = 20
+
+// ensureTicker arms the periodic maintenance tick: the speculation scan
+// every period (when speculation is on) and the stalled-task
+// reservation refresh every reprobeEvery periods.
+func (s *Scheduler) ensureTicker() {
+	if s.tickerOn {
+		return
+	}
+	s.tickerOn = true
+	wall := time.Duration(s.cfg.CheckInterval * s.cfg.TimeScale * float64(time.Second))
+	ticks := 0
+	var arm func()
+	arm = func() {
+		time.AfterFunc(wall, func() {
+			s.post(&internalEvent{fn: func() {
+				if !s.core.HasJobs() {
+					s.tickerOn = false
+					return
+				}
+				if s.core.NeedsTicker() {
+					s.sendProbes(s.core.ScanSpec())
+				}
+				ticks++
+				if ticks%reprobeEvery == 0 {
+					s.sendProbes(s.core.ReprobeStalled())
+				}
+				arm()
+			}}, nil)
+		})
+	}
+	arm()
+}
+
+// post enqueues an internal event onto the scheduler's own loop.
+func (s *Scheduler) post(msg interface{}, from *peer) {
+	s.loop.post(msg, from)
+}
+
+// onOffer answers a worker's offer or Sparrow pull through the core.
+func (s *Scheduler) onOffer(from *peer, m *wire.Offer) {
+	var rep protocol.Reply
+	if m.GetTask {
+		rep = s.core.HandleGetTask(cluster.JobID(m.JobID), cluster.MachineID(m.WorkerID))
+	} else {
+		rep = s.core.HandleOffer(cluster.JobID(m.JobID), cluster.MachineID(m.WorkerID), m.Refusable)
+	}
+	var dur float64
+	if rep.HasTask {
+		dur = s.startCopy(rep, from, m.WorkerID, m.Seq)
+	}
+	s.loop.send(from, wireFromReply(rep, m.Seq, dur))
+}
+
+// startCopy performs the placement bookkeeping the simulator's Executor
+// would: it draws the copy's service time (scripted override or the
+// heavy-tailed model keyed exactly like the simulator's), records the
+// copy on the task, and indexes it by (worker, seq) for settlement.
+func (s *Scheduler) startCopy(rep protocol.Reply, w *peer, workerID uint32, seq uint64) float64 {
+	t := rep.Task
+	m := cluster.MachineID(workerID)
+	local := t.LocalOn(m)
+	var dur float64
+	if s.cfg.DurationOverride != nil {
+		dur = s.cfg.DurationOverride(t, rep.Spec)
+	} else {
+		dur = s.model.Duration(cluster.CopyServiceRNG(s.cfg.Seed, t, len(t.Copies)), t.Phase.MeanTaskDuration, local)
+	}
+	c := t.StartCopy(s.now(), m, rep.Spec, local, dur)
+	lj := s.jobs[uint64(rep.Job)]
+	if rep.Spec && lj != nil {
+		lj.specCopies++
+	}
+	lc := &lCopy{job: lj, task: t, copy: c, worker: w, workerID: workerID, seq: seq}
+	s.copies[copyKey{workerID, seq}] = lc
+	s.byTask[t] = append(s.byTask[t], lc)
+	return dur
+}
+
+// onTaskDone settles a copy report: a win resolves the whole race
+// (sibling kills, phase unlocks, job completion); a kill rolls the copy
+// back and requeues the task if it lost its last copy (worker drain).
 func (s *Scheduler) onTaskDone(m *wire.TaskDone) {
-	j := s.jobs[m.JobID]
-	if j == nil {
+	key := copyKey{m.WorkerID, m.Seq}
+	lc := s.copies[key]
+	if lc == nil {
+		return // stale: race already settled by the winning sibling
+	}
+	t, c := lc.task, lc.copy
+	now := s.now()
+
+	if m.Killed {
+		// The copy never ran (stale assign) or died with its worker:
+		// unwind it and, if the task is now copy-less, put it back on the
+		// fresh queue and re-probe.
+		s.settleLostCopy(lc)
 		return
 	}
-	j.occupied--
-	if int(m.Phase) >= len(j.tasks) || int(m.TaskIndex) >= len(j.tasks[m.Phase]) {
-		return
+
+	s.detachCopy(lc)
+	if t.State == cluster.TaskDone {
+		return // crossed with our Kill; already settled
 	}
-	t := j.tasks[m.Phase][m.TaskIndex]
-	t.copies--
-	if m.Killed || t.done {
-		return
+
+	// This copy wins the race.
+	c.Won = true
+	t.State = cluster.TaskDone
+	t.DoneAt = now
+	// Kill racing siblings (only this task's copies, via the per-task
+	// index); their workers free the slots on Kill and send nothing back
+	// — the race is settled here, once.
+	siblings := s.byTask[t]
+	delete(s.byTask, t)
+	for _, other := range siblings {
+		other.copy.Killed = true
+		s.loop.send(other.worker, &wire.Kill{JobID: uint64(t.Job.ID), Seq: other.seq})
+		delete(s.copies, copyKey{other.workerID, other.seq})
 	}
-	t.done = true
-	j.remaining--
-	// Phase complete?
-	for _, pt := range j.tasks[j.curPhase] {
-		if !pt.done {
+	s.core.TaskDone(t, c)
+
+	jobDone, unlocks := t.Job.CompleteTask(t, now, s.unlockScr[:0])
+	s.unlockScr = unlocks
+	for _, u := range unlocks {
+		s.armUnlock(u)
+	}
+	if jobDone {
+		s.finishJob(t.Job)
+	}
+}
+
+// removeCopy drops a copy that never contributed from the task's copy
+// list, keeping len(Copies) aligned with the occupancy the core settles
+// at win time.
+func (s *Scheduler) removeCopy(t *cluster.Task, c *cluster.Copy) {
+	for i, x := range t.Copies {
+		if x == c {
+			t.Copies = append(t.Copies[:i], t.Copies[i+1:]...)
 			return
 		}
 	}
-	if j.curPhase+1 < len(j.tasks) {
-		s.startPhase(j, j.curPhase+1)
+}
+
+// armUnlock schedules a phase's runnable transition at its pipelined
+// transfer time.
+func (s *Scheduler) armUnlock(u cluster.PhaseUnlock) {
+	p := u.Phase
+	fire := func() {
+		p.MarkRunnable()
+		s.sendProbes(s.core.PhaseRunnable(p))
+	}
+	delay := u.At - s.now()
+	if delay <= 0 {
+		fire()
 		return
 	}
-	// Job complete.
-	delete(s.jobs, j.id)
-	for i, id := range s.order {
-		if id == j.id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
+	time.AfterFunc(time.Duration(delay*s.cfg.TimeScale*float64(time.Second)), func() {
+		s.post(&internalEvent{fn: fire}, nil)
+	})
+}
+
+// finishJob reports the completed job to its client and releases state.
+func (s *Scheduler) finishJob(j *cluster.Job) {
+	s.core.JobDone(j)
+	id := uint64(j.ID)
+	lj := s.jobs[id]
+	if lj == nil {
+		return
 	}
-	if j.client != nil {
-		total := 0
-		for _, row := range j.tasks {
-			total += len(row)
-		}
-		s.loop.send(j.client, &wire.JobComplete{
-			JobID:      j.id,
-			Completion: time.Since(j.submit).Seconds(),
-			TasksRun:   uint32(total),
-			SpecCopies: uint32(j.specCopies),
+	delete(s.jobs, id)
+	if lj.client != nil {
+		s.loop.send(lj.client, &wire.JobComplete{
+			JobID:      id,
+			Completion: j.DoneAt - lj.submitVirt,
+			TasksRun:   uint32(j.TotalTasks()),
+			SpecCopies: uint32(lj.specCopies),
 		})
 	}
 }
 
-var _ = fmt.Sprintf // keep fmt for future diagnostics

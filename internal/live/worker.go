@@ -3,8 +3,11 @@ package live
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"time"
 
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/transport"
 	"github.com/hopper-sim/hopper/internal/wire"
 )
@@ -15,101 +18,150 @@ type WorkerConfig struct {
 	Slots int
 	// SchedulerAddrs are the TCP addresses of all schedulers; the worker
 	// dials each and keeps the connections open (probes and assignments
-	// flow back over them).
+	// flow back over them). Leave empty and use NewWorkerConns for
+	// in-memory clusters.
 	SchedulerAddrs []string
+	// Mode must match the schedulers'.
+	Mode protocol.Mode
 	// RefusalThreshold is Pseudocode 3's refusal bound (default 2).
 	RefusalThreshold int
 	// TimeScale multiplies task service times (0.1 turns a 10s task into
-	// 1s of wall clock). Default 1.
+	// 1s of wall clock). Must match the schedulers'. Default 1.
 	TimeScale float64
-	// RetryInterval is the idle retry pace when a round fails with
-	// reservations still queued. Default 50ms.
-	RetryInterval time.Duration
+	// RetryBackoffMin/Max bound the idle retry backoff in virtual
+	// seconds (protocol defaults when zero).
+	RetryBackoffMin float64
+	RetryBackoffMax float64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
 
-// wEntry is a worker-side reservation aggregate, as in the simulator.
-type wEntry struct {
-	sched    *peer
-	schedID  uint32
-	jobID    uint64
-	count    int
-	vs       float64
-	remTasks uint32
-	seq      int64
+// runningCopy is one emulated in-flight copy on this worker.
+type runningCopy struct {
+	seq   uint64
+	msg   wire.Assign
+	from  *peer
+	timer *time.Timer
 }
 
-// wRound is one slot's negotiation state (Pseudocode 3).
-type wRound struct {
-	tried    map[*wEntry]bool
-	refusals int
-	unsat    *peer
-	unsatJob uint64
-	unsatVS  float64
-	hasUnsat bool
-	final    bool // non-refusable attempt outstanding
-}
-
-// Worker is a live worker node: it queues reservations, late-binds free
+// Worker is a live worker node: a thin adapter feeding a protocol.Worker
+// core from real connections. It queues reservations, late-binds free
 // slots via refusable offers in virtual-size order, and emulates task
-// execution by holding a slot for the assigned duration.
+// execution by holding a slot for the assigned duration (scaled).
 type Worker struct {
-	cfg  WorkerConfig
-	loop *loop
+	cfg     WorkerConfig
+	loop    *loop
+	core    *protocol.Worker
+	stats   protocol.Stats
+	tracker *offerTracker
+	start   time.Time
 
-	scheds    []*peer // index = scheduler ID
-	queue     []*wEntry
-	index     map[uint64]*wEntry // key: schedID<<48 | jobID
+	scheds []*peer // dial order; fallback when no ID has been learned
+	// schedByID/idByPeer map announced scheduler IDs to connections.
+	// Learned from Reserve frames (every offer follows a reservation, so
+	// the mapping is always taught before it is needed) — a worker's
+	// -schedulers list order need not match scheduler -id assignment.
+	schedByID map[protocol.SchedID]*peer
+	idByPeer  map[*peer]protocol.SchedID
 	freeSlots int
+	running   map[uint64]*runningCopy // by assign seq
+	retry     *time.Timer
+	retryGen  uint64 // invalidates stale RetryFired deliveries
 
-	inRound    bool
-	round      *wRound
-	pendingJob uint64 // job of the outstanding offer
-	seqCounter int64
-	retryArmed bool
+	// curReply carries the in-delivery assign context into the core's
+	// Place callback (single-threaded loop; never concurrent).
+	curReply struct {
+		seq  uint64
+		from *peer
+		msg  *wire.Assign
+	}
+
+	// deferred holds synthesized replies (offers that could not be sent:
+	// no connection for the target scheduler) to be delivered after the
+	// current core call returns — re-entering the core mid-iteration
+	// would recycle the action buffer, and posting to our own inbox
+	// could deadlock the loop when the inbox is full.
+	deferred []deferredReply
 
 	// TasksRun counts completed copies (diagnostics/tests).
 	TasksRun int
 }
 
-func ekey(schedID uint32, jobID uint64) uint64 {
-	return uint64(schedID)<<48 | (jobID & 0xFFFFFFFFFFFF)
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Slots <= 0 {
+		c.Slots = 1
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	return c
 }
 
 // NewWorker dials the schedulers and returns a ready (not yet running)
 // worker.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
-	if cfg.Slots <= 0 {
-		cfg.Slots = 1
+	conns := make([]transport.Conn, 0, len(cfg.SchedulerAddrs))
+	for _, addr := range cfg.SchedulerAddrs {
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("live: worker %d dialing scheduler %s: %w", cfg.ID, addr, err)
+		}
+		conns = append(conns, conn)
 	}
-	if cfg.RefusalThreshold == 0 {
-		cfg.RefusalThreshold = 2
-	}
-	if cfg.TimeScale == 0 {
-		cfg.TimeScale = 1
-	}
-	if cfg.RetryInterval == 0 {
-		cfg.RetryInterval = 50 * time.Millisecond
-	}
+	return NewWorkerConns(cfg, conns)
+}
+
+// NewWorkerConns builds a worker over pre-established connections, one
+// per scheduler in scheduler-ID order — the in-memory transport path
+// used by tests and the parity harness.
+func NewWorkerConns(cfg WorkerConfig, conns []transport.Conn) (*Worker, error) {
+	cfg = cfg.withDefaults()
 	w := &Worker{
 		cfg:       cfg,
 		loop:      newLoop(cfg.Logger),
-		index:     make(map[uint64]*wEntry),
+		tracker:   newOfferTracker(),
+		start:     time.Now(),
+		schedByID: make(map[protocol.SchedID]*peer),
+		idByPeer:  make(map[*peer]protocol.SchedID),
 		freeSlots: cfg.Slots,
+		running:   make(map[uint64]*runningCopy),
 	}
-	for i, addr := range cfg.SchedulerAddrs {
-		conn, err := transport.Dial(addr)
-		if err != nil {
-			return nil, fmt.Errorf("live: worker %d dialing scheduler %s: %w", cfg.ID, addr, err)
-		}
+	pcfg := protocol.Config{
+		Mode:             cfg.Mode,
+		RefusalThreshold: cfg.RefusalThreshold,
+		RetryBackoffMin:  cfg.RetryBackoffMin,
+		RetryBackoffMax:  cfg.RetryBackoffMax,
+	}.WithDefaults()
+	w.core = protocol.NewWorker(cluster.MachineID(cfg.ID), pcfg, protocol.WorkerEnv{
+		Now:       w.now,
+		Rand:      rand.New(rand.NewSource(int64(cfg.ID)*7919 + 5)),
+		FreeSlots: func() int { return w.freeSlots },
+		Place:     w.place,
+		Stats:     &w.stats,
+	})
+	for i, conn := range conns {
 		p := &peer{conn: conn, hello: wire.Hello{Role: wire.RoleScheduler, ID: uint32(i)}}
 		w.scheds = append(w.scheds, p)
 		if err := conn.Send(&wire.Hello{Role: wire.RoleWorker, ID: cfg.ID, Slots: uint32(cfg.Slots)}); err != nil {
+			// Ownership of every conn transferred here: close them all on
+			// a partial failure or a retrying supervisor leaks sockets
+			// (and phantom registrations at the already-greeted
+			// schedulers).
+			for _, c := range conns {
+				c.Close()
+			}
 			return nil, err
 		}
 	}
 	return w, nil
+}
+
+// now is the worker's virtual clock (see Scheduler.now).
+func (w *Worker) now() float64 {
+	return time.Since(w.start).Seconds() / w.cfg.TimeScale
 }
 
 // Run processes messages until Stop; call in a goroutine.
@@ -120,42 +172,139 @@ func (w *Worker) Run() {
 	for {
 		select {
 		case <-w.loop.done:
+			w.drain()
 			return
 		case env := <-w.loop.inbox:
 			if env.err != nil {
-				continue
+				w.onSchedDisconnect(env.from)
+			} else {
+				w.handle(env)
 			}
-			w.handle(env)
+			w.drainDeferred()
 		}
 	}
 }
 
-// Stop terminates the worker and closes its connections.
+// drainDeferred delivers synthesized replies queued during the last
+// handler, including any queued by the deliveries themselves.
+func (w *Worker) drainDeferred() {
+	for len(w.deferred) > 0 {
+		d := w.deferred[0]
+		w.deferred = w.deferred[1:]
+		if d.getTask {
+			w.exec(w.core.OnSparrowReply(d.round, d.entry, d.rep))
+		} else {
+			w.exec(w.core.OnHopperReply(d.round, d.entry, d.rep))
+		}
+	}
+}
+
+// onSchedDisconnect unwinds state tied to a lost scheduler connection:
+// its reservation entries are dropped and every in-flight offer to it is
+// resolved with a synthesized JobDone reply — otherwise the unanswered
+// rounds leak activeRounds slots and the worker permanently stops
+// negotiating with the surviving schedulers.
+func (w *Worker) onSchedDisconnect(p *peer) {
+	if p == nil {
+		return
+	}
+	// Close our half: the reader may have abandoned the stream after a
+	// known-type decode failure, and the scheduler must see the break
+	// rather than keep committing state into a half-open socket.
+	p.conn.Close()
+	for i, sp := range w.scheds {
+		if sp == p {
+			w.scheds[i] = nil // keep the dial-order fallback honest
+		}
+	}
+	sid, learned := w.idByPeer[p]
+	if !learned {
+		// The peer never sent a Reserve, so no reservations, offers, or
+		// rounds reference it — and guessing its identity from dial
+		// order could purge a HEALTHY scheduler's state if the operator
+		// ordered -schedulers differently from the -id assignment.
+		return
+	}
+	w.loop.logf("scheduler %d connection lost; dropping its reservations", sid)
+	if cur, ok := w.schedByID[sid]; ok && cur == p {
+		delete(w.schedByID, sid)
+	}
+	delete(w.idByPeer, p)
+	w.core.DropSched(sid)
+	var orphans []uint64
+	for seq, po := range w.tracker.pending {
+		if po.sched == sid {
+			orphans = append(orphans, seq)
+		}
+	}
+	for _, seq := range orphans {
+		po, _ := w.tracker.take(seq)
+		rep := protocol.Reply{Job: po.job, From: sid, JobDone: true}
+		if po.getTask {
+			w.exec(w.core.OnSparrowReply(po.round, po.entry, rep))
+		} else {
+			w.exec(w.core.OnHopperReply(po.round, po.entry, rep))
+		}
+	}
+}
+
+// Stop terminates the worker; Run reports in-flight copies as killed on
+// its way out so schedulers requeue the lost work instead of waiting on
+// a dead connection.
 func (w *Worker) Stop() {
 	w.loop.stop()
+}
+
+// drain kills every emulated copy, reporting each to its scheduler, then
+// closes the connections.
+func (w *Worker) drain() {
+	for seq, rc := range w.running {
+		rc.timer.Stop()
+		w.loop.send(rc.from, &wire.TaskDone{
+			JobID:     rc.msg.JobID,
+			Seq:       seq,
+			Phase:     rc.msg.Phase,
+			TaskIndex: rc.msg.TaskIndex,
+			WorkerID:  w.cfg.ID,
+			Killed:    true,
+		})
+		delete(w.running, seq)
+	}
 	for _, p := range w.scheds {
-		p.conn.Close()
+		if p != nil {
+			p.conn.Close()
+		}
 	}
 }
 
 // post enqueues an internal event onto the worker's own loop.
 func (w *Worker) post(msg interface{}, from *peer) {
-	select {
-	case w.loop.inbox <- envelope{from: from, msg: msg}:
-	case <-w.loop.done:
-	}
+	w.loop.post(msg, from)
+}
+
+// internalEvent lets executor goroutines and timers run closures on the
+// loop goroutine; it never crosses the wire.
+type internalEvent struct{ fn func() }
+
+// deferredReply is a locally synthesized scheduler reply.
+type deferredReply struct {
+	round   *protocol.Round
+	entry   *protocol.Entry
+	rep     protocol.Reply
+	getTask bool
 }
 
 func (w *Worker) handle(env envelope) {
 	switch m := env.msg.(type) {
 	case *wire.Reserve:
-		w.addReservation(env.from, m)
-	case *wire.Assign:
-		w.onAssign(env.from, m)
-	case *wire.Refuse:
-		w.onRefuse(m)
-	case *wire.NoTask:
-		w.onNoTask(m)
+		sid := protocol.SchedID(m.SchedulerID)
+		w.schedByID[sid] = env.from
+		w.idByPeer[env.from] = sid
+		w.exec(w.core.AddReservation(sid, cluster.JobID(m.JobID), m.VirtualSize, int(m.RemTasks)))
+	case *wire.Assign, *wire.Refuse, *wire.NoTask:
+		w.onReply(env.from, env.msg.(wire.Message))
+	case *wire.Kill:
+		w.onKill(m)
 	case *wire.Ping:
 		w.loop.send(env.from, &wire.Pong{Nonce: m.Nonce})
 	case *internalEvent:
@@ -163,237 +312,176 @@ func (w *Worker) handle(env envelope) {
 	}
 }
 
-// internalEvent lets executor goroutines and timers run closures on the
-// loop goroutine; it never crosses the wire.
-type internalEvent struct{ fn func() }
+// schedID resolves a connection back to its scheduler identity:
+// learned mapping first, dial order as the fallback before any Reserve
+// has taught it.
+func (w *Worker) schedID(p *peer) protocol.SchedID {
+	if id, ok := w.idByPeer[p]; ok {
+		return id
+	}
+	for i, sp := range w.scheds {
+		if sp == p {
+			return protocol.SchedID(i)
+		}
+	}
+	return protocol.SchedID(p.hello.ID)
+}
 
-func (w *Worker) addReservation(from *peer, m *wire.Reserve) {
-	k := ekey(m.SchedulerID, m.JobID)
-	e := w.index[k]
+// schedPeer resolves a scheduler identity to its connection. The
+// dial-order fallback only applies before any Reserve has taught the
+// mapping; a disconnected scheduler's slot is nil-ed out so the
+// fallback can never resurrect a dead connection (exec's synthesized
+// JobDone path then unwinds the round instead).
+func (w *Worker) schedPeer(id protocol.SchedID) *peer {
+	if p, ok := w.schedByID[id]; ok {
+		return p
+	}
+	if int(id) < len(w.scheds) {
+		return w.scheds[id] // may be nil after a disconnect
+	}
+	return nil
+}
+
+// onReply routes a scheduler reply to its round via the offer tracker.
+func (w *Worker) onReply(from *peer, m wire.Message) {
+	rep, seq, ok := replyFromWire(m, w.schedID(from))
+	if !ok {
+		return
+	}
+	po, live := w.tracker.take(seq)
+	if !live {
+		return // stale reply; the round is gone
+	}
+	e := po.entry
 	if e == nil {
-		e = &wEntry{sched: from, schedID: m.SchedulerID, jobID: m.JobID, seq: w.seqCounter}
-		w.seqCounter++
-		w.index[k] = e
-		w.queue = append(w.queue, e)
+		e = w.core.EntryFor(po.sched, po.job)
 	}
-	e.count++
-	e.vs = m.VirtualSize
-	e.remTasks = m.RemTasks
-	w.maybeStartRound()
+	if a, isAssign := m.(*wire.Assign); isAssign {
+		w.curReply.seq = seq
+		w.curReply.from = from
+		w.curReply.msg = a
+	}
+	if po.getTask {
+		w.exec(w.core.OnSparrowReply(po.round, e, rep))
+	} else {
+		w.exec(w.core.OnHopperReply(po.round, e, rep))
+	}
+	w.curReply.msg = nil
 }
 
-// maybeStartRound begins a negotiation if a slot is free and no round is
-// active (the live worker serializes rounds; a placement immediately
-// triggers the next).
-func (w *Worker) maybeStartRound() {
-	if w.inRound || w.freeSlots <= 0 || len(w.queue) == 0 {
-		return
+// place is the core's placement callback: occupy a slot and emulate the
+// copy by holding it for the scaled duration.
+func (w *Worker) place(from protocol.SchedID, rep protocol.Reply) bool {
+	a := w.curReply.msg
+	if a == nil {
+		return false
 	}
-	w.inRound = true
-	w.round = &wRound{tried: make(map[*wEntry]bool)}
-	w.step()
-}
-
-// pick returns the untried entry with the smallest virtual size.
-func (w *Worker) pick() *wEntry {
-	var best *wEntry
-	for _, e := range w.queue {
-		if e.count <= 0 || w.round.tried[e] {
-			continue
-		}
-		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
-			best = e
-		}
-	}
-	return best
-}
-
-func (w *Worker) offer(p *peer, jobID uint64, refusable bool) {
-	w.pendingJob = jobID
-	w.loop.send(p, &wire.Offer{JobID: jobID, WorkerID: w.cfg.ID, Refusable: refusable})
-}
-
-func (w *Worker) step() {
-	r := w.round
-	if r == nil {
-		return
-	}
-	if r.refusals >= w.cfg.RefusalThreshold {
-		w.conclude()
-		return
-	}
-	e := w.pick()
-	if e == nil {
-		w.conclude()
-		return
-	}
-	r.tried[e] = true
-	w.offer(e.sched, e.jobID, true)
-}
-
-// conclude ends the refusable phase per Pseudocode 3: constrained systems
-// send the slot non-refusably to the smallest unsatisfied job; otherwise
-// one attempt goes to the largest remaining entry (Guideline 3's
-// large-job preference, deterministic for testability).
-func (w *Worker) conclude() {
-	r := w.round
-	if r.final {
-		w.endRound()
-		return
-	}
-	r.final = true
-	if r.hasUnsat {
-		w.offer(r.unsat, r.unsatJob, false)
-		return
-	}
-	var best *wEntry
-	for _, e := range w.queue {
-		if e.count <= 0 || r.tried[e] {
-			continue
-		}
-		if best == nil || e.vs > best.vs {
-			best = e
-		}
-	}
-	if best == nil {
-		w.endRound()
-		return
-	}
-	r.tried[best] = true
-	w.offer(best.sched, best.jobID, false)
-}
-
-func (w *Worker) endRound() {
-	w.inRound = false
-	w.round = nil
-	w.armRetry()
-}
-
-// armRetry schedules a wake-up while reservations remain, covering the
-// case where demand reappears at a scheduler without new probes.
-func (w *Worker) armRetry() {
-	if w.retryArmed || w.freeSlots <= 0 {
-		return
-	}
-	has := false
-	for _, e := range w.queue {
-		if e.count > 0 {
-			has = true
-			break
-		}
-	}
-	if !has {
-		return
-	}
-	w.retryArmed = true
-	time.AfterFunc(w.cfg.RetryInterval, func() {
-		w.post(&internalEvent{fn: func() {
-			w.retryArmed = false
-			w.maybeStartRound()
-		}}, nil)
-	})
-}
-
-func (w *Worker) onAssign(from *peer, m *wire.Assign) {
-	// Consume a reservation and refresh piggybacked metadata.
-	for _, e := range w.queue {
-		if e.sched == from && e.jobID == m.JobID {
-			e.vs = m.VirtualSize
-			e.remTasks = m.RemTasks
-			if e.count > 0 {
-				e.count--
-			}
-			if e.count == 0 {
-				w.purge(e)
-			}
-			break
-		}
-	}
-	w.inRound = false
-	w.round = nil
 	if w.freeSlots <= 0 {
-		// No slot after all (stale offer): report an instant kill so the
-		// scheduler's occupancy stays correct.
-		w.loop.send(from, &wire.TaskDone{
-			JobID: m.JobID, Phase: m.Phase, TaskIndex: m.TaskIndex,
+		// Defensive: a stale assign with no slot behind it. Reject
+		// instantly so the scheduler unwinds the copy.
+		w.loop.send(w.curReply.from, &wire.TaskDone{
+			JobID: a.JobID, Seq: w.curReply.seq, Phase: a.Phase, TaskIndex: a.TaskIndex,
 			WorkerID: w.cfg.ID, Killed: true,
 		})
-		w.armRetry()
-		return
+		return false
 	}
 	w.freeSlots--
-	assign := *m
-	dur := time.Duration(assign.Duration * w.cfg.TimeScale * float64(time.Second))
-	go func() {
-		time.Sleep(dur)
-		w.post(&internalEvent{fn: func() { w.copyFinished(from, &assign) }}, nil)
-	}()
-	w.maybeStartRound()
+	rc := &runningCopy{seq: w.curReply.seq, msg: *a, from: w.curReply.from}
+	w.running[rc.seq] = rc
+	wall := time.Duration(a.Duration * w.cfg.TimeScale * float64(time.Second))
+	rc.timer = time.AfterFunc(wall, func() {
+		w.post(&internalEvent{fn: func() { w.copyFinished(rc) }}, nil)
+	})
+	return true
 }
 
-func (w *Worker) copyFinished(from *peer, m *wire.Assign) {
+// copyFinished reports a completed copy and restarts negotiation.
+func (w *Worker) copyFinished(rc *runningCopy) {
+	if _, live := w.running[rc.seq]; !live {
+		return // killed while the finish event was in flight
+	}
+	delete(w.running, rc.seq)
 	w.freeSlots++
 	w.TasksRun++
-	w.loop.send(from, &wire.TaskDone{
-		JobID:     m.JobID,
-		Phase:     m.Phase,
-		TaskIndex: m.TaskIndex,
+	w.loop.send(rc.from, &wire.TaskDone{
+		JobID:     rc.msg.JobID,
+		Seq:       rc.seq,
+		Phase:     rc.msg.Phase,
+		TaskIndex: rc.msg.TaskIndex,
 		WorkerID:  w.cfg.ID,
-		Duration:  m.Duration,
+		Duration:  rc.msg.Duration,
 	})
-	w.maybeStartRound()
+	w.exec(w.core.Kick())
 }
 
-func (w *Worker) onRefuse(m *wire.Refuse) {
-	if w.round == nil || m.JobID != w.pendingJob {
-		return
+// onKill stops a racing copy early: the scheduler settled the race and
+// expects no report for this copy.
+func (w *Worker) onKill(m *wire.Kill) {
+	rc := w.running[m.Seq]
+	if rc == nil {
+		return // already finished; our TaskDone crossed the Kill
 	}
-	r := w.round
-	r.refusals++
-	var refusing *peer
-	for _, e := range w.queue {
-		if e.jobID == m.JobID {
-			e.vs = m.VirtualSize
-			e.remTasks = m.RemTasks
-			refusing = e.sched
-			break
-		}
-	}
-	if m.HasUnsat && refusing != nil && (!r.hasUnsat || m.UnsatVS < r.unsatVS) {
-		r.unsat, r.unsatJob, r.unsatVS, r.hasUnsat = refusing, m.UnsatJobID, m.UnsatVS, true
-	}
-	if r.final {
-		w.endRound()
-		return
-	}
-	w.step()
+	rc.timer.Stop()
+	delete(w.running, m.Seq)
+	w.freeSlots++
+	w.exec(w.core.Kick())
 }
 
-func (w *Worker) onNoTask(m *wire.NoTask) {
-	if m.JobDone {
-		for _, e := range w.queue {
-			if e.jobID == m.JobID {
-				w.purge(e)
-				break
+// exec realizes a core action list: offers become frames (tracked by
+// seq), retry arms become timers.
+func (w *Worker) exec(acts []protocol.WAction) {
+	for i := range acts {
+		a := acts[i]
+		switch a.Kind {
+		case protocol.WSendOffer:
+			p := w.schedPeer(a.Sched)
+			if p == nil {
+				// No connection for this scheduler (stale referral).
+				// Synthesize a JobDone reply so the round advances and
+				// activeRounds unwinds — silently dropping the offer
+				// would leak one of the worker's negotiation slots
+				// forever. Deferred, not inline (see deferred field).
+				w.deferred = append(w.deferred, deferredReply{
+					round: a.Round, entry: a.Entry, getTask: a.GetTask,
+					rep: protocol.Reply{Job: a.Job, From: a.Sched, JobDone: true},
+				})
+				continue
 			}
-		}
-	}
-	if w.round == nil || m.JobID != w.pendingJob {
-		return
-	}
-	if w.round.final {
-		w.endRound()
-		return
-	}
-	w.step()
-}
-
-func (w *Worker) purge(e *wEntry) {
-	delete(w.index, ekey(e.schedID, e.jobID))
-	for i, x := range w.queue {
-		if x == e {
-			w.queue = append(w.queue[:i], w.queue[i+1:]...)
-			return
+			seq := w.tracker.track(pendingOffer{
+				round: a.Round, entry: a.Entry, sched: a.Sched, job: a.Job, getTask: a.GetTask,
+			})
+			w.loop.send(p, &wire.Offer{
+				JobID:     uint64(a.Job),
+				WorkerID:  w.cfg.ID,
+				Seq:       seq,
+				Refusable: a.Refusable,
+				GetTask:   a.GetTask,
+			})
+		case protocol.WArmRetry:
+			// Generation-tag each arm: a RetryFired event already queued
+			// from an older timer must not reach the core after a newer
+			// arm/cancel, or the core's armed flag desyncs and timers
+			// multiply. Stop any previous timer before overwriting it.
+			if w.retry != nil {
+				w.retry.Stop()
+			}
+			w.retryGen++
+			gen := w.retryGen
+			wall := time.Duration(a.Delay * w.cfg.TimeScale * float64(time.Second))
+			w.retry = time.AfterFunc(wall, func() {
+				w.post(&internalEvent{fn: func() {
+					if gen != w.retryGen {
+						return // superseded by a later arm or cancel
+					}
+					w.exec(w.core.RetryFired())
+				}}, nil)
+			})
+		case protocol.WCancelRetry:
+			w.retryGen++
+			if w.retry != nil {
+				w.retry.Stop()
+				w.retry = nil
+			}
 		}
 	}
 }

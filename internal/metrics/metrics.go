@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/workload"
 )
 
 // JobResult is one job's outcome in one run.
@@ -143,6 +144,31 @@ func Slowdowns(gains []float64) SlowdownStats {
 		s.AvgIncrease /= float64(n)
 	}
 	return s
+}
+
+// BinBreakdown renders the paper's standard per-size-bin result table
+// for one run — job count and average completion per bin plus the
+// overall average. The simulator drivers and the live load generator
+// share this so their reports line up column for column.
+func BinBreakdown(title string, r Run) *Table {
+	t := &Table{
+		Title:  title,
+		Header: []string{"bin", "jobs", "avg completion (s)"},
+	}
+	for _, bin := range workload.SizeBins() {
+		bin := bin
+		n := 0
+		for _, j := range r.Jobs {
+			if workload.SizeBin(j.Tasks) == bin {
+				n++
+			}
+		}
+		t.AddF(bin, n, r.AvgCompletionWhere(func(j JobResult) bool {
+			return workload.SizeBin(j.Tasks) == bin
+		}))
+	}
+	t.AddF("all", len(r.Jobs), r.AvgCompletion())
+	return t
 }
 
 // Table renders fixed-width text tables for harness output.

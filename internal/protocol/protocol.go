@@ -1,0 +1,234 @@
+// Package protocol contains the decentralized Hopper protocol state
+// machines of Pseudocode 2 and 3 — scheduler-side job state (virtual
+// sizes, occupied accounting, piggybacked smallest-unsatisfied job,
+// speculation queues) and worker-side round negotiation (reservation
+// aggregates, refusal threshold, tried sets) — as transport- and
+// clock-agnostic cores.
+//
+// A core never talks to a network, an event engine, or the wall clock.
+// Its inputs are method calls (one per protocol message or timer tick)
+// plus an injected clock and RNG; its outputs are return values (for
+// request/response pairs like offer handling) and ordered action lists
+// (for one-way sends and timer management) that the embedding adapter
+// executes. Two adapters drive the same cores:
+//
+//   - internal/decentral feeds them from the discrete-event simulator:
+//     actions become engine posts under the message-latency model, and
+//     placement goes through cluster.Executor. The extraction is
+//     behavior-preserving — the experiments dispatch golden pins the
+//     exact decision sequence of the pre-extraction tree.
+//   - internal/live feeds them from TCP (or in-memory) connections and
+//     real timers: actions become wire frames, placement becomes an
+//     emulated slot hold on a worker, and replies are routed back to
+//     rounds by the Seq field instead of by captured pointers.
+//
+// The parity test in internal/live asserts the two paths hand out
+// identical (job, task, worker) assignment sequences on a shared
+// workload, which is what makes simulator figures transferable to the
+// deployed system (the property Sparrow-descendant systems validate the
+// same way).
+package protocol
+
+import (
+	"fmt"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/speculation"
+)
+
+// SchedID identifies a scheduler within one cluster (dense, 0-based).
+type SchedID int
+
+// Mode selects the scheduling protocol.
+type Mode int
+
+// The three decentralized systems evaluated in the paper.
+const (
+	// ModeHopper is decentralized Hopper (Section 5).
+	ModeHopper Mode = iota
+	// ModeSparrow is stock Sparrow: FIFO worker queues, batched
+	// power-of-two probes, best-effort speculation.
+	ModeSparrow
+	// ModeSparrowSRPT is the paper's aggressive baseline: Sparrow whose
+	// workers pick the job with the fewest unfinished tasks.
+	ModeSparrowSRPT
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeHopper:
+		return "Hopper-D"
+	case ModeSparrow:
+		return "Sparrow"
+	case ModeSparrowSRPT:
+		return "Sparrow-SRPT"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config holds the protocol parameters shared by every adapter. Message
+// timing (latency, processing delay, scan periods) belongs to the
+// adapters: the cores never sleep or schedule.
+type Config struct {
+	Mode Mode
+
+	// NumSchedulers is the number of independent job schedulers in the
+	// cluster; a scheduler estimates the cluster-wide job count for the
+	// fairness floor as (its own active jobs) x NumSchedulers, accurate
+	// under round-robin admission.
+	NumSchedulers int
+
+	// ProbeRatio is reservations per task (d). Hopper's default is 4;
+	// Sparrow's is 2. Fractional ratios are realized in expectation.
+	ProbeRatio float64
+
+	// RefusalThreshold is how many refusals a worker collects before
+	// concluding (Pseudocode 3).
+	RefusalThreshold int
+
+	// Epsilon is the fairness allowance (Section 4.3) applied through the
+	// virtual-size floor; used only by ModeHopper.
+	Epsilon float64
+
+	// FairnessOff disables the fairness floor entirely.
+	FairnessOff bool
+
+	// Spec configures straggler detection.
+	Spec speculation.Config
+
+	// BetaPrior seeds the per-scheduler tail estimators.
+	BetaPrior float64
+
+	// RetryBackoffMin/Max bound the worker's idle retry backoff when a
+	// negotiation round ends without placing a task (seconds, in the
+	// adapter's clock domain).
+	RetryBackoffMin float64
+	RetryBackoffMax float64
+
+	// RefusalCooldown is how long a worker treats a job as satisfied
+	// after its scheduler refused an offer (or had no task), before
+	// re-offering.
+	RefusalCooldown float64
+}
+
+// WithDefaults fills zero fields with the paper's defaults for the mode.
+func (c Config) WithDefaults() Config {
+	if c.NumSchedulers == 0 {
+		c.NumSchedulers = 10
+	}
+	if c.ProbeRatio == 0 {
+		if c.Mode == ModeHopper {
+			c.ProbeRatio = 4
+		} else {
+			c.ProbeRatio = 2
+		}
+	}
+	if c.RefusalThreshold == 0 {
+		c.RefusalThreshold = 2
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.1
+	}
+	c.Spec = c.Spec.WithDefaults()
+	if c.BetaPrior == 0 {
+		c.BetaPrior = 1.5
+	}
+	if c.RetryBackoffMin == 0 {
+		c.RetryBackoffMin = 0.25
+	}
+	if c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 2.0
+	}
+	if c.RefusalCooldown == 0 {
+		c.RefusalCooldown = 0.1
+	}
+	return c
+}
+
+// Stats aggregates protocol counters across the cores of one cluster
+// node set. Adapters share one Stats among the cores they own.
+type Stats struct {
+	// RoundsStarted / RoundsPlaced count worker negotiation rounds and
+	// the subset that placed a task.
+	RoundsStarted int64
+	RoundsPlaced  int64
+
+	// OccupancyLeaks counts jobs that finished with nonzero occupancy —
+	// always a protocol accounting bug.
+	OccupancyLeaks int64
+}
+
+// Reply is a scheduler's answer to a worker's offer or task pull. It is
+// value-transportable: every field crosses the wire except Task, which
+// in-process adapters use to hand the actual task object to placement
+// (wire adapters reconstruct placement from Phase/TaskIndex instead).
+type Reply struct {
+	// HasTask reports a task was handed over; Job/Phase/TaskIndex
+	// identify it and Spec marks a speculative copy.
+	HasTask   bool
+	Task      *cluster.Task // in-process only; nil across a wire
+	Job       cluster.JobID
+	Phase     int
+	TaskIndex int
+	Spec      bool
+
+	// From is the replying scheduler.
+	From SchedID
+
+	// JobDone tells the worker to purge this job's reservations.
+	JobDone bool
+	// Refused means a refusable offer was declined (job satisfied).
+	Refused bool
+	// NoDemand means the job has nothing to run right now at all.
+	NoDemand bool
+
+	// HasUnsat + fields piggyback the replying scheduler's smallest
+	// unsatisfied job on refusals (Pseudocode 2).
+	HasUnsat bool
+	UnsatJob cluster.JobID
+	UnsatVS  float64
+
+	// VS / RemTask piggyback the job's updated ordering metadata.
+	VS      float64
+	RemTask int
+}
+
+// Probe is a scheduler-core output: send one reservation request to a
+// worker, carrying the job's ordering metadata.
+type Probe struct {
+	Worker cluster.MachineID
+	Job    cluster.JobID
+	VS     float64
+	Rem    int
+}
+
+// WActionKind discriminates worker-core output actions.
+type WActionKind uint8
+
+// Worker-core actions, executed by the adapter in list order.
+const (
+	// WSendOffer: transmit an offer (Hopper) or task pull (Sparrow) to
+	// Sched for Job. Round is the negotiation the eventual reply belongs
+	// to; Entry is the reservation entry captured at send time, or nil
+	// when the reply handler must look the entry up at delivery time
+	// (the non-refusable smallest-unsatisfied offer targets a job the
+	// worker may hold no reservation for).
+	WSendOffer WActionKind = iota
+	// WArmRetry: schedule a Kick after Delay on the adapter's clock.
+	WArmRetry
+	// WCancelRetry: cancel the armed retry, if any.
+	WCancelRetry
+)
+
+// WAction is one worker-core output.
+type WAction struct {
+	Kind      WActionKind
+	Sched     SchedID
+	Job       cluster.JobID
+	Refusable bool
+	GetTask   bool // Sparrow pull instead of a Hopper offer
+	Round     *Round
+	Entry     *Entry
+	Delay     float64
+}

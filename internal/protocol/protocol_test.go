@@ -1,0 +1,332 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+)
+
+// testClock is a settable manual clock.
+type testClock struct{ now float64 }
+
+func (c *testClock) Now() float64 { return c.now }
+
+// mkJob builds a single-phase job with runnable root phase.
+func mkJob(id cluster.JobID, n int, mean float64) *cluster.Job {
+	ph := &cluster.Phase{MeanTaskDuration: mean, Tasks: make([]*cluster.Task, n)}
+	for i := range ph.Tasks {
+		ph.Tasks[i] = &cluster.Task{}
+	}
+	j := cluster.NewJob(id, "", 0, []*cluster.Phase{ph})
+	ph.MarkRunnable()
+	return j
+}
+
+// harness bundles a sched and worker core over a manual clock.
+type harness struct {
+	clk   *testClock
+	stats Stats
+	sc    *Sched
+	w     *Worker
+	slots int
+}
+
+func newHarness(t *testing.T, mode Mode, slots int) *harness {
+	t.Helper()
+	h := &harness{clk: &testClock{}, slots: slots}
+	cfg := Config{Mode: mode, NumSchedulers: 3}.WithDefaults()
+	rng := rand.New(rand.NewSource(99))
+	h.sc = NewSched(0, cfg, SchedEnv{
+		Now:        h.clk.Now,
+		Rand:       rng,
+		TotalSlots: func() int { return 8 },
+		RandomWorkers: func(r *rand.Rand, n int, scratch []cluster.MachineID) []cluster.MachineID {
+			out := scratch[:0]
+			for i := 0; i < n; i++ {
+				out = append(out, cluster.MachineID(r.Intn(4)))
+			}
+			return out
+		},
+		Stats: &h.stats,
+	})
+	h.w = NewWorker(0, cfg, WorkerEnv{
+		Now:       h.clk.Now,
+		Rand:      rng,
+		FreeSlots: func() int { return h.slots },
+		Place:     func(SchedID, Reply) bool { return true },
+		Stats:     &h.stats,
+	})
+	return h
+}
+
+func TestEntryAggregation(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(1, 4, 1.0)
+	h.sc.Admit(j)
+
+	h.w.AddReservation(0, j.ID, 5.0, 4)
+	h.w.AddReservation(0, j.ID, 6.0, 3)
+	if len(h.w.entries) != 1 {
+		t.Fatalf("entries = %d, want 1 aggregated", len(h.w.entries))
+	}
+	e := h.w.entries[0]
+	if e.count < 1 || e.vs != 6.0 || e.remTasks != 3 {
+		t.Fatalf("entry not updated: %+v", e)
+	}
+}
+
+func TestAddReservationEmitsOffer(t *testing.T) {
+	h := newHarness(t, ModeHopper, 1)
+	j := mkJob(1, 4, 1.0)
+	h.sc.Admit(j)
+
+	acts := h.w.AddReservation(0, j.ID, 5.0, 4)
+	var offers int
+	for _, a := range acts {
+		if a.Kind == WSendOffer {
+			offers++
+			if !a.Refusable || a.GetTask || a.Round == nil || a.Entry == nil {
+				t.Fatalf("malformed Hopper offer action: %+v", a)
+			}
+			if a.Sched != 0 || a.Job != j.ID {
+				t.Fatalf("offer aimed at (%d, %d)", a.Sched, a.Job)
+			}
+		}
+	}
+	if offers != 1 {
+		t.Fatalf("got %d offers, want 1 (one free slot, one entry)", offers)
+	}
+	if h.stats.RoundsStarted != 1 {
+		t.Fatalf("RoundsStarted = %d, want 1", h.stats.RoundsStarted)
+	}
+}
+
+func TestPurgeRemovesEntry(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(2, 2, 1.0)
+	h.sc.Admit(j)
+	h.w.AddReservation(0, j.ID, 3.0, 2)
+
+	if len(h.w.entries) != len(h.w.index) {
+		t.Fatalf("index (%d) and queue (%d) diverge", len(h.w.index), len(h.w.entries))
+	}
+	for _, e := range append([]*Entry(nil), h.w.entries...) {
+		h.w.purge(e)
+	}
+	if len(h.w.entries) != 0 || len(h.w.index) != 0 {
+		t.Fatal("purge left residue")
+	}
+}
+
+func TestCooldownSkipsEntries(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	e := &Entry{Sched: 0, Job: 3, count: 1, vs: 2}
+	h.w.entries = append(h.w.entries, e)
+	h.w.index[entryKey{0, 3}] = e
+
+	e.coolTill = h.clk.now + 10
+	if h.w.hasOfferableWork() {
+		t.Fatal("cooling entry counted as offerable")
+	}
+	if !h.w.hasAnyReservations() {
+		t.Fatal("cooling entry should still count as a reservation")
+	}
+	r := &Round{w: h.w}
+	if r.pickMinVS() != nil {
+		t.Fatal("pickMinVS returned a cooling entry")
+	}
+	e.coolTill = 0
+	if !h.w.hasOfferableWork() || r.pickMinVS() != e {
+		t.Fatal("entry not offerable after cooldown cleared")
+	}
+}
+
+func TestPickMinVSOrdersByVirtualSize(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	for i, vs := range []float64{9, 3, 6} {
+		e := &Entry{Sched: 0, Job: cluster.JobID(10 + i), count: 1, vs: vs, seq: int64(i)}
+		h.w.entries = append(h.w.entries, e)
+		h.w.index[entryKey{0, e.Job}] = e
+	}
+	r := &Round{w: h.w}
+	first := r.pickMinVS()
+	if first == nil || first.vs != 3 {
+		t.Fatalf("first pick vs=%v, want 3", first.vs)
+	}
+	r.markTried(first)
+	second := r.pickMinVS()
+	if second == nil || second.vs != 6 {
+		t.Fatalf("second pick vs=%v, want 6", second.vs)
+	}
+}
+
+func TestPickSparrowFIFOAndSRPT(t *testing.T) {
+	for _, mode := range []Mode{ModeSparrow, ModeSparrowSRPT} {
+		h := newHarness(t, mode, 2)
+		// seq 0 has MORE remaining tasks; seq 1 fewer.
+		specs := []struct {
+			rem int
+			seq int64
+		}{{10, 0}, {2, 1}}
+		for i, spec := range specs {
+			e := &Entry{Sched: 0, Job: cluster.JobID(20 + i), count: 1, remTasks: spec.rem, seq: spec.seq}
+			h.w.entries = append(h.w.entries, e)
+			h.w.index[entryKey{0, e.Job}] = e
+		}
+		r := &Round{w: h.w}
+		got := r.pickSparrow()
+		if mode == ModeSparrow && got.seq != 0 {
+			t.Fatalf("Sparrow should pick FIFO head, got seq %d", got.seq)
+		}
+		if mode == ModeSparrowSRPT && got.remTasks != 2 {
+			t.Fatalf("Sparrow-SRPT should pick fewest remaining, got %d", got.remTasks)
+		}
+	}
+}
+
+func TestSchedulerRefusesAtVirtualSize(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(30, 4, 1.0)
+	h.sc.Admit(j)
+	h.sc.PhaseRunnable(j.Phases[0])
+	d := h.sc.jobs[j.ID]
+
+	// Drain the job's fresh demand and saturate occupancy past effVS.
+	d.pendingFresh = cluster.TaskDeque{}
+	d.occupied = 1000
+	rep := h.sc.HandleOffer(j.ID, 0, true)
+	if !rep.Refused {
+		t.Fatal("saturated job accepted a refusable offer")
+	}
+	// Non-refusable offers bypass the virtual-size test but still need a
+	// task; with none pending they report no-demand.
+	rep = h.sc.HandleOffer(j.ID, 0, false)
+	if rep.HasTask || !rep.NoDemand {
+		t.Fatalf("expected no-demand reply, got %+v", rep)
+	}
+}
+
+func TestSchedulerHandsOutFreshThenRefuses(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(31, 2, 1.0)
+	h.sc.Admit(j)
+	h.sc.PhaseRunnable(j.Phases[0])
+
+	got := 0
+	for i := 0; i < 10; i++ {
+		rep := h.sc.HandleOffer(j.ID, cluster.MachineID(i%4), true)
+		if !rep.HasTask {
+			break
+		}
+		if rep.Task == nil || rep.Job != j.ID || rep.Phase != 0 {
+			t.Fatalf("hand-out reply malformed: %+v", rep)
+		}
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("handed out %d fresh tasks, want 2", got)
+	}
+}
+
+func TestUnknownJobOfferPurges(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	rep := h.sc.HandleOffer(999, 0, true)
+	if !rep.JobDone {
+		t.Fatal("offer for unknown job should report jobDone")
+	}
+}
+
+func TestSmallestUnsatisfiedPrefersSmallJob(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	big := mkJob(40, 50, 1.0)
+	small := mkJob(41, 3, 1.0)
+	for _, j := range []*cluster.Job{big, small} {
+		h.sc.Admit(j)
+		h.sc.PhaseRunnable(j.Phases[0])
+	}
+	var rep Reply
+	h.sc.smallestUnsatisfied(&rep)
+	if !rep.HasUnsat || rep.UnsatJob != small.ID {
+		t.Fatalf("smallest unsatisfied = %+v, want job %d", rep, small.ID)
+	}
+}
+
+func TestRetryBackoffDoublesAndResets(t *testing.T) {
+	h := newHarness(t, ModeHopper, 1)
+	// An entry that is cooling: kick finds reservations but nothing
+	// offerable, so it arms a retry with the current backoff.
+	e := &Entry{Sched: 0, Job: 7, count: 1, vs: 2, coolTill: 100}
+	h.w.entries = append(h.w.entries, e)
+	h.w.index[entryKey{0, 7}] = e
+
+	delays := []float64{}
+	for i := 0; i < 4; i++ {
+		for _, a := range h.w.RetryFired() {
+			if a.Kind == WArmRetry {
+				delays = append(delays, a.Delay)
+			}
+		}
+	}
+	if len(delays) != 4 {
+		t.Fatalf("got %d retry arms, want 4", len(delays))
+	}
+	cfg := h.w.cfg
+	if delays[0] != cfg.RetryBackoffMin || delays[1] != 2*cfg.RetryBackoffMin {
+		t.Fatalf("backoff not doubling: %v", delays)
+	}
+	if last := delays[len(delays)-1]; last > cfg.RetryBackoffMax {
+		t.Fatalf("backoff %v exceeds max %v", last, cfg.RetryBackoffMax)
+	}
+	// A successful placement resets the backoff: the retry the follow-up
+	// kick arms goes back to the minimum delay.
+	h.w.backoff = cfg.RetryBackoffMax
+	h.w.activeRounds = 1
+	h.w.begin()
+	h.w.endRound(true)
+	reArmed := false
+	for _, a := range h.w.acts {
+		if a.Kind == WArmRetry {
+			reArmed = true
+			if a.Delay != cfg.RetryBackoffMin {
+				t.Fatalf("post-placement retry delay %v, want reset to %v", a.Delay, cfg.RetryBackoffMin)
+			}
+		}
+	}
+	if !reArmed {
+		t.Fatal("no retry armed after placement with reservations still queued")
+	}
+}
+
+func TestOccupancyLeakDetection(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(50, 2, 1.0)
+	h.sc.Admit(j)
+	h.sc.PhaseRunnable(j.Phases[0])
+	rep := h.sc.HandleOffer(j.ID, 0, true)
+	if !rep.HasTask {
+		t.Fatal("expected a task")
+	}
+	// Finish the job without settling occupancy: leak must be counted.
+	h.sc.JobDone(j)
+	if h.stats.OccupancyLeaks != 1 {
+		t.Fatalf("OccupancyLeaks = %d, want 1", h.stats.OccupancyLeaks)
+	}
+}
+
+func TestPlacementFailedRollsBackOccupancy(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(51, 2, 1.0)
+	h.sc.Admit(j)
+	h.sc.PhaseRunnable(j.Phases[0])
+	if rep := h.sc.HandleOffer(j.ID, 0, true); !rep.HasTask {
+		t.Fatal("expected a task")
+	}
+	if h.sc.Occupied(j.ID) != 1 {
+		t.Fatalf("occupied = %d, want 1", h.sc.Occupied(j.ID))
+	}
+	h.sc.PlacementFailed(j.ID)
+	if h.sc.Occupied(j.ID) != 0 {
+		t.Fatalf("occupied = %d after rollback, want 0", h.sc.Occupied(j.ID))
+	}
+}

@@ -1,0 +1,480 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/core"
+	"github.com/hopper-sim/hopper/internal/estimate"
+	"github.com/hopper-sim/hopper/internal/speculation"
+	"github.com/hopper-sim/hopper/internal/stats"
+)
+
+// SchedEnv is the environment a scheduler core runs in: a clock, an RNG
+// (shared with the adapter's other draws in the simulator, private in a
+// live node), and the cluster topology view used to aim probes.
+type SchedEnv struct {
+	// Now returns the current time in seconds on the adapter's clock.
+	Now func() float64
+
+	// Rand drives probe-count rounding and random probe targets.
+	Rand *rand.Rand
+
+	// TotalSlots is the cluster-wide slot count (fairness floor).
+	TotalSlots func() int
+
+	// RandomWorkers fills scratch with n distinct random worker IDs;
+	// the returned slice aliases scratch (cluster.Machines.RandomSubset
+	// semantics).
+	RandomWorkers func(rng *rand.Rand, n int, scratch []cluster.MachineID) []cluster.MachineID
+
+	// Stats receives protocol counters; must be non-nil.
+	Stats *Stats
+}
+
+// dJob is scheduler-side state for one owned job. Queues are ring deques
+// and the running set is tombstoned (see scheduler.jobState — same
+// incremental-state contract, DESIGN.md section 6), because at cluster
+// scale every offer/refusal touches this state.
+type dJob struct {
+	job *cluster.Job
+
+	// pendingFresh holds launchable, not-yet-handed-out original tasks of
+	// runnable phases, in phase order.
+	pendingFresh cluster.TaskDeque
+
+	// wants is the speculation queue (tasks to duplicate).
+	wants   cluster.TaskDeque
+	wantSet map[*cluster.Task]bool
+
+	// running tracks tasks with live copies, for the straggler monitor
+	// (cluster.RunningSet: O(1) tombstone removal, live order = hand-out
+	// order).
+	running cluster.RunningSet
+
+	// occupied counts slots committed to the job: live copies plus
+	// accepts in flight (Pseudocode 2's current_occupied).
+	occupied int
+}
+
+// demand is how many more slots the job could use right now.
+func (d *dJob) demand() int { return d.pendingFresh.Len() + d.wants.Len() }
+
+// takeTask hands out the next unit of work, preferring an original task
+// whose input is local on machine m, then any original task, then a
+// speculative copy. Returns (nil, false) when the job has nothing to run.
+func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool) {
+	for i := 0; i < d.pendingFresh.Len(); i++ {
+		if t := d.pendingFresh.At(i); t.LocalOn(m) {
+			d.pendingFresh.RemoveAt(i)
+			return t, false
+		}
+	}
+	if d.pendingFresh.Len() > 0 {
+		return d.pendingFresh.PopFront(), false
+	}
+	for d.wants.Len() > 0 {
+		t := d.wants.PopFront()
+		delete(d.wantSet, t)
+		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (d *dJob) addWant(t *cluster.Task) bool {
+	if d.wantSet[t] {
+		return false
+	}
+	d.wantSet[t] = true
+	d.wants.PushBack(t)
+	return true
+}
+
+// Sched is one autonomous job scheduler's protocol core (Figure 4,
+// Pseudocode 2). It owns a subset of jobs and knows nothing about other
+// schedulers' jobs — coordination happens only through the worker
+// protocol. It is not safe for concurrent use: the adapter serializes
+// all calls (simulator events or a node's single handler loop).
+type Sched struct {
+	cfg Config
+	env SchedEnv
+	id  SchedID
+
+	jobs    map[cluster.JobID]*dJob
+	jobList []*dJob
+
+	mon   *speculation.Monitor
+	beta  *stats.TailEstimator
+	alpha *estimate.AlphaEstimator
+
+	// Reusable scan/probe buffers (one scheduler handles one message at a
+	// time, so a single set per scheduler suffices).
+	candScratch   []*cluster.Task
+	freshScratch  []*cluster.Task
+	reqScratch    []*cluster.Task
+	targetScratch []cluster.MachineID
+	subsetScratch []cluster.MachineID
+	probeBuf      []Probe
+}
+
+// NewSched builds a scheduler core. cfg must already have defaults
+// applied (adapters call Config.WithDefaults once per cluster).
+func NewSched(id SchedID, cfg Config, env SchedEnv) *Sched {
+	return &Sched{
+		cfg:   cfg,
+		env:   env,
+		id:    id,
+		jobs:  make(map[cluster.JobID]*dJob),
+		mon:   speculation.NewMonitor(cfg.Spec, env.Rand),
+		beta:  stats.NewTailEstimator(1e-9, cfg.BetaPrior, 30),
+		alpha: estimate.NewAlphaEstimator(),
+	}
+}
+
+// ID returns the scheduler's cluster-wide identity.
+func (sc *Sched) ID() SchedID { return sc.id }
+
+// HasJobs reports whether any admitted job is still active — the
+// adapter's condition for keeping the speculation ticker armed.
+func (sc *Sched) HasJobs() bool { return len(sc.jobList) > 0 }
+
+// NeedsTicker reports whether the configuration calls for a periodic
+// speculation scan at all.
+func (sc *Sched) NeedsTicker() bool { return sc.cfg.Spec.MaxCopies > 1 }
+
+// effVS returns the job's capacity target: virtual size with the
+// epsilon-fairness floor applied (decentralized fairness uses the
+// scheduler's local estimate of the cluster-wide job count: its own
+// active jobs times the number of schedulers, accurate under round-robin
+// admission).
+func (sc *Sched) effVS(d *dJob) float64 {
+	beta := sc.beta.Estimate()
+	alpha, _ := sc.alpha.Evaluate(d.job, beta)
+	v := core.VirtualSize(d.job.RemainingCurrentTasks(), beta, alpha)
+	if sc.cfg.Mode == ModeHopper && !sc.cfg.FairnessOff {
+		n := len(sc.jobList) * sc.cfg.NumSchedulers
+		if n > 0 {
+			floor := (1 - sc.cfg.Epsilon) * float64(sc.env.TotalSlots()) / float64(n)
+			if floor > v {
+				v = floor
+			}
+		}
+	}
+	return v
+}
+
+// orderVS returns the DAG-aware ordering key max(V, V') piggybacked to
+// workers for queue ordering. The fairness floor deliberately does not
+// enter the ordering: it guarantees capacity (effVS) without destroying
+// the smallest-first service order of Guideline 2.
+func (sc *Sched) orderVS(d *dJob) float64 {
+	beta := sc.beta.Estimate()
+	alpha, dv := sc.alpha.Evaluate(d.job, beta)
+	return core.JobDemand{
+		Remaining:         d.job.RemainingCurrentTasks(),
+		Alpha:             alpha,
+		DownstreamVirtual: dv,
+	}.Priority(beta)
+}
+
+// Admit registers a job with this scheduler.
+func (sc *Sched) Admit(j *cluster.Job) {
+	d := &dJob{job: j, wantSet: make(map[*cluster.Task]bool)}
+	sc.jobs[j.ID] = d
+	sc.jobList = append(sc.jobList, d)
+}
+
+// PhaseRunnable queues the phase's tasks and returns their probes. The
+// returned slice is reused by the next core call.
+func (sc *Sched) PhaseRunnable(p *cluster.Phase) []Probe {
+	sc.probeBuf = sc.probeBuf[:0]
+	d := sc.jobs[p.Job.ID]
+	if d == nil {
+		return sc.probeBuf
+	}
+	for _, t := range p.Tasks {
+		d.pendingFresh.PushBack(t)
+	}
+	sc.probeForTasks(d, p.Tasks)
+	return sc.probeBuf
+}
+
+// probeCount returns the number of reservations for one task under the
+// configured probe ratio; fractional ratios are realized in expectation.
+func (sc *Sched) probeCount() int {
+	r := sc.cfg.ProbeRatio
+	n := int(r)
+	if frac := r - float64(n); frac > 0 && sc.env.Rand.Float64() < frac {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// probeForTasks appends reservation requests for the given tasks to the
+// probe buffer: input tasks probe their replica machines first; surplus
+// probes go to random workers, exactly as in Section 6.1 (such tasks may
+// then run without locality).
+func (sc *Sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
+	vs := sc.orderVS(d)
+	rem := d.job.RemainingTasksTotal()
+	for _, t := range tasks {
+		n := sc.probeCount()
+		targets := sc.targetScratch[:0]
+		for _, r := range t.Replicas {
+			if len(targets) == n {
+				break
+			}
+			targets = append(targets, r)
+		}
+		if len(targets) < n {
+			sc.subsetScratch = sc.env.RandomWorkers(sc.env.Rand, n-len(targets), sc.subsetScratch)
+			targets = append(targets, sc.subsetScratch...)
+		}
+		sc.targetScratch = targets
+		for _, m := range targets {
+			sc.probeBuf = append(sc.probeBuf, Probe{Worker: m, Job: d.job.ID, VS: vs, Rem: rem})
+		}
+	}
+}
+
+// ScanSpec asks the straggler policy for new speculation candidates and
+// returns probes for them. In Hopper mode the job's standing reservations
+// usually cover speculation (probe ratio > 1 leaves spares), but fresh
+// probes both top up the pool and wake idle workers; in the Sparrow
+// baselines this is the only way speculative copies reach workers at all.
+func (sc *Sched) ScanSpec() []Probe {
+	sc.probeBuf = sc.probeBuf[:0]
+	now := sc.env.Now()
+	for _, d := range sc.jobList {
+		fresh := sc.freshScratch[:0]
+		sc.candScratch = sc.mon.CandidatesInto(now, d.running.Tasks(), -1, sc.candScratch)
+		for _, t := range sc.candScratch {
+			if t.RunningCopies() < sc.cfg.Spec.MaxCopies && d.addWant(t) {
+				fresh = append(fresh, t)
+			}
+		}
+		sc.freshScratch = fresh
+		if len(fresh) > 0 {
+			sc.probeForTasks(d, fresh)
+		}
+	}
+	return sc.probeBuf
+}
+
+// ReprobeStalled returns one fresh batch of probes for every job that
+// still has unlaunched original tasks — a periodic reservation refresh
+// for live adapters, where probes can be lost (dropped frames, worker
+// drains racing requeues) and a task left with zero reservations would
+// strand its job. The simulator never loses messages and does not call
+// this. Reservations aggregate per (scheduler, job) at workers, so a
+// redundant refresh merely tops up a counter.
+func (sc *Sched) ReprobeStalled() []Probe {
+	sc.probeBuf = sc.probeBuf[:0]
+	for _, d := range sc.jobList {
+		if d.pendingFresh.Len() == 0 {
+			continue
+		}
+		sc.reqScratch = append(sc.reqScratch[:0], d.pendingFresh.At(0))
+		sc.probeForTasks(d, sc.reqScratch)
+	}
+	return sc.probeBuf
+}
+
+// TaskDone updates estimators and occupancy when one of the scheduler's
+// tasks completes.
+func (sc *Sched) TaskDone(t *cluster.Task, winner *cluster.Copy) {
+	sc.beta.Observe(winner.Duration)
+	sc.mon.TaskCompleted(t, winner)
+	d := sc.jobs[t.Job.ID]
+	if d == nil {
+		return
+	}
+	d.occupied -= len(t.Copies)
+	d.running.Remove(t)
+	if d.wantSet[t] {
+		delete(d.wantSet, t)
+		d.wants.Remove(t)
+	}
+}
+
+// JobDone drops the job's state.
+func (sc *Sched) JobDone(j *cluster.Job) {
+	sc.alpha.JobCompleted(j)
+	sc.mon.JobDone(j)
+	d := sc.jobs[j.ID]
+	if d == nil {
+		return
+	}
+	if d.occupied != 0 {
+		sc.env.Stats.OccupancyLeaks++
+	}
+	delete(sc.jobs, j.ID)
+	for i, dd := range sc.jobList {
+		if dd == d {
+			sc.jobList = append(sc.jobList[:i], sc.jobList[i+1:]...)
+			break
+		}
+	}
+}
+
+// smallestUnsatisfied fills the reply's unsat fields with this
+// scheduler's job with the smallest effective virtual size that is still
+// below it and has work pending — the info piggybacked on refusals
+// (Pseudocode 2).
+func (sc *Sched) smallestUnsatisfied(rep *Reply) {
+	for _, d := range sc.jobList {
+		if d.demand() == 0 {
+			continue
+		}
+		if float64(d.occupied) >= sc.effVS(d) {
+			continue
+		}
+		vs := sc.orderVS(d)
+		if !rep.HasUnsat || vs < rep.UnsatVS {
+			rep.HasUnsat = true
+			rep.UnsatJob = d.job.ID
+			rep.UnsatVS = vs
+		}
+	}
+}
+
+// HandleOffer is Pseudocode 2's ResponseProcessing, executed at the
+// scheduler when a worker offers a slot for one of its jobs. It returns
+// the reply to transmit back.
+func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable bool) Reply {
+	d := sc.jobs[jobID]
+	if d == nil {
+		return Reply{Job: jobID, From: sc.id, JobDone: true}
+	}
+	maxCopies := sc.cfg.Spec.MaxCopies
+	if refusable && float64(d.occupied) >= sc.effVS(d) {
+		// Field evaluation order (unsat scan before the job's own orderVS)
+		// matches the pre-extraction struct literal: estimator bookkeeping
+		// accumulates in the same sequence.
+		rep := Reply{
+			Job:      jobID,
+			From:     sc.id,
+			Refused:  true,
+			NoDemand: d.demand() == 0,
+		}
+		sc.smallestUnsatisfied(&rep)
+		rep.VS = sc.orderVS(d)
+		rep.RemTask = d.job.RemainingTasksTotal()
+		return rep
+	}
+	t, spec := d.takeTask(m, maxCopies)
+	if t == nil {
+		// Capacity-driven speculation (Pseudocode 2): the job is below
+		// its virtual size, i.e. below its desired speculation level, so
+		// the slot goes to a racing copy of its worst observable
+		// straggler even if the detection policy has not flagged one.
+		if v := sc.mon.BestVictim(sc.env.Now(), d.running.Tasks(), maxCopies); v != nil {
+			t, spec = v, true
+		}
+	}
+	if t == nil {
+		if refusable {
+			rep := Reply{
+				Job:      jobID,
+				From:     sc.id,
+				Refused:  true,
+				NoDemand: true,
+			}
+			sc.smallestUnsatisfied(&rep)
+			rep.VS = sc.orderVS(d)
+			rep.RemTask = d.job.RemainingTasksTotal()
+			return rep
+		}
+		return Reply{Job: jobID, From: sc.id, NoDemand: true, VS: sc.orderVS(d), RemTask: d.job.RemainingTasksTotal()}
+	}
+	d.occupied++
+	if !spec {
+		d.running.Add(t)
+	}
+	return Reply{
+		HasTask: true, Task: t, Job: jobID,
+		Phase: t.Phase.Index, TaskIndex: t.Index, Spec: spec,
+		From: sc.id, VS: sc.orderVS(d), RemTask: d.job.RemainingTasksTotal(),
+	}
+}
+
+// PlacementFailed rolls back occupancy when a handed-out copy could not
+// start because the task finished while the accept was in flight.
+func (sc *Sched) PlacementFailed(jobID cluster.JobID) {
+	if d := sc.jobs[jobID]; d != nil {
+		d.occupied--
+	}
+}
+
+// RequeueLost returns a task to the fresh queue after its last live copy
+// was lost (worker drain or failure, live adapters only — the simulator
+// never loses copies) and returns fresh probes for it. The caller must
+// already have rolled back the lost copy's occupancy via
+// PlacementFailed.
+func (sc *Sched) RequeueLost(t *cluster.Task) []Probe {
+	sc.probeBuf = sc.probeBuf[:0]
+	d := sc.jobs[t.Job.ID]
+	if d == nil || t.State == cluster.TaskDone {
+		return sc.probeBuf
+	}
+	d.running.Remove(t)
+	d.pendingFresh.PushBack(t)
+	sc.reqScratch = append(sc.reqScratch[:0], t)
+	sc.probeForTasks(d, sc.reqScratch)
+	return sc.probeBuf
+}
+
+// HandleGetTask is the Sparrow baselines' task pull: hand over the next
+// task (original first, then best-effort speculative) or report no-task,
+// consuming the reservation either way.
+func (sc *Sched) HandleGetTask(jobID cluster.JobID, m cluster.MachineID) Reply {
+	d := sc.jobs[jobID]
+	if d == nil {
+		return Reply{Job: jobID, From: sc.id, JobDone: true}
+	}
+	t, spec := d.takeTask(m, sc.cfg.Spec.MaxCopies)
+	if t == nil {
+		return Reply{Job: jobID, From: sc.id, RemTask: d.job.RemainingTasksTotal()}
+	}
+	d.occupied++
+	if !spec {
+		d.running.Add(t)
+	}
+	return Reply{
+		HasTask: true, Task: t, Job: jobID,
+		Phase: t.Phase.Index, TaskIndex: t.Index, Spec: spec,
+		From: sc.id, RemTask: d.job.RemainingTasksTotal(),
+	}
+}
+
+// Job returns the scheduler's state handle for a job (nil if not owned).
+// Exposed for adapters that must inspect demand during shutdown drains
+// and for white-box tests.
+func (sc *Sched) Job(id cluster.JobID) *cluster.Job {
+	if d := sc.jobs[id]; d != nil {
+		return d.job
+	}
+	return nil
+}
+
+// Occupied reports the slots currently committed to a job.
+func (sc *Sched) Occupied(id cluster.JobID) int {
+	if d := sc.jobs[id]; d != nil {
+		return d.occupied
+	}
+	return 0
+}
+
+// ActiveJobs returns the IDs of all admitted, unfinished jobs in
+// admission order, appended to dst.
+func (sc *Sched) ActiveJobs(dst []cluster.JobID) []cluster.JobID {
+	for _, d := range sc.jobList {
+		dst = append(dst, d.job.ID)
+	}
+	return dst
+}

@@ -1,0 +1,540 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/stats"
+)
+
+// WorkerEnv is the environment a worker core runs in. Place starts the
+// handed-over unit of work on the worker's machine and reports whether
+// it actually started (false when the task finished while the accept was
+// in flight; the adapter must notify the scheduler's PlacementFailed so
+// occupancy stays correct).
+type WorkerEnv struct {
+	// Now returns the current time in seconds on the adapter's clock.
+	Now func() float64
+
+	// Rand drives the Guideline-3 weighted choice.
+	Rand *rand.Rand
+
+	// FreeSlots is the number of currently free task slots on the
+	// worker's machine.
+	FreeSlots func() int
+
+	// Place runs the reply's task. In the simulator this is
+	// Executor.PlaceOn; in a live node it occupies a slot and arms the
+	// emulated-execution timer.
+	Place func(from SchedID, rep Reply) bool
+
+	// Stats receives protocol counters; must be non-nil.
+	Stats *Stats
+}
+
+// Entry aggregates a worker's queued reservations for one (scheduler,
+// job) pair, with the latest piggybacked ordering metadata.
+type Entry struct {
+	Sched    SchedID
+	Job      cluster.JobID
+	count    int     // outstanding reservations
+	vs       float64 // latest known virtual size (Hopper ordering)
+	remTasks int     // latest known remaining tasks (Sparrow-SRPT ordering)
+	seq      int64   // arrival order (Sparrow FIFO)
+	coolTill float64 // skip offers until then (recently refused/drained)
+}
+
+type entryKey struct {
+	sched SchedID
+	job   cluster.JobID
+}
+
+// Worker is one machine's protocol core: it owns the reservation queue
+// and implements the late-binding pull protocol — Pseudocode 3 in Hopper
+// mode, plain Sparrow task pulls in the baseline modes. A worker can run
+// one negotiation round per free slot (bounded; see maxConcurrentRounds).
+// Not safe for concurrent use; the adapter serializes all calls.
+type Worker struct {
+	cfg Config
+	env WorkerEnv
+	id  cluster.MachineID
+
+	entries []*Entry
+	index   map[entryKey]*Entry
+
+	activeRounds int
+	backoff      float64
+	retryArmed   bool
+	seqCounter   int64
+
+	// g3Cands/g3Weights back the weighted-choice step; used and drained
+	// within one synchronous stepG3 call, so per-worker reuse is safe.
+	g3Cands   []*Entry
+	g3Weights []float64
+
+	acts []WAction
+}
+
+// NewWorker builds a worker core for machine id. cfg must already have
+// defaults applied.
+func NewWorker(id cluster.MachineID, cfg Config, env WorkerEnv) *Worker {
+	return &Worker{
+		cfg:     cfg,
+		env:     env,
+		id:      id,
+		index:   make(map[entryKey]*Entry),
+		backoff: cfg.RetryBackoffMin,
+	}
+}
+
+// ID returns the worker's machine identity.
+func (w *Worker) ID() cluster.MachineID { return w.id }
+
+// EntryFor returns the reservation entry for a (scheduler, job) pair, or
+// nil. Adapters use it to resolve replies to offers that were sent
+// without a captured entry (see WSendOffer).
+func (w *Worker) EntryFor(sched SchedID, job cluster.JobID) *Entry {
+	return w.index[entryKey{sched, job}]
+}
+
+// begin resets the action buffer at each top-level core entry point.
+func (w *Worker) begin() { w.acts = w.acts[:0] }
+
+// AddReservation enqueues (or tops up) a reservation from a scheduler
+// and returns the actions to execute.
+func (w *Worker) AddReservation(sched SchedID, job cluster.JobID, vs float64, remTasks int) []WAction {
+	w.begin()
+	k := entryKey{sched, job}
+	e := w.index[k]
+	if e == nil {
+		e = &Entry{Sched: sched, Job: job, seq: w.seqCounter}
+		w.seqCounter++
+		w.index[k] = e
+		w.entries = append(w.entries, e)
+	}
+	e.count++
+	e.vs = vs
+	e.remTasks = remTasks
+	e.coolTill = 0 // fresh probes signal fresh demand
+	// A new reservation justifies an immediate try, but does not reset
+	// the failure backoff: only a successful placement does. This keeps a
+	// worker whose queue is full of satisfied jobs from re-walking it at
+	// the arrival rate of unrelated probes.
+	w.kick()
+	return w.acts
+}
+
+// Kick starts negotiation rounds while slots and reservations allow
+// (called when a slot frees) and returns the actions to execute.
+func (w *Worker) Kick() []WAction {
+	w.begin()
+	w.kick()
+	return w.acts
+}
+
+// RetryFired is the adapter's callback when an armed retry elapses.
+func (w *Worker) RetryFired() []WAction {
+	w.begin()
+	w.retryArmed = false
+	w.kick()
+	return w.acts
+}
+
+// DropSched removes every reservation entry of a scheduler that left
+// the cluster (live adapters only — the simulator never loses
+// schedulers). Rounds with offers already in flight to that scheduler
+// must additionally be resolved by the adapter (synthesized JobDone
+// replies), or their activeRounds slots leak.
+func (w *Worker) DropSched(sched SchedID) {
+	for i := 0; i < len(w.entries); {
+		if w.entries[i].Sched == sched {
+			delete(w.index, entryKey{sched, w.entries[i].Job})
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+		} else {
+			i++
+		}
+	}
+}
+
+func (w *Worker) purge(e *Entry) {
+	// Guarded delete: a stale purge (reply for an entry DropSched already
+	// removed) must not evict a fresh entry that reused the key.
+	if k := (entryKey{e.Sched, e.Job}); w.index[k] == e {
+		delete(w.index, k)
+	}
+	for i, x := range w.entries {
+		if x == e {
+			w.entries = append(w.entries[:i], w.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// maxConcurrentRounds caps in-flight negotiations per worker: when a
+// round places a task it immediately starts the next, so throughput is
+// preserved while a queue full of satisfied jobs cannot fan out a burst
+// of doomed offers on every freed slot.
+const maxConcurrentRounds = 2
+
+// freeForRounds is how many additional negotiation rounds may start.
+func (w *Worker) freeForRounds() int {
+	n := w.env.FreeSlots() - w.activeRounds
+	if cap := maxConcurrentRounds - w.activeRounds; n > cap {
+		n = cap
+	}
+	return n
+}
+
+// hasOfferableWork reports whether some reservation can be offered right
+// now (outstanding count, not in refusal cooldown). Rounds only start
+// against offerable entries, so every round sends at least one message —
+// this is what makes the kick loop terminate.
+func (w *Worker) hasOfferableWork() bool {
+	now := w.env.Now()
+	for _, e := range w.entries {
+		if e.count > 0 && e.coolTill <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// hasAnyReservations ignores cooldowns; used to decide whether a backoff
+// retry is worth arming (a cooling queue may become offerable later).
+func (w *Worker) hasAnyReservations() bool {
+	for _, e := range w.entries {
+		if e.count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// kick starts negotiation rounds while slots and reservations allow.
+func (w *Worker) kick() {
+	if w.retryArmed {
+		w.retryArmed = false
+		w.acts = append(w.acts, WAction{Kind: WCancelRetry})
+	}
+	for w.freeForRounds() > 0 && w.hasOfferableWork() {
+		w.activeRounds++
+		w.env.Stats.RoundsStarted++
+		r := &Round{w: w, tried: make([]*Entry, 0, 4)}
+		r.step()
+	}
+	w.scheduleRetry()
+}
+
+// scheduleRetry arms a backoff retry after an unsuccessful round, so a
+// queue that could not be served now (all jobs satisfied or cooling) is
+// re-offered later even if no new messages arrive.
+func (w *Worker) scheduleRetry() {
+	if !w.hasAnyReservations() || w.retryArmed || w.freeForRounds() <= 0 {
+		return
+	}
+	d := w.backoff
+	w.backoff *= 2
+	if w.backoff > w.cfg.RetryBackoffMax {
+		w.backoff = w.cfg.RetryBackoffMax
+	}
+	w.retryArmed = true
+	w.acts = append(w.acts, WAction{Kind: WArmRetry, Delay: d})
+}
+
+func (w *Worker) endRound(placed bool) {
+	w.activeRounds--
+	if placed {
+		w.env.Stats.RoundsPlaced++
+		w.backoff = w.cfg.RetryBackoffMin
+		w.kick()
+		return
+	}
+	w.scheduleRetry()
+}
+
+// place runs the accepted task via the adapter. The adapter returns
+// false when the task finished while the accept was in flight (a
+// speculative copy racing its original) after notifying the scheduler so
+// its occupancy count stays correct.
+func (w *Worker) place(from SchedID, rep Reply) bool {
+	return w.env.Place(from, rep)
+}
+
+// Round is one slot's negotiation (Pseudocode 3 in Hopper mode). tried
+// is a small per-round list (a round touches at most a handful of
+// entries: the refusal threshold bounds Hopper offers and G3 samples) —
+// it must be round-private, not an entry-side stamp, because a
+// multi-slot worker runs up to maxConcurrentRounds rounds at once and
+// their tried sets are independent.
+type Round struct {
+	w          *Worker
+	tried      []*Entry
+	refusals   int
+	hasUnsat   bool
+	unsatSched SchedID
+	unsatJob   cluster.JobID
+	unsatVS    float64
+	g3         bool
+	g3Attempts int
+}
+
+func (r *Round) wasTried(e *Entry) bool {
+	for _, x := range r.tried {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Round) markTried(e *Entry) { r.tried = append(r.tried, e) }
+
+// step advances the round until a message goes out or the round ends.
+func (r *Round) step() {
+	switch r.w.cfg.Mode {
+	case ModeHopper:
+		r.stepHopper()
+	default:
+		r.stepSparrow()
+	}
+}
+
+// pickMinVS returns the untried entry with the smallest virtual size.
+func (r *Round) pickMinVS() *Entry {
+	now := r.w.env.Now()
+	var best *Entry
+	for _, e := range r.w.entries {
+		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+			continue
+		}
+		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
+			best = e
+		}
+	}
+	return best
+}
+
+// pickSparrow returns the next entry under the baseline ordering: FIFO
+// for stock Sparrow, fewest-remaining-tasks for Sparrow-SRPT.
+func (r *Round) pickSparrow() *Entry {
+	var best *Entry
+	srpt := r.w.cfg.Mode == ModeSparrowSRPT
+	for _, e := range r.w.entries {
+		if e.count <= 0 || r.wasTried(e) {
+			continue
+		}
+		if best == nil {
+			best = e
+			continue
+		}
+		if srpt {
+			if e.remTasks < best.remTasks || (e.remTasks == best.remTasks && e.seq < best.seq) {
+				best = e
+			}
+		} else if e.seq < best.seq {
+			best = e
+		}
+	}
+	return best
+}
+
+// stepHopper implements the refusable phase of Pseudocode 3: offer the
+// slot to the smallest-virtual-size job, collecting refusals.
+func (r *Round) stepHopper() {
+	if r.g3 {
+		r.stepG3()
+		return
+	}
+	if r.refusals >= r.w.cfg.RefusalThreshold {
+		r.conclude()
+		return
+	}
+	e := r.pickMinVS()
+	if e == nil {
+		r.conclude()
+		return
+	}
+	r.markTried(e)
+	r.w.acts = append(r.w.acts, WAction{
+		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, Refusable: true,
+		Round: r, Entry: e,
+	})
+}
+
+// conclude ends the refusable phase: refusals that carried unsatisfied-job
+// info mean the system is still capacity constrained, so the slot goes
+// non-refusably to the smallest unsatisfied job (Guideline 2). Refusals
+// with no unsatisfied jobs signal spare capacity: switch to Guideline 3's
+// virtual-size-weighted random assignment.
+func (r *Round) conclude() {
+	if r.hasUnsat {
+		sched, job := r.unsatSched, r.unsatJob
+		r.hasUnsat = false
+		// Entry deliberately nil: the reply handler looks the entry up at
+		// delivery time — the worker may hold no reservation for the
+		// unsatisfied job at all.
+		r.w.acts = append(r.w.acts, WAction{
+			Kind: WSendOffer, Sched: sched, Job: job, Refusable: false,
+			Round: r,
+		})
+		return
+	}
+	if r.refusals == 0 {
+		// Nothing in the queue responded at all; give up this round.
+		r.w.endRound(false)
+		return
+	}
+	r.g3 = true
+	r.stepG3()
+}
+
+// stepG3 is the unconstrained regime: pick a job at random weighted by
+// virtual size (large jobs hold more stragglers, Guideline 3) and offer
+// the slot non-refusably.
+func (r *Round) stepG3() {
+	// Bound attempts: a queue full of satisfied jobs must not be walked
+	// end to end every round — a couple of weighted samples is the
+	// "power of many choices" spirit, and the backoff retry covers the
+	// rest.
+	if r.g3Attempts >= r.w.cfg.RefusalThreshold+1 {
+		r.w.endRound(false)
+		return
+	}
+	r.g3Attempts++
+	now := r.w.env.Now()
+	cands := r.w.g3Cands[:0]
+	weights := r.w.g3Weights[:0]
+	for _, e := range r.w.entries {
+		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+			continue
+		}
+		cands = append(cands, e)
+		weights = append(weights, e.vs)
+	}
+	r.w.g3Cands, r.w.g3Weights = cands, weights
+	if len(cands) == 0 {
+		r.w.endRound(false)
+		return
+	}
+	e := cands[stats.WeightedChoice(r.w.env.Rand, weights)]
+	r.markTried(e)
+	r.w.acts = append(r.w.acts, WAction{
+		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, Refusable: false,
+		Round: r, Entry: e,
+	})
+}
+
+// OnHopperReply processes a scheduler's reply in Hopper mode and returns
+// the follow-up actions. e may be nil for non-refusable offers to jobs
+// with no reservation here (adapters resolve it with EntryFor at
+// delivery time; a nil result stays nil).
+func (w *Worker) OnHopperReply(r *Round, e *Entry, rep Reply) []WAction {
+	w.begin()
+	r.onHopperReply(e, rep)
+	return w.acts
+}
+
+func (r *Round) onHopperReply(e *Entry, rep Reply) {
+	if e != nil {
+		if rep.VS > 0 {
+			e.vs = rep.VS
+		}
+		if rep.RemTask > 0 {
+			e.remTasks = rep.RemTask
+		}
+		if rep.JobDone {
+			r.w.purge(e)
+		}
+	}
+	switch {
+	case rep.HasTask:
+		from := rep.From
+		if e != nil {
+			from = e.Sched
+			if e.count > 0 {
+				e.coolTill = 0
+				e.count--
+				if e.count == 0 {
+					r.w.purge(e)
+				}
+			}
+		}
+		r.w.endRound(r.w.place(from, rep))
+	case rep.Refused:
+		r.refusals++
+		if e != nil {
+			cd := r.w.cfg.RefusalCooldown
+			if rep.NoDemand {
+				cd *= 8 // nothing to run at all: back off harder
+			}
+			e.coolTill = r.w.env.Now() + cd
+		}
+		if rep.HasUnsat && (!r.hasUnsat || rep.UnsatVS < r.unsatVS) {
+			r.hasUnsat = true
+			r.unsatSched = rep.From
+			r.unsatJob = rep.UnsatJob
+			r.unsatVS = rep.UnsatVS
+		}
+		r.stepHopper()
+	default:
+		// No task available (job finished or drained): keep going within
+		// the same phase of the round.
+		if e != nil && !rep.JobDone {
+			cd := r.w.cfg.RefusalCooldown
+			if rep.NoDemand {
+				cd *= 8
+			}
+			e.coolTill = r.w.env.Now() + cd
+		}
+		if r.g3 {
+			r.stepG3()
+		} else if r.refusals >= r.w.cfg.RefusalThreshold {
+			// Non-refusable target had nothing; end the round.
+			r.w.endRound(false)
+		} else {
+			r.stepHopper()
+		}
+	}
+}
+
+// stepSparrow is the baseline pull: consume one reservation of the chosen
+// entry and ask its scheduler for a task.
+func (r *Round) stepSparrow() {
+	e := r.pickSparrow()
+	if e == nil {
+		r.w.endRound(false)
+		return
+	}
+	e.count--
+	if e.count <= 0 {
+		r.markTried(e)
+	}
+	r.w.acts = append(r.w.acts, WAction{
+		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, GetTask: true,
+		Round: r, Entry: e,
+	})
+}
+
+// OnSparrowReply processes a scheduler's task-pull reply in the Sparrow
+// modes and returns the follow-up actions.
+func (w *Worker) OnSparrowReply(r *Round, e *Entry, rep Reply) []WAction {
+	w.begin()
+	r.onSparrowReply(e, rep)
+	return w.acts
+}
+
+func (r *Round) onSparrowReply(e *Entry, rep Reply) {
+	if rep.RemTask > 0 {
+		e.remTasks = rep.RemTask
+	}
+	if e.count <= 0 || rep.JobDone {
+		r.w.purge(e)
+	}
+	if rep.HasTask {
+		if r.w.place(e.Sched, rep) {
+			r.w.endRound(true)
+			return
+		}
+	}
+	r.stepSparrow()
+}

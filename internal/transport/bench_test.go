@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// benchPair returns a connected conn pair for the named flavor plus a
+// cleanup function.
+func benchPair(b *testing.B, flavor string) (Conn, Conn, func()) {
+	b.Helper()
+	switch flavor {
+	case "mem":
+		a, bb := Pair(1024)
+		return a, bb, func() { a.Close(); bb.Close() }
+	case "tcp":
+		ln, err := Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		accepted := make(chan Conn, 1)
+		go func() {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}()
+		dialed, err := Dial(ln.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		server := <-accepted
+		return dialed, server, func() {
+			dialed.Close()
+			server.Close()
+			ln.Close()
+		}
+	}
+	b.Fatalf("unknown flavor %q", flavor)
+	return nil, nil, nil
+}
+
+// BenchmarkConnThroughput measures one-way small-frame throughput — the
+// protocol's dominant traffic shape (Reserve is the most frequent
+// message) — over the in-memory pair and a loopback TCP socket. The TCP
+// number is what SetNoDelay protects: with Nagle on, per-message flushes
+// of 33-byte frames serialize on delayed ACKs.
+func BenchmarkConnThroughput(b *testing.B) {
+	for _, flavor := range []string{"mem", "tcp"} {
+		b.Run(flavor, func(b *testing.B) {
+			sender, receiver, cleanup := benchPair(b, flavor)
+			defer cleanup()
+
+			msg := &wire.Reserve{JobID: 7, SchedulerID: 3, VirtualSize: 61.5, RemTasks: 46}
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < b.N; i++ {
+					if _, err := receiver.Recv(); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sender.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			frame := wire.Append(nil, msg)
+			b.SetBytes(int64(len(frame)))
+		})
+	}
+}
+
+// BenchmarkConnPingPong measures request/reply latency (offer -> assign
+// round trip shape) over both transports.
+func BenchmarkConnPingPong(b *testing.B) {
+	for _, flavor := range []string{"mem", "tcp"} {
+		b.Run(flavor, func(b *testing.B) {
+			client, server, cleanup := benchPair(b, flavor)
+			defer cleanup()
+
+			go func() {
+				for {
+					m, err := server.Recv()
+					if err != nil {
+						return
+					}
+					p := m.(*wire.Ping)
+					if err := server.Send(&wire.Pong{Nonce: p.Nonce}); err != nil {
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.Send(&wire.Ping{Nonce: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := client.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"github.com/hopper-sim/hopper/internal/wire"
 )
@@ -23,6 +25,12 @@ type Conn interface {
 	Send(m wire.Message) error
 	// Recv blocks for the next message.
 	Recv() (wire.Message, error)
+	// SetRecvDeadline bounds subsequent Recv calls: past the deadline
+	// they fail with an error matching os.ErrDeadlineExceeded. The zero
+	// time clears the deadline. A deadline expiring mid-frame leaves the
+	// stream position undefined — use it for give-up-and-close waits,
+	// not for polling.
+	SetRecvDeadline(t time.Time) error
 	// Close tears the connection down; pending Recv calls fail.
 	Close() error
 	// RemoteAddr describes the peer for logs.
@@ -45,8 +53,15 @@ type tcpConn struct {
 	closed bool
 }
 
-// NewConn wraps an established net.Conn.
+// NewConn wraps an established net.Conn. TCP connections get Nagle
+// disabled: the protocol is small latency-sensitive frames flushed per
+// message, and letting the kernel hold a frame for coalescing stalls
+// the offer/reply round trip. Applied here so dialed and accepted
+// connections both get it.
 func NewConn(c net.Conn) Conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
 	return &tcpConn{
 		c:  c,
 		br: bufio.NewReaderSize(c, 64<<10),
@@ -78,8 +93,20 @@ func (t *tcpConn) Send(m wire.Message) error {
 	return t.bw.Flush()
 }
 
+// Recv returns the next message. A frame-local decode failure (unknown
+// type, malformed payload) comes back as an error satisfying
+// wire.IsRecoverable: the frame was fully consumed and the stream is
+// still in sync, so the caller may log it and keep receiving instead of
+// killing a connection that carries every in-flight negotiation. The
+// live node loops do that for unknown-type frames (version skew);
+// malformed frames of known types they treat as connection failures,
+// because the peer may have committed protocol state in them.
 func (t *tcpConn) Recv() (wire.Message, error) {
 	return wire.ReadMsg(t.br)
+}
+
+func (t *tcpConn) SetRecvDeadline(tm time.Time) error {
+	return t.c.SetReadDeadline(tm)
 }
 
 func (t *tcpConn) Close() error {
@@ -128,10 +155,11 @@ type memConn struct {
 	out  chan<- wire.Message
 	in   <-chan wire.Message
 
-	mu     sync.Mutex
-	closed chan struct{}
-	once   sync.Once
-	peer   *memConn
+	mu       sync.Mutex
+	deadline time.Time
+	closed   chan struct{}
+	once     sync.Once
+	peer     *memConn
 }
 
 // Pair returns two connected in-memory ends with the given buffer depth.
@@ -174,15 +202,59 @@ func (m *memConn) Send(msg wire.Message) error {
 }
 
 func (m *memConn) Recv() (wire.Message, error) {
+	m.mu.Lock()
+	deadline := m.deadline
+	m.mu.Unlock()
+	var expire <-chan time.Time
+	if !deadline.IsZero() {
+		left := time.Until(deadline)
+		if left <= 0 {
+			return nil, fmt.Errorf("transport: recv on %s: %w", m.name, os.ErrDeadlineExceeded)
+		}
+		timer := time.NewTimer(left)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	// Already-delivered frames drain before a close is reported — the
+	// same ordering TCP gives (data, then FIN/EOF). The peer's close
+	// must also wake this side: node disconnect-unwind paths depend on a
+	// blocked Recv observing the break, exactly as net.Conn.Read does.
+	select {
+	case msg, ok := <-m.in:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	default:
+	}
 	select {
 	case <-m.closed:
 		return nil, ErrClosed
+	case <-m.peer.closed:
+		// The sender is gone; anything it sent first still delivers.
+		select {
+		case msg, ok := <-m.in:
+			if ok {
+				return msg, nil
+			}
+		default:
+		}
+		return nil, ErrClosed
+	case <-expire:
+		return nil, fmt.Errorf("transport: recv on %s: %w", m.name, os.ErrDeadlineExceeded)
 	case msg, ok := <-m.in:
 		if !ok {
 			return nil, ErrClosed
 		}
 		return msg, nil
 	}
+}
+
+func (m *memConn) SetRecvDeadline(t time.Time) error {
+	m.mu.Lock()
+	m.deadline = t
+	m.mu.Unlock()
+	return nil
 }
 
 func (m *memConn) Close() error {

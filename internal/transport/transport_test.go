@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -192,5 +193,91 @@ func TestMemPairSelfChecksCodec(t *testing.T) {
 	r := got.(*wire.Refuse)
 	if r.UnsatJobID != 7 || !r.NoDemand {
 		t.Fatalf("round trip mismatch: %+v", r)
+	}
+}
+
+// TestRecvSurvivesUndecodableFrame pins the recoverable-error contract:
+// a frame with an unknown type tag comes back as a wire.IsRecoverable
+// error (not a dead stream), and the next Recv on the same connection
+// delivers the following frame intact.
+func TestRecvSurvivesUndecodableFrame(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	raw, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	server := <-accepted
+	defer server.Close()
+
+	// An unknown-type frame followed by a valid Ping, written as raw
+	// bytes (a version-skewed or buggy peer).
+	garbage := []byte{0, 0, 0, 3, 0xEE, 1, 2, 3}
+	valid := wire.Append(nil, &wire.Ping{Nonce: 42})
+	if _, err := raw.Write(append(garbage, valid...)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = server.Recv()
+	if err == nil || !wire.IsRecoverable(err) {
+		t.Fatalf("undecodable frame error = %v, want recoverable", err)
+	}
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatalf("stream dead after recoverable frame: %v", err)
+	}
+	if p, ok := m.(*wire.Ping); !ok || p.Nonce != 42 {
+		t.Fatalf("next frame corrupted: %#v", m)
+	}
+}
+
+// TestPeerCloseUnblocksRecv pins the in-memory pair to TCP semantics on
+// the receive side: a peer's Close delivers buffered frames first, then
+// fails the blocked Recv — the disconnect-unwind paths of live nodes
+// depend on observing the break without a frame in flight.
+func TestPeerCloseUnblocksRecv(t *testing.T) {
+	a, b := Pair(4)
+	if err := a.Send(&wire.Ping{Nonce: 9}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("buffered frame lost on peer close: %v", err)
+	}
+	if p, ok := m.(*wire.Ping); !ok || p.Nonce != 9 {
+		t.Fatalf("wrong frame: %#v", m)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after peer close = %v, want ErrClosed", err)
+	}
+	// And a Recv already blocked when the peer closes must wake too.
+	c, d := Pair(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("blocked Recv woke with %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Recv never observed the peer close")
 	}
 }

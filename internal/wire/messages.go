@@ -1,5 +1,12 @@
 package wire
 
+import "fmt"
+
+// MaxReplicaTasks bounds the per-phase replica group count the decoder
+// will allocate for — far above any real workload, far below what a
+// maliciously huge NumTasks could otherwise amplify into.
+const MaxReplicaTasks = 1 << 20
+
 // TaskSpec describes one task inside a SubmitJob message. Durations are
 // in seconds; the live worker "executes" a task by holding a slot for the
 // scaled duration (the live cluster demonstrates the protocol, not real
@@ -17,6 +24,14 @@ type PhaseSpec struct {
 	MeanDur      float64
 	TransferWork float64
 	NumTasks     uint32
+
+	// Replicas optionally lists, per task, the worker IDs holding the
+	// task's input data (locality preferences for probe targeting). When
+	// non-nil, the codec normalizes it to exactly NumTasks entries on
+	// encode (missing entries encode empty, surplus entries are dropped)
+	// and each entry is capped at 255 IDs — probe targeting consumes at
+	// most a handful, so longer hint lists carry no information.
+	Replicas [][]uint32
 }
 
 // SubmitJob is a client's job submission to a scheduler.
@@ -41,6 +56,25 @@ func (m *SubmitJob) encode(b []byte) []byte {
 		b = putF64(b, p.MeanDur)
 		b = putF64(b, p.TransferWork)
 		b = putU32(b, p.NumTasks)
+		b = putBool(b, p.Replicas != nil)
+		if p.Replicas != nil {
+			// Exactly NumTasks groups on the wire, whatever the caller
+			// built: a shorter or longer Replicas slice must not desync
+			// the payload (the decoder reads NumTasks groups).
+			for i := 0; i < int(p.NumTasks); i++ {
+				var reps []uint32
+				if i < len(p.Replicas) {
+					reps = p.Replicas[i]
+				}
+				if len(reps) > 255 {
+					reps = reps[:255]
+				}
+				b = putU8(b, uint8(len(reps)))
+				for _, r := range reps {
+					b = putU32(b, r)
+				}
+			}
+		}
 	}
 	return b
 }
@@ -61,17 +95,45 @@ func (m *SubmitJob) decode(r *reader) error {
 		p.MeanDur = r.f64()
 		p.TransferWork = r.f64()
 		p.NumTasks = r.u32()
+		if r.bool() {
+			// Two allocation guards against attacker-controlled NumTasks:
+			// the group count is bounded up front (zero-length groups
+			// cost one payload byte but a 24-byte slice header each — a
+			// 16MB frame could otherwise force hundreds of MB of
+			// headers), and capacity is grown by append, never
+			// preallocated, so a short payload fails at the first
+			// missing group.
+			if p.NumTasks > MaxReplicaTasks {
+				return fmt.Errorf("wire: %d replica groups exceed %d", p.NumTasks, MaxReplicaTasks)
+			}
+			p.Replicas = [][]uint32{}
+			for k := 0; k < int(p.NumTasks); k++ {
+				if r.err != nil {
+					return r.err
+				}
+				nr := int(r.u8())
+				var reps []uint32
+				for q := 0; q < nr; q++ {
+					reps = append(reps, r.u32())
+				}
+				p.Replicas = append(p.Replicas, reps)
+			}
+		}
 		m.Phases = append(m.Phases, p)
 	}
 	return r.err
 }
 
-// JobComplete reports a finished job to the submitting client.
+// JobComplete reports a finished job to the submitting client. A
+// scheduler draining at shutdown fails its pending jobs with Aborted set
+// and an Error string instead of silently dropping the connection.
 type JobComplete struct {
 	JobID      uint64
 	Completion float64 // seconds from submission
 	TasksRun   uint32
 	SpecCopies uint32
+	Aborted    bool
+	Error      string
 }
 
 // Type implements Message.
@@ -82,6 +144,8 @@ func (m *JobComplete) encode(b []byte) []byte {
 	b = putF64(b, m.Completion)
 	b = putU32(b, m.TasksRun)
 	b = putU32(b, m.SpecCopies)
+	b = putBool(b, m.Aborted)
+	b = putString(b, m.Error)
 	return b
 }
 
@@ -90,6 +154,8 @@ func (m *JobComplete) decode(r *reader) error {
 	m.Completion = r.f64()
 	m.TasksRun = r.u32()
 	m.SpecCopies = r.u32()
+	m.Aborted = r.bool()
+	m.Error = r.string()
 	return r.err
 }
 
@@ -124,12 +190,14 @@ func (m *Reserve) decode(r *reader) error {
 
 // Offer is a worker's response offering a slot to a job (Pseudocode 3):
 // refusable during the probing phase, non-refusable after the refusal
-// threshold.
+// threshold. GetTask marks a Sparrow-baseline task pull instead of a
+// Hopper offer (the reservation is consumed either way).
 type Offer struct {
 	JobID     uint64
 	WorkerID  uint32
 	Seq       uint64 // correlates the scheduler's reply to this offer
 	Refusable bool
+	GetTask   bool
 }
 
 // Type implements Message.
@@ -140,6 +208,7 @@ func (m *Offer) encode(b []byte) []byte {
 	b = putU32(b, m.WorkerID)
 	b = putU64(b, m.Seq)
 	b = putBool(b, m.Refusable)
+	b = putBool(b, m.GetTask)
 	return b
 }
 
@@ -148,6 +217,7 @@ func (m *Offer) decode(r *reader) error {
 	m.WorkerID = r.u32()
 	m.Seq = r.u64()
 	m.Refusable = r.bool()
+	m.GetTask = r.bool()
 	return r.err
 }
 
@@ -236,11 +306,16 @@ func (m *Refuse) decode(r *reader) error {
 
 // NoTask answers a non-refusable offer when the job has nothing to run
 // (or has finished, in which case the worker purges its reservations).
+// Like every reply it piggybacks the job's updated ordering metadata —
+// dropping it here would leave live workers ranking the job by stale
+// virtual sizes where the simulator refreshes them.
 type NoTask struct {
-	JobID    uint64
-	Seq      uint64
-	JobDone  bool
-	NoDemand bool
+	JobID       uint64
+	Seq         uint64
+	JobDone     bool
+	NoDemand    bool
+	VirtualSize float64
+	RemTasks    uint32
 }
 
 // Type implements Message.
@@ -251,6 +326,8 @@ func (m *NoTask) encode(b []byte) []byte {
 	b = putU64(b, m.Seq)
 	b = putBool(b, m.JobDone)
 	b = putBool(b, m.NoDemand)
+	b = putF64(b, m.VirtualSize)
+	b = putU32(b, m.RemTasks)
 	return b
 }
 
@@ -259,12 +336,17 @@ func (m *NoTask) decode(r *reader) error {
 	m.Seq = r.u64()
 	m.JobDone = r.bool()
 	m.NoDemand = r.bool()
+	m.VirtualSize = r.f64()
+	m.RemTasks = r.u32()
 	return r.err
 }
 
-// TaskDone reports a finished (or killed) copy to the job's scheduler.
+// TaskDone reports a finished (or killed/rejected) copy to the job's
+// scheduler. Seq echoes the Assign's sequence number so the scheduler
+// can settle the exact copy.
 type TaskDone struct {
 	JobID     uint64
+	Seq       uint64
 	Phase     uint16
 	TaskIndex uint32
 	WorkerID  uint32
@@ -277,6 +359,7 @@ func (*TaskDone) Type() MsgType { return TTaskDone }
 
 func (m *TaskDone) encode(b []byte) []byte {
 	b = putU64(b, m.JobID)
+	b = putU64(b, m.Seq)
 	b = putU16(b, m.Phase)
 	b = putU32(b, m.TaskIndex)
 	b = putU32(b, m.WorkerID)
@@ -287,6 +370,7 @@ func (m *TaskDone) encode(b []byte) []byte {
 
 func (m *TaskDone) decode(r *reader) error {
 	m.JobID = r.u64()
+	m.Seq = r.u64()
 	m.Phase = r.u16()
 	m.TaskIndex = r.u32()
 	m.WorkerID = r.u32()
@@ -343,3 +427,26 @@ func (*Pong) Type() MsgType { return TPong }
 
 func (m *Pong) encode(b []byte) []byte { return putU64(b, m.Nonce) }
 func (m *Pong) decode(r *reader) error { m.Nonce = r.u64(); return r.err }
+
+// Kill tells a worker to stop the copy it started for Assign sequence
+// Seq: a sibling copy won the race. The worker frees the slot
+// immediately and sends no TaskDone for the killed copy (the scheduler
+// already settled the whole race when the winner reported).
+type Kill struct {
+	JobID uint64
+	Seq   uint64
+}
+
+// Type implements Message.
+func (*Kill) Type() MsgType { return TKill }
+
+func (m *Kill) encode(b []byte) []byte {
+	b = putU64(b, m.JobID)
+	return putU64(b, m.Seq)
+}
+
+func (m *Kill) decode(r *reader) error {
+	m.JobID = r.u64()
+	m.Seq = r.u64()
+	return r.err
+}

@@ -53,6 +53,10 @@ const (
 	// TPing / TPong: liveness checks.
 	TPing
 	TPong
+	// TKill: scheduler -> worker. Stop a running copy early (a sibling
+	// copy won the race); the slot frees immediately and no TaskDone is
+	// sent for the killed copy.
+	TKill
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +84,8 @@ func (t MsgType) String() string {
 		return "Ping"
 	case TPong:
 		return "Pong"
+	case TKill:
+		return "Kill"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -103,6 +109,31 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
 // ErrUnknownType is returned for unrecognized message type tags.
 var ErrUnknownType = errors.New("wire: unknown message type")
+
+// DecodeError wraps a payload-level decoding failure for a frame that
+// was fully consumed from the stream: the connection is still in sync
+// and the next frame can be read. Transport receivers skip such frames
+// instead of killing the connection (forward compatibility: a newer peer
+// may speak message types or fields this build does not know).
+type DecodeError struct {
+	Type MsgType
+	Err  error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: decoding %s: %v", e.Type, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// IsRecoverable reports whether err is a frame-local decode failure
+// after which the stream remains usable.
+func IsRecoverable(err error) bool {
+	var de *DecodeError
+	return errors.As(err, &de)
+}
 
 // --- primitive encoders ------------------------------------------------
 
@@ -235,7 +266,9 @@ func ReadMsg(r io.Reader) (Message, error) {
 	return Decode(MsgType(hdr[4]), payload)
 }
 
-// Decode parses a payload for the given type tag.
+// Decode parses a payload for the given type tag. Failures are returned
+// as *DecodeError: the payload was already consumed from the stream, so
+// the caller may skip the frame and keep reading.
 func Decode(t MsgType, payload []byte) (Message, error) {
 	var m Message
 	switch t {
@@ -261,18 +294,20 @@ func Decode(t MsgType, payload []byte) (Message, error) {
 		m = &Ping{}
 	case TPong:
 		m = &Pong{}
+	case TKill:
+		m = &Kill{}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+		return nil, &DecodeError{Type: t, Err: ErrUnknownType}
 	}
 	rd := &reader{buf: payload}
 	if err := m.decode(rd); err != nil {
-		return nil, err
+		return nil, &DecodeError{Type: t, Err: err}
 	}
 	if rd.err != nil {
-		return nil, fmt.Errorf("wire: decoding %s: %w", t, rd.err)
+		return nil, &DecodeError{Type: t, Err: rd.err}
 	}
 	if rd.remaining() != 0 {
-		return nil, fmt.Errorf("wire: decoding %s: %d trailing bytes", t, rd.remaining())
+		return nil, &DecodeError{Type: t, Err: fmt.Errorf("%d trailing bytes", rd.remaining())}
 	}
 	return m, nil
 }

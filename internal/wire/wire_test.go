@@ -28,28 +28,39 @@ func roundTrip(t *testing.T, m Message) Message {
 }
 
 func TestRoundTripAllTypes(t *testing.T) {
-	msgs := []Message{
+	for _, m := range corpusMessages() {
+		roundTrip(t, m)
+	}
+}
+
+// corpusMessages is the canonical one-of-each message set, shared by the
+// round-trip test and the fuzz seed corpus.
+func corpusMessages() []Message {
+	return []Message{
 		&SubmitJob{JobID: 42, Name: "wordcount", Phases: []PhaseSpec{
 			{MeanDur: 1.5, TransferWork: 3.25, NumTasks: 100},
 			{Deps: []uint16{0}, MeanDur: 2.5, TransferWork: 0.5, NumTasks: 40},
 		}},
 		&SubmitJob{JobID: 1}, // no phases
+		&SubmitJob{JobID: 2, Name: "local", Phases: []PhaseSpec{
+			{MeanDur: 1, NumTasks: 3, Replicas: [][]uint32{{0, 5}, nil, {2}}},
+			{Deps: []uint16{0}, MeanDur: 2, NumTasks: 1, Replicas: [][]uint32{nil}},
+		}},
 		&JobComplete{JobID: 42, Completion: 12.25, TasksRun: 140, SpecCopies: 13},
+		&JobComplete{JobID: 43, Aborted: true, Error: "scheduler shutting down"},
 		&Reserve{JobID: 7, SchedulerID: 3, VirtualSize: 61.5, RemTasks: 46},
 		&Offer{JobID: 7, WorkerID: 199, Seq: 88, Refusable: true},
-		&Offer{JobID: 7, WorkerID: 199, Seq: 89, Refusable: false},
+		&Offer{JobID: 7, WorkerID: 199, Seq: 89, Refusable: false, GetTask: true},
 		&Assign{JobID: 7, Seq: 88, Phase: 1, TaskIndex: 17, Speculative: true,
 			Duration: 9.75, VirtualSize: 44, RemTasks: 12},
 		&Refuse{JobID: 7, Seq: 90, NoDemand: true, HasUnsat: true,
 			UnsatJobID: 9, UnsatVS: 4.5, VirtualSize: 61.5, RemTasks: 46},
-		&NoTask{JobID: 7, Seq: 91, JobDone: true, NoDemand: true},
-		&TaskDone{JobID: 7, Phase: 2, TaskIndex: 5, WorkerID: 12, Duration: 3.5, Killed: true},
+		&NoTask{JobID: 7, Seq: 91, JobDone: true, NoDemand: true, VirtualSize: 12.5, RemTasks: 3},
+		&TaskDone{JobID: 7, Seq: 92, Phase: 2, TaskIndex: 5, WorkerID: 12, Duration: 3.5, Killed: true},
 		&Hello{Role: RoleWorker, ID: 17, Slots: 16},
 		&Ping{Nonce: 0xDEADBEEF},
 		&Pong{Nonce: 0xDEADBEEF},
-	}
-	for _, m := range msgs {
-		roundTrip(t, m)
+		&Kill{JobID: 7, Seq: 93},
 	}
 }
 
@@ -123,7 +134,7 @@ func TestTrailingBytesRejected(t *testing.T) {
 
 func TestDecodeGarbagePayloadsDontPanic(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	types := []MsgType{TSubmitJob, TJobComplete, TReserve, TOffer, TAssign, TRefuse, TNoTask, TTaskDone, THello, TPing, TPong}
+	types := []MsgType{TSubmitJob, TJobComplete, TReserve, TOffer, TAssign, TRefuse, TNoTask, TTaskDone, THello, TPing, TPong, TKill}
 	for i := 0; i < 2000; i++ {
 		payload := make([]byte, rng.Intn(64))
 		rng.Read(payload)
@@ -195,7 +206,7 @@ func TestLongStringTruncatedSafely(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for _, typ := range []MsgType{TSubmitJob, TJobComplete, TReserve, TOffer, TAssign, TRefuse, TNoTask, TTaskDone, THello, TPing, TPong} {
+	for _, typ := range []MsgType{TSubmitJob, TJobComplete, TReserve, TOffer, TAssign, TRefuse, TNoTask, TTaskDone, THello, TPing, TPong, TKill} {
 		if s := typ.String(); s == "" || s[0] == 'M' {
 			t.Errorf("missing String for %d: %q", typ, s)
 		}
