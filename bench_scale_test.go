@@ -9,6 +9,7 @@ package hopper
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/hopper-sim/hopper/internal/experiments"
@@ -60,47 +61,56 @@ func TestScaleBenchSmokeReportWellFormed(t *testing.T) {
 	}
 }
 
-// TestCheckedInBenchBaseline validates the committed trajectory file:
-// parseable, full-scale, and holding the acceptance ratios the overhaul
-// was merged on.
+// TestCheckedInBenchBaseline validates every committed trajectory file
+// (the series is the artifact — old files stay): parseable, full-scale,
+// and holding the acceptance ratios the overhaul was merged on.
 func TestCheckedInBenchBaseline(t *testing.T) {
-	rep, err := experiments.LoadBenchReport("BENCH_PR2.json")
-	if err != nil {
-		t.Fatal(err)
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
 	}
-	if rep.Mode != "full" {
-		t.Fatalf("baseline mode %q, want full (10k machines)", rep.Mode)
-	}
-	tenK := 0
-	for _, s := range rep.Scenarios {
-		if s.Reference == nil {
-			continue
-		}
-		if s.SpeedupNsPerDecision <= 1 || s.AllocReduction <= 1 {
-			t.Errorf("%s: reference not slower than optimized (%.2fx ns, %.1fx allocs)",
-				s.Name, s.SpeedupNsPerDecision, s.AllocReduction)
-		}
-		if s.Machines < 10000 {
-			continue
-		}
-		tenK++
-		// The overhaul's acceptance bars apply at the 10k tier.
-		if s.SpeedupNsPerDecision < 2 {
-			t.Errorf("%s: speedup %.2fx below the 2x acceptance bar", s.Name, s.SpeedupNsPerDecision)
-		}
-		if s.AllocReduction < 5 {
-			t.Errorf("%s: alloc reduction %.1fx below the 5x acceptance bar", s.Name, s.AllocReduction)
-		}
-	}
-	if tenK == 0 {
-		t.Fatal("baseline has no reference-compared 10k-machine scenarios")
-	}
-	// The file must stay valid JSON for external tooling even if the
-	// struct grows fields.
-	raw, _ := os.ReadFile("BENCH_PR2.json")
-	var generic map[string]any
-	if err := json.Unmarshal(raw, &generic); err != nil {
-		t.Fatalf("baseline is not generic JSON: %v", err)
+	for _, file := range files {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			rep, err := experiments.LoadBenchReport(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Mode != "full" {
+				t.Fatalf("baseline mode %q, want full (10k machines)", rep.Mode)
+			}
+			tenK := 0
+			for _, s := range rep.Scenarios {
+				if s.Reference == nil {
+					continue
+				}
+				if s.SpeedupNsPerDecision <= 1 || s.AllocReduction <= 1 {
+					t.Errorf("%s: reference not slower than optimized (%.2fx ns, %.1fx allocs)",
+						s.Name, s.SpeedupNsPerDecision, s.AllocReduction)
+				}
+				if s.Machines < 10000 {
+					continue
+				}
+				tenK++
+				// The overhaul's acceptance bars apply at the 10k tier.
+				if s.SpeedupNsPerDecision < 2 {
+					t.Errorf("%s: speedup %.2fx below the 2x acceptance bar", s.Name, s.SpeedupNsPerDecision)
+				}
+				if s.AllocReduction < 5 {
+					t.Errorf("%s: alloc reduction %.1fx below the 5x acceptance bar", s.Name, s.AllocReduction)
+				}
+			}
+			if tenK == 0 {
+				t.Fatal("baseline has no reference-compared 10k-machine scenarios")
+			}
+			// The file must stay valid JSON for external tooling even if
+			// the struct grows fields.
+			raw, _ := os.ReadFile(file)
+			var generic map[string]any
+			if err := json.Unmarshal(raw, &generic); err != nil {
+				t.Fatalf("baseline is not generic JSON: %v", err)
+			}
+		})
 	}
 }
 

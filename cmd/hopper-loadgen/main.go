@@ -53,8 +53,10 @@ func main() {
 	numMachines := *nWork
 
 	var addrs []string
+	var lc *live.LocalCluster
 	if *boot {
-		lc, err := live.StartLocalCluster(live.LocalClusterConfig{
+		var err error
+		lc, err = live.StartLocalCluster(live.LocalClusterConfig{
 			Schedulers: *nSched,
 			Workers:    *nWork,
 			Slots:      *slots,
@@ -106,6 +108,30 @@ func main() {
 	fmt.Print(metrics.BinBreakdown(title, run).String())
 	fmt.Printf("\n%d speculative copies, %d aborted, %.1fs wall clock\n",
 		stats.SpecCopies, stats.Aborted, stats.WallTime.Seconds())
+
+	if lc != nil {
+		// Booted in-process: the schedulers are ours to inspect. Double
+		// wakeups must stay zero — phase unlock delivery is exactly-once —
+		// and a nonzero count here is how a live deployment surfaces a
+		// re-delivery bug instead of silently absorbing it.
+		var rounds, placed int64
+		for _, w := range lc.Workers {
+			st := w.Stats()
+			rounds += st.RoundsStarted
+			placed += st.RoundsPlaced
+		}
+		tab := &metrics.Table{
+			Title:  "protocol counters (booted cluster)",
+			Header: []string{"sched", "double wakeups", "occ leaks"},
+		}
+		for i, sc := range lc.Scheds {
+			st := sc.Stats()
+			tab.AddF(fmt.Sprintf("%d", i), int(st.DoubleWakeups), int(st.OccupancyLeaks))
+		}
+		fmt.Println()
+		fmt.Print(tab.String())
+		fmt.Printf("worker rounds: %d started, %d placed\n", rounds, placed)
+	}
 }
 
 // loadTrace reads or generates the workload.

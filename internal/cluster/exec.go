@@ -77,8 +77,11 @@ type Executor struct {
 	// OnTaskDone fires when a task's winning copy completes, after slot
 	// accounting for the whole race has been settled.
 	OnTaskDone func(t *Task, winner *Copy)
-	// OnPhaseRunnable fires when a phase's dependencies and pipelined
-	// transfer complete, making its tasks schedulable.
+	// OnPhaseRunnable fires exactly once per phase, when its dependencies
+	// and pipelined transfer complete, making its tasks schedulable. The
+	// exactly-once guarantee comes from the phase lifecycle
+	// (PhaseState/UnlockPlanner); consumers may credit demand counters
+	// without deduplicating.
 	OnPhaseRunnable func(p *Phase)
 	// OnJobDone fires when a job's last phase completes.
 	OnJobDone func(j *Job)
@@ -122,11 +125,13 @@ type Executor struct {
 	// freedScratch the per-completion freed-slot list, so neither
 	// allocates per placement/completion. freedScratch is safe to reuse
 	// because OnSlotFree consumers only post events — copyFinished never
-	// re-enters synchronously. unlockScratch backs the phase-unlock list
-	// of Job.CompleteTask under the same single-event reuse rule.
-	amongScratch  []MachineID
-	freedScratch  []MachineID
-	unlockScratch []PhaseUnlock
+	// re-enters synchronously.
+	amongScratch []MachineID
+	freedScratch []MachineID
+
+	// unlock owns phase wakeup delivery: unlocks become engine posts and
+	// each phase reaches OnPhaseRunnable exactly once.
+	unlock UnlockPlanner
 }
 
 // noteSlotChange updates the saturation clock after slot counts change.
@@ -143,7 +148,19 @@ func (x *Executor) noteSlotChange() {
 
 // NewExecutor wires an executor to an engine and machine set.
 func NewExecutor(eng *simulator.Engine, ms *Machines, model ExecModel) *Executor {
-	return &Executor{Eng: eng, Machines: ms, Model: model, rng: eng.Rand(), durSeed: eng.Rand().Int63()}
+	x := &Executor{Eng: eng, Machines: ms, Model: model, rng: eng.Rand(), durSeed: eng.Rand().Int63()}
+	x.unlock = UnlockPlanner{
+		// Every unlock becomes an engine post, including ones already due:
+		// same-timestamp FIFO ordering of wakeups versus completions is
+		// part of the dispatch identity contract.
+		Schedule: func(at simulator.Time, fire func()) { x.Eng.Post(at, fire) },
+		Deliver: func(p *Phase) {
+			if x.OnPhaseRunnable != nil {
+				x.OnPhaseRunnable(p)
+			}
+		},
+	}
+	return x
 }
 
 // copyRNG returns a deterministic source for one copy's service time,
@@ -172,16 +189,7 @@ func CopyServiceRNG(seed int64, t *Task, attempt int) *rand.Rand {
 // AdmitJob marks the job's root phases runnable at the current time and
 // fires OnPhaseRunnable for each. Call exactly once, at job arrival.
 func (x *Executor) AdmitJob(j *Job) {
-	now := x.Eng.Now()
-	for _, p := range j.Phases {
-		if len(p.Deps) == 0 {
-			p.MarkRunnable()
-			p.RunnableAt = now
-			if x.OnPhaseRunnable != nil {
-				x.OnPhaseRunnable(p)
-			}
-		}
-	}
+	x.unlock.AdmitJob(j, x.Eng.Now())
 }
 
 // Place chooses a machine for the task (locality-aware) and starts a copy
@@ -208,7 +216,7 @@ func (x *Executor) placeOn(t *Task, m MachineID, speculative, local bool) *Copy 
 	if t.State == TaskDone {
 		panic(fmt.Sprintf("cluster: placing copy of finished task %s", t.ID()))
 	}
-	if !t.Phase.Runnable {
+	if t.Phase.State != PhaseRunnable {
 		panic(fmt.Sprintf("cluster: placing task %s in non-runnable phase", t.ID()))
 	}
 	x.Machines.Acquire(m)
@@ -288,23 +296,11 @@ func (x *Executor) copyFinished(c *Copy) {
 	}
 }
 
-// taskDone performs phase/job completion bookkeeping via
-// Job.CompleteTask, posts the resulting phase unlocks, and reports
-// whether the task's job just finished (the caller fires OnJobDone after
-// OnTaskDone).
+// taskDone performs phase/job completion bookkeeping through the unlock
+// planner and reports whether the task's job just finished (the caller
+// fires OnJobDone after OnTaskDone).
 func (x *Executor) taskDone(t *Task, now simulator.Time) bool {
-	jobDone, unlocks := t.Job.CompleteTask(t, now, x.unlockScratch[:0])
-	x.unlockScratch = unlocks
-	for _, u := range unlocks {
-		qq := u.Phase
-		x.Eng.Post(u.At, func() {
-			qq.MarkRunnable()
-			if x.OnPhaseRunnable != nil {
-				x.OnPhaseRunnable(qq)
-			}
-		})
-	}
-	return jobDone
+	return x.unlock.CompleteTask(t, now)
 }
 
 // SpeculationWasteFraction returns the fraction of consumed slot-seconds

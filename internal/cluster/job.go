@@ -128,6 +128,31 @@ func (t *Task) LocalOn(m MachineID) bool {
 	return false
 }
 
+// PhaseState is the lifecycle state of a phase. Transitions are strictly
+// forward and each happens exactly once:
+//
+//	PhaseLocked --------> PhaseUnlockPending --------> PhaseRunnable --> PhaseDone
+//	  (last dependency completes;      (pipelined transfer
+//	   unlock planned, Job.CompleteTask)  catches up; MarkRunnable)
+//
+// Root phases skip UnlockPending: admission transitions them straight to
+// PhaseRunnable. The explicit UnlockPending state is what makes wakeup
+// delivery exactly-once: a phase whose transfer-gated wakeup is in
+// flight is never re-planned when a sibling phase completes.
+type PhaseState uint8
+
+const (
+	// PhaseLocked: at least one dependency has not completed.
+	PhaseLocked PhaseState = iota
+	// PhaseUnlockPending: all dependencies are done and the unlock has
+	// been planned; the pipelined-transfer wakeup is in flight.
+	PhaseUnlockPending
+	// PhaseRunnable: tasks are schedulable.
+	PhaseRunnable
+	// PhaseDone: every task has completed.
+	PhaseDone
+)
+
 // Phase is a set of tasks with identical structure inside a job's DAG.
 // A phase becomes runnable when all its dependencies have completed and
 // its (pipelined) input transfer has caught up.
@@ -152,8 +177,10 @@ type Phase struct {
 	// phase's task count. Zero for input phases.
 	TransferWork float64
 
-	// Runnable is set once deps and (pipelined) transfer allow execution.
-	Runnable   bool
+	// State is the phase's lifecycle position; see PhaseState. RunnableAt
+	// is stamped when the unlock is planned (UnlockPending) with the time
+	// the pipelined transfer permits execution.
+	State      PhaseState
 	RunnableAt simulator.Time
 
 	next        int // lower bound on the smallest unscheduled task index
@@ -281,7 +308,7 @@ func (j *Job) RunnablePhases() []*Phase {
 func (j *Job) RunnablePhasesScan() []*Phase {
 	var out []*Phase
 	for _, p := range j.Phases {
-		if p.Runnable && !p.Done() {
+		if p.State == PhaseRunnable && !p.Done() {
 			out = append(out, p)
 		}
 	}
@@ -302,32 +329,36 @@ func (j *Job) markRunnable(p *Phase) {
 }
 
 // MarkRunnable transitions the phase into the runnable state and updates
-// the owning job's runnable cache. All Runnable=true transitions must go
-// through here; setting the field directly leaves the cache stale (tests
-// that do so anyway must call Job.RecomputeRunnable).
+// the owning job's runnable cache. All transitions into PhaseRunnable
+// must go through here; setting the field directly leaves the cache
+// stale (tests that do so anyway must call Job.RecomputeRunnable).
+// Wakeup delivery is exactly-once (UnlockPlanner), so a second
+// transition is always a lifecycle bug and panics.
 func (p *Phase) MarkRunnable() {
-	if p.Runnable {
-		return
+	if p.State == PhaseRunnable || p.State == PhaseDone {
+		panic(fmt.Sprintf("cluster: duplicate MarkRunnable for job%d/phase%d (state %d)",
+			p.Job.ID, p.Index, p.State))
 	}
-	p.Runnable = true
+	p.State = PhaseRunnable
 	p.Job.markRunnable(p)
 }
 
-// RecomputeRunnable rebuilds the runnable cache from the Runnable/Done
-// flags. The simulation maintains the cache incrementally; this is the
-// escape hatch for tests that poke Phase.Runnable directly.
+// RecomputeRunnable rebuilds the runnable cache from the phase states.
+// The simulation maintains the cache incrementally; this is the escape
+// hatch for tests that poke Phase.State directly.
 func (j *Job) RecomputeRunnable() {
 	j.runnable = j.runnable[:0]
 	for _, p := range j.Phases {
-		if p.Runnable && !p.Done() {
+		if p.State == PhaseRunnable && !p.Done() {
 			j.runnable = append(j.runnable, p)
 		}
 	}
 }
 
-// markPhaseDone removes p from the runnable cache once all its tasks have
-// completed.
+// markPhaseDone transitions a completed phase to PhaseDone and removes
+// it from the runnable cache.
 func (j *Job) markPhaseDone(p *Phase) {
+	p.State = PhaseDone
 	for i, q := range j.runnable {
 		if q == p {
 			j.runnable = append(j.runnable[:i], j.runnable[i+1:]...)
@@ -390,10 +421,13 @@ const transferOverlapFactor = 4.0
 // CompleteTask performs the phase/job completion bookkeeping for a task
 // whose winning copy finished at now (the caller marks the copy Won and
 // the task Done first). It reports whether the job just finished and
-// appends to dst the phases whose dependencies are now all complete,
-// each with the start time its pipelined transfer permits; the caller
-// marks those runnable at their unlock times (engine post in the
-// simulator, timer in a live node).
+// appends to dst the phases whose dependencies just became all complete,
+// each stamped PhaseUnlockPending with the start time its pipelined
+// transfer permits; the caller marks those runnable at their unlock
+// times (engine post in the simulator, timer in a live node) —
+// adapters drive this through cluster.UnlockPlanner rather than by
+// hand. Each phase is planned exactly once: it appears in dst only on
+// the call that completed its last dependency.
 func (j *Job) CompleteTask(t *Task, now simulator.Time, dst []PhaseUnlock) (jobDone bool, unlocks []PhaseUnlock) {
 	p := t.Phase
 	p.doneTasks++
@@ -411,9 +445,19 @@ func (j *Job) CompleteTask(t *Task, now simulator.Time, dst []PhaseUnlock) (jobD
 		j.DoneAt = now
 		return true, dst
 	}
-	// Unlock dependent phases whose dependencies are now all complete.
+	// Plan unlocks for dependent phases whose dependencies are now all
+	// complete. Only phases still Locked are examined: a phase whose
+	// unlock is already planned (UnlockPending — its transfer-gated
+	// wakeup is in flight) must not be re-planned when a sibling phase
+	// completes. Re-examination could only ever reproduce the identical
+	// start time: a phase is planned on the call that completed its last
+	// dependency, after which every input to startAt — each dependency's
+	// DoneAt and firstDone — is immutable (a phase completes once). The
+	// pre-lifecycle code re-planned here and delivered OnPhaseRunnable
+	// twice; skipping non-Locked phases is what makes wakeups
+	// exactly-once.
 	for _, q := range j.Phases {
-		if q.Runnable || q.Done() || len(q.Deps) == 0 {
+		if q.State != PhaseLocked || len(q.Deps) == 0 {
 			continue
 		}
 		ready := true
@@ -450,6 +494,7 @@ func (j *Job) CompleteTask(t *Task, now simulator.Time, dst []PhaseUnlock) (jobD
 		if end := transferStart + wall; end > startAt {
 			startAt = end
 		}
+		q.State = PhaseUnlockPending
 		q.RunnableAt = startAt
 		dst = append(dst, PhaseUnlock{Phase: q, At: startAt})
 	}

@@ -1,0 +1,31 @@
+package cluster
+
+// PhaseSet is a small set of one job's phases, used by scheduling layers
+// to enforce once-per-phase transitions: the centralized chassis asserts
+// its fresh-demand credit happens exactly once, and the decentralized
+// scheduler core guards its pendingFresh enqueue against duplicate
+// wakeup delivery. A bitset over the phase index covers DAGs up to 64
+// phases with zero allocation; deeper DAGs spill into a lazily-built
+// map. The zero value is an empty set.
+type PhaseSet struct {
+	bits uint64
+	big  map[*Phase]struct{}
+}
+
+// Add inserts p and reports whether it was already present.
+func (s *PhaseSet) Add(p *Phase) (already bool) {
+	if p.Index < 64 {
+		bit := uint64(1) << uint(p.Index)
+		already = s.bits&bit != 0
+		s.bits |= bit
+		return already
+	}
+	if _, ok := s.big[p]; ok {
+		return true
+	}
+	if s.big == nil {
+		s.big = make(map[*Phase]struct{})
+	}
+	s.big[p] = struct{}{}
+	return false
+}

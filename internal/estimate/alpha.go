@@ -103,7 +103,7 @@ func (a *AlphaEstimator) Evaluate(j *cluster.Job, beta float64) (alpha, downstre
 		meanDur += p.MeanTaskDuration
 		fracLeft := float64(p.RemainingTasks()) / float64(len(p.Tasks))
 		for _, q := range j.Phases {
-			if q.Done() || q.Runnable {
+			if q.Done() || q.State == cluster.PhaseRunnable {
 				continue
 			}
 			for _, d := range q.Deps {

@@ -105,8 +105,8 @@ func TestAlphaIgnoresCompletedDownstream(t *testing.T) {
 	// Simulate: upstream done, downstream runnable (it is the "current"
 	// phase now and has no further downstream) -> alpha 1. The flags are
 	// poked directly, so the runnable cache is rebuilt explicitly.
-	j.Phases[1].Runnable = true
-	j.Phases[0].Runnable = false
+	j.Phases[1].State = cluster.PhaseRunnable
+	j.Phases[0].State = cluster.PhaseLocked
 	j.RecomputeRunnable()
 	alpha, dv := a.Evaluate(j, 1.5)
 	if alpha != 1 && dv != 0 {

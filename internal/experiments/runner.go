@@ -223,6 +223,11 @@ type RunResult struct {
 	Probes, Offers, Rounds, RoundsPlaced int64
 	// OccLeaks counts jobs finishing with nonzero scheduler occupancy.
 	OccLeaks int64
+	// DoubleWakeups/DoubleWakeupTasks count duplicate phase-wakeup
+	// deliveries the scheduler cores observed and the phantom fresh
+	// tasks those duplicates would have enqueued (decentralized runs;
+	// zero under the exactly-once unlock planner).
+	DoubleWakeups, DoubleWakeupTasks int64
 	// LocalFraction is the fraction of copies that ran data-local.
 	LocalFraction float64
 	// EndTime is the simulated completion time of the whole trace.
@@ -269,6 +274,7 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 		res.Probes, res.Offers = sys.Probes, sys.Offers
 		res.Rounds, res.RoundsPlaced = sys.RoundsStarted, sys.RoundsPlaced
 		res.OccLeaks = sys.OccupancyLeaks
+		res.DoubleWakeups, res.DoubleWakeupTasks = sys.DoubleWakeups, sys.DoubleWakeupTasks
 	}
 	if exec.CopiesStarted > 0 {
 		res.LocalFraction = float64(exec.LocalCopies) / float64(exec.CopiesStarted)

@@ -215,7 +215,7 @@ func TestMalformedSubmissionsRejected(t *testing.T) {
 			{Deps: []uint16{0}, MeanDur: 1, NumTasks: 1}, // self/forward dep
 		}},
 		{JobID: 102, Phases: []wire.PhaseSpec{{MeanDur: 1, NumTasks: 0}}}, // empty phase
-		{JobID: 103},                                                      // no phases
+		{JobID: 103}, // no phases
 	}
 	for _, m := range bad {
 		if err := c.Submit(m); err != nil {

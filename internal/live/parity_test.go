@@ -72,9 +72,17 @@ func parityJobs(nMachines int) []*cluster.Job {
 			phases = append(phases, p1)
 		}
 		if i%4 == 0 {
+			// Transfer-gated tail plus an independent arm off the root: the
+			// arm completes while the tail's wakeup is in flight — the
+			// double-fire regime the exactly-once lifecycle must absorb
+			// identically on both stacks.
 			p2 := mkPhase(1, 0.5)
 			p2.Deps = []int{len(phases) - 1}
+			p2.TransferWork = 2.0
 			phases = append(phases, p2)
+			p3 := mkPhase(2, 1.2)
+			p3.Deps = []int{0}
+			phases = append(phases, p3)
 		}
 		name := ""
 		if i%3 == 0 {

@@ -9,6 +9,7 @@ import (
 
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/protocol"
+	"github.com/hopper-sim/hopper/internal/simulator"
 	"github.com/hopper-sim/hopper/internal/transport"
 	"github.com/hopper-sim/hopper/internal/wire"
 )
@@ -132,8 +133,12 @@ type Scheduler struct {
 	// outage); both flush when the next worker registers.
 	pendingAdmit  []pendingSubmit
 	pendingProbes []protocol.Probe
-	unlockScr     []cluster.PhaseUnlock
 	tickerOn      bool
+
+	// unlock owns phase wakeup delivery (cluster.UnlockPlanner): unlocks
+	// become loop-posted timers and each phase's probes go out exactly
+	// once.
+	unlock cluster.UnlockPlanner
 }
 
 // pendingSubmit is one buffered submission with its submitter.
@@ -183,6 +188,12 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		RandomWorkers: s.randomWorkers,
 		Stats:         &s.stats,
 	})
+	s.unlock = cluster.UnlockPlanner{
+		Schedule: s.scheduleUnlock,
+		Deliver: func(p *cluster.Phase) {
+			s.sendProbes(s.core.PhaseRunnable(p))
+		},
+	}
 	if cfg.Addr != "" {
 		ln, err := transport.Listen(cfg.Addr)
 		if err != nil {
@@ -582,13 +593,7 @@ func (s *Scheduler) admit(client *peer, m *wire.SubmitJob) {
 	s.jobs[m.JobID] = lj
 	s.core.Admit(j)
 	s.ensureTicker()
-	for _, p := range j.Phases {
-		if len(p.Deps) == 0 {
-			p.MarkRunnable()
-			p.RunnableAt = now
-			s.sendProbes(s.core.PhaseRunnable(p))
-		}
-	}
+	s.unlock.AdmitJob(j, now) // fires root-phase probes through Deliver
 }
 
 // sendProbes realizes a core probe list as Reserve frames.
@@ -782,12 +787,7 @@ func (s *Scheduler) onTaskDone(m *wire.TaskDone) {
 	}
 	s.core.TaskDone(t, c)
 
-	jobDone, unlocks := t.Job.CompleteTask(t, now, s.unlockScr[:0])
-	s.unlockScr = unlocks
-	for _, u := range unlocks {
-		s.armUnlock(u)
-	}
-	if jobDone {
+	if s.unlock.CompleteTask(t, now) {
 		s.finishJob(t.Job)
 	}
 }
@@ -804,15 +804,11 @@ func (s *Scheduler) removeCopy(t *cluster.Task, c *cluster.Copy) {
 	}
 }
 
-// armUnlock schedules a phase's runnable transition at its pipelined
-// transfer time.
-func (s *Scheduler) armUnlock(u cluster.PhaseUnlock) {
-	p := u.Phase
-	fire := func() {
-		p.MarkRunnable()
-		s.sendProbes(s.core.PhaseRunnable(p))
-	}
-	delay := u.At - s.now()
+// scheduleUnlock is the planner's Schedule binding: a wakeup already due
+// fires inline on the loop; a transfer-gated one waits out its delay on
+// a wall-clock timer and posts back onto the loop.
+func (s *Scheduler) scheduleUnlock(at simulator.Time, fire func()) {
+	delay := at - s.now()
 	if delay <= 0 {
 		fire()
 		return
@@ -820,6 +816,21 @@ func (s *Scheduler) armUnlock(u cluster.PhaseUnlock) {
 	time.AfterFunc(time.Duration(delay*s.cfg.TimeScale*float64(time.Second)), func() {
 		s.post(&internalEvent{fn: fire}, nil)
 	})
+}
+
+// Stats returns a snapshot of the scheduler's protocol counters
+// (rounds, occupancy leaks, duplicate phase wakeups), taken on the
+// scheduler loop so the read never races message handling. A stopped
+// scheduler returns the zero value.
+func (s *Scheduler) Stats() protocol.Stats {
+	ch := make(chan protocol.Stats, 1)
+	s.post(&internalEvent{fn: func() { ch <- s.stats }}, nil)
+	select {
+	case st := <-ch:
+		return st
+	case <-s.loop.done:
+		return protocol.Stats{}
+	}
 }
 
 // finishJob reports the completed job to its client and releases state.
@@ -840,4 +851,3 @@ func (s *Scheduler) finishJob(j *cluster.Job) {
 		})
 	}
 }
-

@@ -282,6 +282,21 @@ func (w *Worker) post(msg interface{}, from *peer) {
 	w.loop.post(msg, from)
 }
 
+// Stats returns a snapshot of the worker's protocol counters
+// (negotiation rounds started/placed), taken on the worker loop so the
+// read never races message handling. A stopped worker returns the zero
+// value.
+func (w *Worker) Stats() protocol.Stats {
+	ch := make(chan protocol.Stats, 1)
+	w.post(&internalEvent{fn: func() { ch <- w.stats }}, nil)
+	select {
+	case st := <-ch:
+		return st
+	case <-w.loop.done:
+		return protocol.Stats{}
+	}
+}
+
 // internalEvent lets executor goroutines and timers run closures on the
 // loop goroutine; it never crosses the wire.
 type internalEvent struct{ fn func() }

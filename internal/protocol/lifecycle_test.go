@@ -1,0 +1,60 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+)
+
+// TestPhaseRunnableIdempotent pins the core-side duplicate-wakeup guard:
+// a re-delivered PhaseRunnable must not re-enqueue the phase's tasks
+// into pendingFresh or emit probes; it is counted in Stats.DoubleWakeups
+// so an adapter bug surfaces instead of being silently absorbed.
+func TestPhaseRunnableIdempotent(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(1, 4, 1.0)
+	h.sc.Admit(j)
+
+	first := h.sc.PhaseRunnable(j.Phases[0])
+	if len(first) == 0 {
+		t.Fatal("first delivery emitted no probes")
+	}
+	d := h.sc.jobs[j.ID]
+	if got := d.pendingFresh.Len(); got != 4 {
+		t.Fatalf("pendingFresh after first delivery = %d, want 4", got)
+	}
+
+	second := h.sc.PhaseRunnable(j.Phases[0])
+	if len(second) != 0 {
+		t.Fatalf("duplicate delivery emitted %d probes, want 0", len(second))
+	}
+	if got := d.pendingFresh.Len(); got != 4 {
+		t.Fatalf("pendingFresh after duplicate = %d, want 4 (no double-enqueue)", got)
+	}
+	if h.stats.DoubleWakeups != 1 {
+		t.Fatalf("DoubleWakeups = %d, want 1", h.stats.DoubleWakeups)
+	}
+	if h.stats.DoubleWakeupTasks != 4 {
+		t.Fatalf("DoubleWakeupTasks = %d, want 4", h.stats.DoubleWakeupTasks)
+	}
+}
+
+// TestPhaseRunnableSkipsNonFreshTasks: tasks already handed out (or
+// finished) when the wakeup arrives must not enter pendingFresh — only
+// never-scheduled tasks are fresh demand.
+func TestPhaseRunnableSkipsNonFreshTasks(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(1, 3, 1.0)
+	h.sc.Admit(j)
+	j.Phases[0].Tasks[0].State = cluster.TaskRunning
+	j.Phases[0].Tasks[2].State = cluster.TaskDone
+
+	h.sc.PhaseRunnable(j.Phases[0])
+	d := h.sc.jobs[j.ID]
+	if got := d.pendingFresh.Len(); got != 1 {
+		t.Fatalf("pendingFresh = %d, want 1 (only the unscheduled task)", got)
+	}
+	if got := d.pendingFresh.At(0); got != j.Phases[0].Tasks[1] {
+		t.Fatalf("queued wrong task: %v", got.ID())
+	}
+}

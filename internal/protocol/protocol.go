@@ -157,6 +157,16 @@ type Stats struct {
 	// OccupancyLeaks counts jobs that finished with nonzero occupancy —
 	// always a protocol accounting bug.
 	OccupancyLeaks int64
+
+	// DoubleWakeups counts duplicate PhaseRunnable deliveries observed by
+	// scheduler cores, and DoubleWakeupTasks the tasks those duplicates
+	// would have re-enqueued into pendingFresh (phantom fresh demand).
+	// The cluster's unlock planner delivers exactly-once and asserts its
+	// own half (MarkRunnable panics), so a nonzero count means an adapter
+	// path delivered a wakeup to the core outside the planner — surfaced
+	// here rather than silently absorbed.
+	DoubleWakeups     int64
+	DoubleWakeupTasks int64
 }
 
 // Reply is a scheduler's answer to a worker's offer or task pull. It is

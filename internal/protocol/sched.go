@@ -55,6 +55,10 @@ type dJob struct {
 	// occupied counts slots committed to the job: live copies plus
 	// accepts in flight (Pseudocode 2's current_occupied).
 	occupied int
+
+	// woken tracks phases whose wakeup has been delivered, guarding
+	// pendingFresh against duplicate PhaseRunnable delivery.
+	woken cluster.PhaseSet
 }
 
 // demand is how many more slots the job could use right now.
@@ -186,18 +190,37 @@ func (sc *Sched) Admit(j *cluster.Job) {
 	sc.jobList = append(sc.jobList, d)
 }
 
-// PhaseRunnable queues the phase's tasks and returns their probes. The
-// returned slice is reused by the next core call.
+// PhaseRunnable queues the phase's never-scheduled tasks and returns
+// their probes. Delivery is idempotent: the cluster's unlock planner
+// delivers exactly-once (its own duplicate would trip the MarkRunnable
+// panic), but an adapter path that hands a phase to the core outside
+// the planner — a reconnect replay, a future defensive refresh — would
+// arrive here unasserted, so a duplicate is counted in
+// Stats.DoubleWakeups and suppressed instead of silently re-enqueued:
+// phantom pendingFresh entries inflate demand, virtual sizes, and probe
+// traffic (the pre-lifecycle double-fire bug). The returned slice is
+// reused by the next core call.
 func (sc *Sched) PhaseRunnable(p *cluster.Phase) []Probe {
 	sc.probeBuf = sc.probeBuf[:0]
 	d := sc.jobs[p.Job.ID]
 	if d == nil {
 		return sc.probeBuf
 	}
-	for _, t := range p.Tasks {
-		d.pendingFresh.PushBack(t)
+	if d.woken.Add(p) {
+		sc.env.Stats.DoubleWakeups++
+		sc.env.Stats.DoubleWakeupTasks += int64(len(p.Tasks))
+		return sc.probeBuf
 	}
-	sc.probeForTasks(d, p.Tasks)
+	fresh := sc.freshScratch[:0]
+	for _, t := range p.Tasks {
+		if t.State != cluster.TaskUnscheduled {
+			continue // already handed out or finished: nothing to queue
+		}
+		d.pendingFresh.PushBack(t)
+		fresh = append(fresh, t)
+	}
+	sc.freshScratch = fresh
+	sc.probeForTasks(d, fresh)
 	return sc.probeBuf
 }
 

@@ -15,6 +15,8 @@
 package scheduler
 
 import (
+	"fmt"
+
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/estimate"
 	"github.com/hopper-sim/hopper/internal/simulator"
@@ -131,13 +133,11 @@ type jobState struct {
 	// form of the per-dispatch phase rescan.
 	fresh int
 
-	// credited marks phases whose tasks were added to fresh, as a bitset
-	// over phase index (creditedBig for DAGs deeper than 64). The
-	// executor may fire OnPhaseRunnable more than once for a phase whose
-	// unlock was re-examined while its transfer-gated wakeup was in
-	// flight; the credit must happen exactly once.
-	credited    uint64
-	creditedBig map[*cluster.Phase]bool
+	// credited is a debug assertion, not a dedup guard: the executor
+	// delivers OnPhaseRunnable exactly once per phase (the cluster
+	// lifecycle guarantees it), so a second credit is always a bug and
+	// panics instead of silently corrupting demand accounting.
+	credited cluster.PhaseSet
 
 	// target and prio cache the Hopper engine's guideline allocation and
 	// DAG-aware priority for this job, rewritten by HopperEngine.refresh.
@@ -198,7 +198,6 @@ func (s *jobState) addWant(t *cluster.Task) bool {
 	s.wants.PushBack(t)
 	return true
 }
-
 
 // Base is the shared chassis. Engines embed it and set dispatch.
 type Base struct {
@@ -262,32 +261,19 @@ func newBase(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *Base {
 	return b
 }
 
-// onPhaseRunnable credits the job's fresh-demand counter with the phase's
-// (never yet scheduled) tasks — once per phase — and triggers a dispatch
-// pass.
+// onPhaseRunnable credits the job's fresh-demand counter with the
+// phase's (never yet scheduled) tasks and triggers a dispatch pass. The
+// credit happens exactly once because phase wakeup delivery is
+// exactly-once; the credited set asserts that contract.
 func (b *Base) onPhaseRunnable(p *cluster.Phase) {
-	if s := b.byID[p.Job.ID]; s != nil && !s.creditPhase(p) {
+	if s := b.byID[p.Job.ID]; s != nil {
+		if s.credited.Add(p) {
+			panic(fmt.Sprintf("scheduler: duplicate OnPhaseRunnable for job%d/phase%d — unlock lifecycle violated",
+				p.Job.ID, p.Index))
+		}
 		s.fresh += p.UnscheduledTasks()
 	}
 	b.requestDispatch()
-}
-
-// creditPhase marks p as credited, reporting whether it already was.
-func (s *jobState) creditPhase(p *cluster.Phase) (already bool) {
-	if p.Index < 64 {
-		bit := uint64(1) << p.Index
-		already = s.credited&bit != 0
-		s.credited |= bit
-		return already
-	}
-	if s.creditedBig[p] {
-		return true
-	}
-	if s.creditedBig == nil {
-		s.creditedBig = make(map[*cluster.Phase]bool)
-	}
-	s.creditedBig[p] = true
-	return false
 }
 
 // requestDispatch schedules a coalesced dispatch pass.

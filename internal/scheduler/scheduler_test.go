@@ -247,10 +247,12 @@ func mkChainJob(id cluster.JobID, phases, tasksPer int, mean, arrival float64) *
 // TestFreshCounterMatchesScan checks the incremental-state invariant of
 // DESIGN.md section 6 on every dispatch pass: the cached fresh-demand
 // counter must equal the phase-scan count. The generated workload
-// includes bushy DAGs with transfer-gated phase unlocks — the regime
-// where the executor can fire OnPhaseRunnable twice for one phase (a
-// sibling phase completes while the wakeup is in flight), which the
-// credit bitset must absorb.
+// includes bushy DAGs with transfer-gated phase unlocks — the regime in
+// which the pre-lifecycle executor double-fired OnPhaseRunnable (a
+// sibling phase completed while the wakeup was in flight). Delivery is
+// now exactly-once, and the chassis rejects rather than tolerates a
+// violation: a second credit panics (jobState.credited), so this test
+// doubles as an end-to-end exactly-once check.
 func TestFreshCounterMatchesScan(t *testing.T) {
 	prof := workload.Sparkify(workload.Facebook())
 	tr := workload.Generate(workload.Config{Profile: prof, NumJobs: 120, TargetUtilization: 0.8,
