@@ -114,6 +114,29 @@ func TestCheckedInBenchBaseline(t *testing.T) {
 	}
 }
 
+// TestTrajectoryIncludes100kTier pins the PR 5 convention: from
+// BENCH_PR5.json on, the full-tier trajectory carries the 100k-machine
+// decentralized-Hopper scenario (two orders of magnitude past the
+// paper's testbed). At least one checked-in file must have it.
+func TestTrajectoryIncludes100kTier(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
+	}
+	for _, file := range files {
+		rep, err := experiments.LoadBenchReport(file)
+		if err != nil {
+			continue // the per-file test reports parse failures
+		}
+		for _, s := range rep.Scenarios {
+			if s.Kind == "decentral-hopper" && s.Machines >= 100000 && s.Optimized.Decisions > 0 {
+				return
+			}
+		}
+	}
+	t.Fatal("no trajectory file carries the 100k-machine decentral-hopper tier (BENCH_PR5+ convention)")
+}
+
 // BenchmarkDispatchScaleSmoke tracks the smoke matrix under
 // `go test -bench`, surfacing the central-Hopper per-decision metrics
 // for quick local comparisons.

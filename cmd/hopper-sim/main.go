@@ -6,76 +6,125 @@
 //	hopper-sim -list
 //	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-v]
 //	hopper-sim -all
-//	hopper-sim -bench-scale full -bench-out BENCH_PR2.json
-//	hopper-sim -bench-scale smoke -bench-out new.json -bench-check BENCH_PR2.json
+//	hopper-sim -bench-scale full -bench-out BENCH_PR5.json
+//	hopper-sim -bench-scale smoke -bench-out new.json -bench-check BENCH_PR5.json
+//	hopper-sim -bench-scale full -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Each experiment prints the rows the corresponding paper figure reports;
 // EXPERIMENTS.md records expected shapes and paper-vs-measured values.
 // Simulation cells run on a worker pool (-workers, default GOMAXPROCS);
 // output is byte-identical whatever the parallelism — see DESIGN.md for
-// the determinism contract. -bench-scale replays the canonical
-// 10k-machine scenario matrix (smoke = 1k machines for CI) under the
-// optimized and frozen-reference dispatch implementations and reports ns
-// per scheduling decision, allocs per decision, and events/sec;
+// the determinism contract. -bench-scale replays the canonical scenario
+// matrix (smoke = 1k machines for CI; full adds the 10k tier and the
+// 100k-machine decentralized tier) under the optimized and
+// frozen-reference dispatch implementations and reports ns per
+// scheduling decision, allocs per decision, and events/sec;
 // -bench-check fails (exit 1) on a >20% ns/decision regression relative
-// to the ratios in the given baseline report (see DESIGN.md section 6).
+// to the ratios in the given baseline report, and -bench-summary
+// appends the comparison as a markdown table (CI publishes it as the
+// job summary). -cpuprofile/-memprofile capture pprof profiles of
+// whatever ran — bench-scale runs in particular, so a BENCH_*.json
+// claim can ship with the profile that explains it (see DESIGN.md
+// sections 6 and 8).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile teardown (deferred) survives the
+// error paths — os.Exit would skip it and truncate the profiles.
+func run() int {
 	var (
-		exp        = flag.String("experiment", "", "experiment ID to run (see -list)")
-		all        = flag.Bool("all", false, "run every experiment")
-		list       = flag.Bool("list", false, "list experiment IDs")
-		scale      = flag.Float64("scale", 1, "job-count scale factor")
-		seeds      = flag.Int("seeds", 3, "independent replays per data point")
-		workers    = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
-		verbose    = flag.Bool("v", false, "log per-run progress")
-		benchScale = flag.String("bench-scale", "", "run the scale benchmark suite: \"full\" (10k machines) or \"smoke\" (1k)")
-		benchOut   = flag.String("bench-out", "", "write the scale benchmark report to this JSON file (requires -bench-scale)")
-		benchCheck = flag.String("bench-check", "", "compare against this baseline BENCH_*.json and fail on >20% ns/decision regression (requires -bench-scale)")
+		exp          = flag.String("experiment", "", "experiment ID to run (see -list)")
+		all          = flag.Bool("all", false, "run every experiment")
+		list         = flag.Bool("list", false, "list experiment IDs")
+		scale        = flag.Float64("scale", 1, "job-count scale factor")
+		seeds        = flag.Int("seeds", 3, "independent replays per data point")
+		workers      = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+		verbose      = flag.Bool("v", false, "log per-run progress")
+		benchScale   = flag.String("bench-scale", "", "run the scale benchmark suite: \"full\" (1k+10k+100k machines) or \"smoke\" (1k)")
+		benchOut     = flag.String("bench-out", "", "write the scale benchmark report to this JSON file (requires -bench-scale)")
+		benchCheck   = flag.String("bench-check", "", "compare against this baseline BENCH_*.json and fail on >20% ns/decision regression (requires -bench-scale)")
+		benchSummary = flag.String("bench-summary", "", "append a markdown comparison table to this file (requires -bench-scale; CI points it at $GITHUB_STEP_SUMMARY)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file (covers the experiment or bench run)")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	if *benchScale == "" && (*benchOut != "" || *benchCheck != "") {
-		fmt.Fprintln(os.Stderr, "-bench-out/-bench-check require -bench-scale")
-		os.Exit(2)
+	if *benchScale == "" && (*benchOut != "" || *benchCheck != "" || *benchSummary != "") {
+		fmt.Fprintln(os.Stderr, "-bench-out/-bench-check/-bench-summary require -bench-scale")
+		return 2
 	}
 	if *benchScale != "" {
 		if *benchScale != "full" && *benchScale != "smoke" {
 			fmt.Fprintf(os.Stderr, "-bench-scale must be \"full\" or \"smoke\", got %q\n", *benchScale)
-			os.Exit(2)
+			return 2
 		}
-		runScaleBench(*benchScale == "smoke", *benchOut, *benchCheck)
-		return
+		return runScaleBench(*benchScale == "smoke", *benchOut, *benchCheck, *benchSummary)
 	}
 
 	if *seeds < 1 {
 		fmt.Fprintln(os.Stderr, "-seeds must be at least 1")
-		os.Exit(2)
+		return 2
 	}
 	if *scale <= 0 {
 		fmt.Fprintln(os.Stderr, "-scale must be positive")
-		os.Exit(2)
+		return 2
 	}
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "-workers must be >= 0 (0 = GOMAXPROCS, 1 = serial)")
-		os.Exit(2)
+		return 2
 	}
 
 	h := experiments.Harness{Scale: *scale, Seeds: *seeds, Workers: *workers}
@@ -95,7 +144,7 @@ func main() {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
 		res := e.Run(h)
@@ -103,33 +152,56 @@ func main() {
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-// runScaleBench executes the scale suite, persists the report, and
-// optionally enforces the regression gate against a baseline.
-func runScaleBench(smoke bool, out, check string) {
+// runScaleBench executes the scale suite, persists the report, renders
+// the optional markdown summary, and enforces the regression gate
+// against a baseline. The summary is written even when the gate fails —
+// a red PR should show the offending numbers, not hide them.
+func runScaleBench(smoke bool, out, check, summary string) int {
 	start := time.Now()
 	rep := experiments.RunScaleBench(smoke, os.Stderr)
 	fmt.Fprintf(os.Stderr, "(scale bench %s in %.1fs)\n", rep.Mode, time.Since(start).Seconds())
 	if out != "" {
 		if err := rep.WriteJSON(out); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-out:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(os.Stderr, "wrote", out)
 	}
+	var baseline *experiments.BenchReport
 	if check != "" {
-		baseline, err := experiments.LoadBenchReport(check)
+		var err error
+		baseline, err = experiments.LoadBenchReport(check)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench-check:", err)
-			os.Exit(1)
+			return 1
 		}
+	}
+	if summary != "" {
+		f, err := os.OpenFile(summary, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-summary:", err)
+			return 1
+		}
+		_, werr := f.WriteString(rep.SummaryTable(baseline, check) + "\n")
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "bench-summary:", werr)
+			return 1
+		}
+	}
+	if baseline != nil {
 		if err := rep.CheckAgainst(baseline, 0.2); err != nil {
 			fmt.Fprintln(os.Stderr, "bench-check FAILED:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(os.Stderr, "bench-check OK: speedups within 20% of", check)
 	}
+	return 0
 }

@@ -92,6 +92,14 @@ type Task struct {
 	// scheduler per simulation). It makes running-set removal O(1) without
 	// a side map. The cluster package never reads it.
 	SchedPos int
+
+	// SpecWanted is scheduler-owned scratch with the same single-owner
+	// contract as SchedPos: true while the task sits in its scheduler's
+	// speculation want-queue. A field instead of a per-job
+	// map[*Task]bool makes want-dedup a load instead of a hash lookup
+	// and removes the map allocation per job. The cluster package never
+	// reads it.
+	SpecWanted bool
 }
 
 // ID returns a human-readable identifier for logs and errors.

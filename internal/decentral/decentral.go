@@ -157,6 +157,12 @@ type System struct {
 
 	next int // round-robin scheduler assignment
 
+	// freeMsg heads the pooled-message free list. Every simulated
+	// protocol message is one recycled message object posted through the
+	// engine's PostArg path and drained by System.dispatch — no per-post
+	// closure, no per-message heap allocation once the pool is warm.
+	freeMsg *message
+
 	// Messages counts every protocol message sent (probes, responses,
 	// replies) — the overhead currency of Section 5.
 	Messages int64
@@ -164,6 +170,16 @@ type System struct {
 	// Message/round breakdown for diagnostics and the overhead tables.
 	Probes int64 // reservation requests sent
 	Offers int64 // worker->scheduler offers / task pulls
+
+	// ProbeEventsSaved counts engine events avoided by probe coalescing:
+	// one batch of probes emitted by a single core call is delivered as
+	// one event (all probes arrive at the same simulated instant and are
+	// processed in emission order — the engine's same-timestamp FIFO
+	// contract makes this indistinguishable from per-probe events), so a
+	// batch of n probes saves n-1 events. Message counters above are
+	// unaffected: coalescing is an engine-level optimization, not a
+	// protocol change.
+	ProbeEventsSaved int64
 
 	// Stats carries the core-side counters (RoundsStarted, RoundsPlaced,
 	// OccupancyLeaks), promoted so callers read them as System fields.
@@ -173,6 +189,120 @@ type System struct {
 	// order — the assignment log the sim-vs-live parity test compares.
 	// Observation only: it must not mutate cluster state.
 	OnPlace func(t *cluster.Task, m cluster.MachineID, spec bool)
+}
+
+// msgKind discriminates pooled message events.
+type msgKind uint8
+
+const (
+	// mProbeBatch: scheduler -> workers, one batch of reservation
+	// requests emitted by a single core call, delivered as one event and
+	// processed in emission order.
+	mProbeBatch msgKind = iota
+	// mOffer: worker -> scheduler offer or Sparrow task pull.
+	mOffer
+	// mReply: scheduler -> worker answer to an offer; reuses the offer's
+	// message object (round/entry context rides along).
+	mReply
+	// mPlacementFailed: worker -> scheduler occupancy rollback when the
+	// task finished while the accept was in flight.
+	mPlacementFailed
+)
+
+// message is one pooled simulated protocol message. The same object
+// makes the offer -> reply round trip; probe batches reuse the probes
+// slice across recycles.
+type message struct {
+	sys  *System
+	next *message // free-list link
+	kind msgKind
+
+	sched  *sched  // target (offer, placement-failed) or source (probes)
+	worker *worker // offering / reply-receiving worker
+
+	// Offer context, preserved for the reply leg.
+	job       cluster.JobID
+	refusable bool
+	getTask   bool
+	round     *protocol.Round
+	entry     protocol.EntryRef
+
+	rep    protocol.Reply   // reply payload (mReply)
+	probes []protocol.Probe // batch payload (mProbeBatch)
+}
+
+// getMsg pops a recycled message (or allocates the pool's next one).
+func (s *System) getMsg() *message {
+	if m := s.freeMsg; m != nil {
+		s.freeMsg = m.next
+		m.next = nil
+		return m
+	}
+	return &message{sys: s}
+}
+
+// putMsg scrubs pointer fields (so recycled messages pin nothing) and
+// returns the message to the pool. The probes slice keeps its capacity.
+func (s *System) putMsg(m *message) {
+	m.sched = nil
+	m.worker = nil
+	m.round = nil
+	m.entry = protocol.EntryRef{}
+	m.rep = protocol.Reply{}
+	m.probes = m.probes[:0]
+	m.next = s.freeMsg
+	s.freeMsg = m
+}
+
+// dispatchMessage is the single engine-facing dispatch entry point: a
+// package-level function, so posting it with a pooled message through
+// PostArg allocates nothing.
+func dispatchMessage(arg any) {
+	m := arg.(*message)
+	m.sys.dispatch(m)
+}
+
+// dispatch processes one delivered message and recycles it (the offer
+// leg re-posts the same object as its reply instead).
+func (s *System) dispatch(m *message) {
+	switch m.kind {
+	case mProbeBatch:
+		sid := protocol.SchedID(m.sched.id)
+		for i := range m.probes {
+			p := &m.probes[i]
+			w := s.workers[p.Worker]
+			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem))
+		}
+		s.putMsg(m)
+	case mOffer:
+		sc := m.sched
+		if m.getTask {
+			m.rep = sc.core.HandleGetTask(m.job, m.worker.id)
+		} else {
+			m.rep = sc.core.HandleOffer(m.job, m.worker.id, m.refusable)
+		}
+		// The reply rides the same message object back to the worker.
+		m.kind = mReply
+		s.Messages++
+		s.Eng.PostAfterArg(s.Cfg.MsgLatency, dispatchMessage, m)
+	case mReply:
+		w := m.worker
+		e := m.entry
+		if e.IsZero() {
+			// Non-refusable offer to a job the worker may hold no
+			// reservation for: resolve at delivery time.
+			e = w.core.EntryFor(protocol.SchedID(m.sched.id), m.job)
+		}
+		if m.getTask {
+			w.exec(w.core.OnSparrowReply(m.round, e, m.rep))
+		} else {
+			w.exec(w.core.OnHopperReply(m.round, e, m.rep))
+		}
+		s.putMsg(m)
+	case mPlacementFailed:
+		m.sched.core.PlacementFailed(m.job)
+		s.putMsg(m)
+	}
 }
 
 // New builds a decentralized system over the executor's machines.
@@ -240,10 +370,10 @@ func (s *System) onSlotFree(m cluster.MachineID) {
 	w.exec(w.core.Kick())
 }
 
-// toScheduler delivers fn at the scheduler after network latency and the
-// scheduler's serial processing queue — the cost model for message
-// overhead.
-func (s *System) toScheduler(sc *sched, fn func()) {
+// toScheduler delivers a pooled message at its target scheduler after
+// network latency and the scheduler's serial processing queue — the cost
+// model for message overhead.
+func (s *System) toScheduler(sc *sched, m *message) {
 	s.Messages++
 	s.Offers++
 	arrive := s.Eng.Now() + s.Cfg.MsgLatency
@@ -253,11 +383,5 @@ func (s *System) toScheduler(sc *sched, fn func()) {
 	}
 	handle += s.Cfg.ProcDelay
 	sc.busyUntil = handle
-	s.Eng.Post(handle, fn)
-}
-
-// toWorker delivers fn at the worker after network latency.
-func (s *System) toWorker(fn func()) {
-	s.Messages++
-	s.Eng.PostAfter(s.Cfg.MsgLatency, fn)
+	s.Eng.PostArg(handle, dispatchMessage, m)
 }

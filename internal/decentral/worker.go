@@ -8,14 +8,15 @@ import (
 
 // worker is the simulator adapter around one protocol.Worker core: it
 // binds the core to the executor's slot accounting, realizes offer
-// actions as simulated messages (scheduler processing delay included),
-// and maps retry actions onto engine events.
+// actions as pooled simulated messages (scheduler processing delay
+// included), and maps retry actions onto engine events.
 type worker struct {
 	sys  *System
 	id   cluster.MachineID
 	core *protocol.Worker
 
 	retryEv *simulator.Event
+	retryFn func() // bound once; rearming allocates only the handle
 }
 
 func newWorker(sys *System, id cluster.MachineID, pcfg protocol.Config) *worker {
@@ -27,6 +28,10 @@ func newWorker(sys *System, id cluster.MachineID, pcfg protocol.Config) *worker 
 		Place:     w.place,
 		Stats:     &sys.Stats,
 	})
+	w.retryFn = func() {
+		w.retryEv = nil
+		w.exec(w.core.RetryFired())
+	}
 	return w
 }
 
@@ -38,8 +43,11 @@ func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 	t := rep.Task
 	sc := w.sys.scheds[from]
 	if t.State == cluster.TaskDone {
-		jobID := t.Job.ID
-		w.sys.toScheduler(sc, func() { sc.core.PlacementFailed(jobID) })
+		m := w.sys.getMsg()
+		m.kind = mPlacementFailed
+		m.sched = sc
+		m.job = t.Job.ID
+		w.sys.toScheduler(sc, m)
 		return false
 	}
 	w.sys.Exec.PlaceOn(t, w.id, rep.Spec)
@@ -49,44 +57,27 @@ func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 	return true
 }
 
-// exec realizes a core action list: offers become simulated messages
-// whose replies are routed back to the issuing round, retry arms become
-// engine events.
+// exec realizes a core action list: offers become pooled messages whose
+// replies are routed back to the issuing round (the reply reuses the
+// offer's message object), retry arms become engine events.
 func (w *worker) exec(acts []protocol.WAction) {
 	for i := range acts {
 		a := acts[i]
 		switch a.Kind {
 		case protocol.WSendOffer:
 			sc := w.sys.scheds[a.Sched]
-			round, entry := a.Round, a.Entry
-			jobID, refusable, getTask := a.Job, a.Refusable, a.GetTask
-			sid := a.Sched
-			w.sys.toScheduler(sc, func() {
-				var rep protocol.Reply
-				if getTask {
-					rep = sc.core.HandleGetTask(jobID, w.id)
-				} else {
-					rep = sc.core.HandleOffer(jobID, w.id, refusable)
-				}
-				w.sys.toWorker(func() {
-					e := entry
-					if e == nil {
-						// Non-refusable offer to a job the worker may hold
-						// no reservation for: resolve at delivery time.
-						e = w.core.EntryFor(sid, jobID)
-					}
-					if getTask {
-						w.exec(w.core.OnSparrowReply(round, e, rep))
-					} else {
-						w.exec(w.core.OnHopperReply(round, e, rep))
-					}
-				})
-			})
+			m := w.sys.getMsg()
+			m.kind = mOffer
+			m.sched = sc
+			m.worker = w
+			m.job = a.Job
+			m.refusable = a.Refusable
+			m.getTask = a.GetTask
+			m.round = a.Round
+			m.entry = a.Entry
+			w.sys.toScheduler(sc, m)
 		case protocol.WArmRetry:
-			w.retryEv = w.sys.Eng.After(a.Delay, func() {
-				w.retryEv = nil
-				w.exec(w.core.RetryFired())
-			})
+			w.retryEv = w.sys.Eng.After(a.Delay, w.retryFn)
 		case protocol.WCancelRetry:
 			if w.retryEv != nil {
 				w.retryEv.Cancel()

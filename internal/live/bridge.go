@@ -92,12 +92,13 @@ func replyFromWire(m wire.Message, from protocol.SchedID) (rep protocol.Reply, s
 }
 
 // pendingOffer is the worker-side context of one in-flight offer: the
-// round the reply resumes and the reservation entry captured at send
-// time (nil when the entry must be resolved at delivery — non-refusable
-// offers may target jobs the worker holds no reservation for).
+// round the reply resumes and a generation-stamped ref to the
+// reservation entry captured at send time (zero when the entry must be
+// resolved at delivery — non-refusable offers may target jobs the
+// worker holds no reservation for).
 type pendingOffer struct {
 	round   *protocol.Round
-	entry   *protocol.Entry
+	entry   protocol.EntryRef
 	sched   protocol.SchedID
 	job     cluster.JobID
 	getTask bool

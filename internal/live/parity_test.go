@@ -380,7 +380,7 @@ func (w *wsWorker) exec(acts []protocol.WAction) {
 						panic("stale reply in deterministic harness")
 					}
 					e := po.entry
-					if e == nil {
+					if e.IsZero() {
 						e = w.core.EntryFor(po.sched, po.job)
 					}
 					if rep2.HasTask {

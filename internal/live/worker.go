@@ -304,7 +304,7 @@ type internalEvent struct{ fn func() }
 // deferredReply is a locally synthesized scheduler reply.
 type deferredReply struct {
 	round   *protocol.Round
-	entry   *protocol.Entry
+	entry   protocol.EntryRef
 	rep     protocol.Reply
 	getTask bool
 }
@@ -368,7 +368,7 @@ func (w *Worker) onReply(from *peer, m wire.Message) {
 		return // stale reply; the round is gone
 	}
 	e := po.entry
-	if e == nil {
+	if e.IsZero() {
 		e = w.core.EntryFor(po.sched, po.job)
 	}
 	if a, isAssign := m.(*wire.Assign); isAssign {

@@ -1,0 +1,75 @@
+package protocol
+
+import (
+	"testing"
+)
+
+// Steady-state allocation pins for the protocol hot paths. The PR 5
+// overhaul (pooled entries/rounds/messages, dense queue layouts,
+// Task-side want flags) makes a warmed core allocation-free per
+// protocol round; these tests freeze that property so a regression
+// shows up as a unit-test failure, not a slow drift in the BENCH_*
+// trajectory. testing.AllocsPerRun reports the average over many runs,
+// so an amortized pool growth inside the measured window would surface
+// as a fractional count — the pin is exactly 0.
+
+// TestWorkerReservationRoundZeroAllocs drives the full worker-side
+// reservation lifecycle — probe arrival, negotiation round start,
+// offer emission, reply processing, entry purge-and-recycle — and pins
+// it at zero allocations once the entry/round pools are warm.
+func TestWorkerReservationRoundZeroAllocs(t *testing.T) {
+	h := newHarness(t, ModeHopper, 1)
+	j := mkJob(60, 4, 1.0)
+	h.sc.Admit(j)
+
+	cycle := func() {
+		acts := h.w.AddReservation(0, j.ID, 5.0, 4)
+		if len(acts) != 1 || acts[0].Kind != WSendOffer {
+			t.Fatalf("unexpected action list: %+v", acts)
+		}
+		a := acts[0]
+		// JobDone reply: purges the entry (tombstone + eventual
+		// compaction into the free list) and ends the round (recycled).
+		h.w.OnHopperReply(a.Round, a.Entry, Reply{Job: a.Job, From: a.Sched, JobDone: true})
+	}
+	// Warm the pools and every reusable buffer, including at least one
+	// queue compaction (compactDead purges).
+	for i := 0; i < 4*compactDead; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("worker reservation round allocates %.2f/op in steady state, want 0", avg)
+	}
+	if h.w.activeRounds != 0 {
+		t.Fatalf("activeRounds leaked: %d", h.w.activeRounds)
+	}
+}
+
+// TestSchedProbeRoundZeroAllocs pins the scheduler-side steady state:
+// a reservation refresh (probe generation with locality targets and
+// random fill) plus a refused offer (effVS, smallest-unsatisfied scan,
+// ordering metadata) allocate nothing once scratch buffers are warm.
+func TestSchedProbeRoundZeroAllocs(t *testing.T) {
+	h := newHarness(t, ModeHopper, 2)
+	j := mkJob(61, 8, 1.0)
+	h.sc.Admit(j)
+	h.sc.PhaseRunnable(j.Phases[0])
+	// Saturate occupancy so refusable offers take the refusal path and
+	// the cycle leaves the scheduler state untouched.
+	h.sc.jobs[j.ID].occupied = 1000
+
+	cycle := func() {
+		if probes := h.sc.ReprobeStalled(); len(probes) == 0 {
+			t.Fatal("no probes for a job with pending fresh tasks")
+		}
+		if rep := h.sc.HandleOffer(j.ID, 1, true); !rep.Refused {
+			t.Fatalf("saturated job did not refuse: %+v", rep)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("sched probe round allocates %.2f/op in steady state, want 0", avg)
+	}
+}

@@ -220,10 +220,11 @@ type WActionKind uint8
 const (
 	// WSendOffer: transmit an offer (Hopper) or task pull (Sparrow) to
 	// Sched for Job. Round is the negotiation the eventual reply belongs
-	// to; Entry is the reservation entry captured at send time, or nil
-	// when the reply handler must look the entry up at delivery time
-	// (the non-refusable smallest-unsatisfied offer targets a job the
-	// worker may hold no reservation for).
+	// to; Entry is a generation-stamped ref to the reservation entry
+	// captured at send time, or the zero ref when the reply handler must
+	// look the entry up at delivery time (the non-refusable
+	// smallest-unsatisfied offer targets a job the worker may hold no
+	// reservation for).
 	WSendOffer WActionKind = iota
 	// WArmRetry: schedule a Kick after Delay on the adapter's clock.
 	WArmRetry
@@ -239,6 +240,6 @@ type WAction struct {
 	Refusable bool
 	GetTask   bool // Sparrow pull instead of a Hopper offer
 	Round     *Round
-	Entry     *Entry
+	Entry     EntryRef
 	Delay     float64
 }

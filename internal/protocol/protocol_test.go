@@ -86,7 +86,7 @@ func TestAddReservationEmitsOffer(t *testing.T) {
 	for _, a := range acts {
 		if a.Kind == WSendOffer {
 			offers++
-			if !a.Refusable || a.GetTask || a.Round == nil || a.Entry == nil {
+			if !a.Refusable || a.GetTask || a.Round == nil || a.Entry.IsZero() {
 				t.Fatalf("malformed Hopper offer action: %+v", a)
 			}
 			if a.Sched != 0 || a.Job != j.ID {
@@ -108,22 +108,58 @@ func TestPurgeRemovesEntry(t *testing.T) {
 	h.sc.Admit(j)
 	h.w.AddReservation(0, j.ID, 3.0, 2)
 
-	if len(h.w.entries) != len(h.w.index) {
-		t.Fatalf("index (%d) and queue (%d) diverge", len(h.w.index), len(h.w.entries))
+	if h.w.liveEntries() != 1 {
+		t.Fatalf("liveEntries = %d, want 1", h.w.liveEntries())
+	}
+	ref := h.w.EntryFor(0, j.ID)
+	if ref.IsZero() {
+		t.Fatal("EntryFor missed a live entry")
 	}
 	for _, e := range append([]*Entry(nil), h.w.entries...) {
 		h.w.purge(e)
 	}
-	if len(h.w.entries) != 0 || len(h.w.index) != 0 {
+	if h.w.liveEntries() != 0 || !h.w.EntryFor(0, j.ID).IsZero() {
 		t.Fatal("purge left residue")
+	}
+	if ref.live() != nil {
+		t.Fatal("pre-purge ref still resolves; generation not bumped")
+	}
+}
+
+func TestEntryPoolRecyclesWithFreshGeneration(t *testing.T) {
+	h := newHarness(t, ModeHopper, 0) // no slots: reservations queue quietly
+	j := mkJob(3, 2, 1.0)
+	h.sc.Admit(j)
+
+	h.w.AddReservation(0, j.ID, 3.0, 2)
+	old := h.w.EntryFor(0, j.ID)
+	h.w.purge(old.live())
+	h.w.compact() // force the recycle regardless of thresholds
+
+	// The recycled object must come back as a logically fresh entry: new
+	// generation (stale refs and tried marks cannot match), new seq.
+	h.w.AddReservation(0, j.ID, 9.0, 1)
+	fresh := h.w.EntryFor(0, j.ID)
+	if fresh.IsZero() {
+		t.Fatal("no entry after re-reservation")
+	}
+	if old.live() != nil {
+		t.Fatal("stale ref resolves against the recycled entry")
+	}
+	e := fresh.live()
+	if e.vs != 9.0 || e.count != 1 || e.remTasks != 1 {
+		t.Fatalf("recycled entry kept stale fields: %+v", e)
+	}
+	r := &Round{w: h.w, tried: []triedRef{{e: e, gen: e.gen - 1}}}
+	if r.wasTried(e) {
+		t.Fatal("tried mark from a previous generation matched")
 	}
 }
 
 func TestCooldownSkipsEntries(t *testing.T) {
 	h := newHarness(t, ModeHopper, 2)
-	e := &Entry{Sched: 0, Job: 3, count: 1, vs: 2}
-	h.w.entries = append(h.w.entries, e)
-	h.w.index[entryKey{0, 3}] = e
+	e := h.w.newEntry(0, 3)
+	e.count, e.vs = 1, 2
 
 	e.coolTill = h.clk.now + 10
 	if h.w.hasOfferableWork() {
@@ -145,9 +181,8 @@ func TestCooldownSkipsEntries(t *testing.T) {
 func TestPickMinVSOrdersByVirtualSize(t *testing.T) {
 	h := newHarness(t, ModeHopper, 2)
 	for i, vs := range []float64{9, 3, 6} {
-		e := &Entry{Sched: 0, Job: cluster.JobID(10 + i), count: 1, vs: vs, seq: int64(i)}
-		h.w.entries = append(h.w.entries, e)
-		h.w.index[entryKey{0, e.Job}] = e
+		e := h.w.newEntry(0, cluster.JobID(10+i))
+		e.count, e.vs = 1, vs
 	}
 	r := &Round{w: h.w}
 	first := r.pickMinVS()
@@ -170,9 +205,9 @@ func TestPickSparrowFIFOAndSRPT(t *testing.T) {
 			seq int64
 		}{{10, 0}, {2, 1}}
 		for i, spec := range specs {
-			e := &Entry{Sched: 0, Job: cluster.JobID(20 + i), count: 1, remTasks: spec.rem, seq: spec.seq}
-			h.w.entries = append(h.w.entries, e)
-			h.w.index[entryKey{0, e.Job}] = e
+			e := h.w.newEntry(0, cluster.JobID(20+i))
+			e.count, e.remTasks = 1, spec.rem
+			e.seq = spec.seq
 		}
 		r := &Round{w: h.w}
 		got := r.pickSparrow()
@@ -256,9 +291,8 @@ func TestRetryBackoffDoublesAndResets(t *testing.T) {
 	h := newHarness(t, ModeHopper, 1)
 	// An entry that is cooling: kick finds reservations but nothing
 	// offerable, so it arms a retry with the current backoff.
-	e := &Entry{Sched: 0, Job: 7, count: 1, vs: 2, coolTill: 100}
-	h.w.entries = append(h.w.entries, e)
-	h.w.index[entryKey{0, 7}] = e
+	e := h.w.newEntry(0, 7)
+	e.count, e.vs, e.coolTill = 1, 2, 100
 
 	delays := []float64{}
 	for i := 0; i < 4; i++ {
@@ -283,7 +317,7 @@ func TestRetryBackoffDoublesAndResets(t *testing.T) {
 	h.w.backoff = cfg.RetryBackoffMax
 	h.w.activeRounds = 1
 	h.w.begin()
-	h.w.endRound(true)
+	h.w.endRound(h.w.newRound(), true)
 	reArmed := false
 	for _, a := range h.w.acts {
 		if a.Kind == WArmRetry {

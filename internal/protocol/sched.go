@@ -39,13 +39,18 @@ type SchedEnv struct {
 type dJob struct {
 	job *cluster.Job
 
+	// pos is the job's slot in Sched.jobList; JobDone nil-tombstones it
+	// there and the list compacts amortized (order preserved).
+	pos int
+
 	// pendingFresh holds launchable, not-yet-handed-out original tasks of
 	// runnable phases, in phase order.
 	pendingFresh cluster.TaskDeque
 
-	// wants is the speculation queue (tasks to duplicate).
-	wants   cluster.TaskDeque
-	wantSet map[*cluster.Task]bool
+	// wants is the speculation queue (tasks to duplicate); membership is
+	// the Task.SpecWanted scratch flag (single scheduler owns each task),
+	// replacing the per-job map[*Task]bool.
+	wants cluster.TaskDeque
 
 	// running tracks tasks with live copies, for the straggler monitor
 	// (cluster.RunningSet: O(1) tombstone removal, live order = hand-out
@@ -79,7 +84,7 @@ func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool
 	}
 	for d.wants.Len() > 0 {
 		t := d.wants.PopFront()
-		delete(d.wantSet, t)
+		t.SpecWanted = false
 		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
 			return t, true
 		}
@@ -88,10 +93,10 @@ func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool
 }
 
 func (d *dJob) addWant(t *cluster.Task) bool {
-	if d.wantSet[t] {
+	if t.SpecWanted {
 		return false
 	}
-	d.wantSet[t] = true
+	t.SpecWanted = true
 	d.wants.PushBack(t)
 	return true
 }
@@ -106,8 +111,16 @@ type Sched struct {
 	env SchedEnv
 	id  SchedID
 
-	jobs    map[cluster.JobID]*dJob
-	jobList []*dJob
+	jobs map[cluster.JobID]*dJob
+
+	// jobList holds owned jobs in admission order; JobDone nil-tombstones
+	// a slot (O(1) via dJob.pos) and the list compacts once tombstones
+	// dominate, replacing the per-completion middle-splice. liveJobs is
+	// the tombstone-free count (the old len(jobList)), which the fairness
+	// floor and HasJobs read.
+	jobList  []*dJob
+	liveJobs int
+	deadJobs int
 
 	mon   *speculation.Monitor
 	beta  *stats.TailEstimator
@@ -142,7 +155,7 @@ func (sc *Sched) ID() SchedID { return sc.id }
 
 // HasJobs reports whether any admitted job is still active — the
 // adapter's condition for keeping the speculation ticker armed.
-func (sc *Sched) HasJobs() bool { return len(sc.jobList) > 0 }
+func (sc *Sched) HasJobs() bool { return sc.liveJobs > 0 }
 
 // NeedsTicker reports whether the configuration calls for a periodic
 // speculation scan at all.
@@ -158,7 +171,7 @@ func (sc *Sched) effVS(d *dJob) float64 {
 	alpha, _ := sc.alpha.Evaluate(d.job, beta)
 	v := core.VirtualSize(d.job.RemainingCurrentTasks(), beta, alpha)
 	if sc.cfg.Mode == ModeHopper && !sc.cfg.FairnessOff {
-		n := len(sc.jobList) * sc.cfg.NumSchedulers
+		n := sc.liveJobs * sc.cfg.NumSchedulers
 		if n > 0 {
 			floor := (1 - sc.cfg.Epsilon) * float64(sc.env.TotalSlots()) / float64(n)
 			if floor > v {
@@ -185,9 +198,10 @@ func (sc *Sched) orderVS(d *dJob) float64 {
 
 // Admit registers a job with this scheduler.
 func (sc *Sched) Admit(j *cluster.Job) {
-	d := &dJob{job: j, wantSet: make(map[*cluster.Task]bool)}
+	d := &dJob{job: j, pos: len(sc.jobList)}
 	sc.jobs[j.ID] = d
 	sc.jobList = append(sc.jobList, d)
+	sc.liveJobs++
 }
 
 // PhaseRunnable queues the phase's never-scheduled tasks and returns
@@ -274,6 +288,9 @@ func (sc *Sched) ScanSpec() []Probe {
 	sc.probeBuf = sc.probeBuf[:0]
 	now := sc.env.Now()
 	for _, d := range sc.jobList {
+		if d == nil {
+			continue
+		}
 		fresh := sc.freshScratch[:0]
 		sc.candScratch = sc.mon.CandidatesInto(now, d.running.Tasks(), -1, sc.candScratch)
 		for _, t := range sc.candScratch {
@@ -299,7 +316,7 @@ func (sc *Sched) ScanSpec() []Probe {
 func (sc *Sched) ReprobeStalled() []Probe {
 	sc.probeBuf = sc.probeBuf[:0]
 	for _, d := range sc.jobList {
-		if d.pendingFresh.Len() == 0 {
+		if d == nil || d.pendingFresh.Len() == 0 {
 			continue
 		}
 		sc.reqScratch = append(sc.reqScratch[:0], d.pendingFresh.At(0))
@@ -319,8 +336,8 @@ func (sc *Sched) TaskDone(t *cluster.Task, winner *cluster.Copy) {
 	}
 	d.occupied -= len(t.Copies)
 	d.running.Remove(t)
-	if d.wantSet[t] {
-		delete(d.wantSet, t)
+	if t.SpecWanted {
+		t.SpecWanted = false
 		d.wants.Remove(t)
 	}
 }
@@ -337,12 +354,31 @@ func (sc *Sched) JobDone(j *cluster.Job) {
 		sc.env.Stats.OccupancyLeaks++
 	}
 	delete(sc.jobs, j.ID)
-	for i, dd := range sc.jobList {
-		if dd == d {
-			sc.jobList = append(sc.jobList[:i], sc.jobList[i+1:]...)
-			break
+	if d.pos < len(sc.jobList) && sc.jobList[d.pos] == d {
+		sc.jobList[d.pos] = nil
+		sc.liveJobs--
+		sc.deadJobs++
+		if sc.deadJobs >= compactDead && sc.deadJobs*2 > len(sc.jobList) {
+			sc.compactJobs()
 		}
 	}
+}
+
+// compactJobs squeezes tombstones out of jobList, preserving admission
+// order and refreshing each survivor's pos.
+func (sc *Sched) compactJobs() {
+	live := sc.jobList[:0]
+	for _, d := range sc.jobList {
+		if d != nil {
+			d.pos = len(live)
+			live = append(live, d)
+		}
+	}
+	for i := len(live); i < len(sc.jobList); i++ {
+		sc.jobList[i] = nil
+	}
+	sc.jobList = live
+	sc.deadJobs = 0
 }
 
 // smallestUnsatisfied fills the reply's unsat fields with this
@@ -351,7 +387,7 @@ func (sc *Sched) JobDone(j *cluster.Job) {
 // (Pseudocode 2).
 func (sc *Sched) smallestUnsatisfied(rep *Reply) {
 	for _, d := range sc.jobList {
-		if d.demand() == 0 {
+		if d == nil || d.demand() == 0 {
 			continue
 		}
 		if float64(d.occupied) >= sc.effVS(d) {
@@ -497,7 +533,9 @@ func (sc *Sched) Occupied(id cluster.JobID) int {
 // admission order, appended to dst.
 func (sc *Sched) ActiveJobs(dst []cluster.JobID) []cluster.JobID {
 	for _, d := range sc.jobList {
-		dst = append(dst, d.job.ID)
+		if d != nil {
+			dst = append(dst, d.job.ID)
+		}
 	}
 	return dst
 }

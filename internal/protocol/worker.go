@@ -33,7 +33,10 @@ type WorkerEnv struct {
 }
 
 // Entry aggregates a worker's queued reservations for one (scheduler,
-// job) pair, with the latest piggybacked ordering metadata.
+// job) pair, with the latest piggybacked ordering metadata. Entries are
+// pooled: a purged entry is tombstoned in place (dead), its generation
+// bumped to invalidate outstanding EntryRefs, and recycled through the
+// worker's free list at the next queue compaction.
 type Entry struct {
 	Sched    SchedID
 	Job      cluster.JobID
@@ -42,12 +45,53 @@ type Entry struct {
 	remTasks int     // latest known remaining tasks (Sparrow-SRPT ordering)
 	seq      int64   // arrival order (Sparrow FIFO)
 	coolTill float64 // skip offers until then (recently refused/drained)
+
+	// dead marks a purged entry awaiting compaction; every scan skips it.
+	dead bool
+	// gen counts purges of this pooled object. An EntryRef or tried mark
+	// taken before the purge carries the old generation and resolves to
+	// nil/untried afterwards — exactly the semantics the old map-backed
+	// queue had for detached entries, without blocking recycling.
+	gen uint32
 }
 
-type entryKey struct {
-	sched SchedID
-	job   cluster.JobID
+// EntryRef is a generation-stamped reference to a pooled Entry, captured
+// when an offer is sent and resolved when its reply arrives. A ref taken
+// before the entry was purged (job finished, scheduler dropped) resolves
+// to nil, just as a detached map entry was inert before pooling. The
+// zero EntryRef is the explicit "no entry captured" value (non-refusable
+// offers may target jobs the worker holds no reservation for).
+type EntryRef struct {
+	e   *Entry
+	gen uint32
 }
+
+// IsZero reports whether the ref was captured without an entry.
+func (r EntryRef) IsZero() bool { return r.e == nil }
+
+// live resolves the ref against the entry's current generation.
+func (r EntryRef) live() *Entry {
+	if r.e != nil && !r.e.dead && r.e.gen == r.gen {
+		return r.e
+	}
+	return nil
+}
+
+// refOf stamps a live entry.
+func refOf(e *Entry) EntryRef { return EntryRef{e: e, gen: e.gen} }
+
+// triedRef is a round-local tried mark; the generation keeps a recycled
+// entry (same pointer, new reservation) from inheriting the mark.
+type triedRef struct {
+	e   *Entry
+	gen uint32
+}
+
+// compactDead is the tombstone threshold: the entry queue is compacted
+// (dead entries recycled to the free list, live order preserved) once
+// dead entries are both numerous and the majority, keeping every scan
+// O(live) amortized without the per-purge middle-splice.
+const compactDead = 16
 
 // Worker is one machine's protocol core: it owns the reservation queue
 // and implements the late-binding pull protocol — Pseudocode 3 in Hopper
@@ -59,8 +103,15 @@ type Worker struct {
 	env WorkerEnv
 	id  cluster.MachineID
 
-	entries []*Entry
-	index   map[entryKey]*Entry
+	// entries holds live and dead-tombstoned reservation entries in
+	// arrival order. The queue is small (one entry per (scheduler, job)
+	// pair with outstanding reservations here), so lookups are linear
+	// scans over the same cache lines every pick already walks — the old
+	// map index paid hashing and maintenance for no asymptotic gain.
+	entries     []*Entry
+	deadEntries int
+	freeEntries []*Entry
+	freeRounds  []*Round
 
 	activeRounds int
 	backoff      float64
@@ -82,7 +133,6 @@ func NewWorker(id cluster.MachineID, cfg Config, env WorkerEnv) *Worker {
 		cfg:     cfg,
 		env:     env,
 		id:      id,
-		index:   make(map[entryKey]*Entry),
 		backoff: cfg.RetryBackoffMin,
 	}
 }
@@ -90,11 +140,44 @@ func NewWorker(id cluster.MachineID, cfg Config, env WorkerEnv) *Worker {
 // ID returns the worker's machine identity.
 func (w *Worker) ID() cluster.MachineID { return w.id }
 
-// EntryFor returns the reservation entry for a (scheduler, job) pair, or
-// nil. Adapters use it to resolve replies to offers that were sent
-// without a captured entry (see WSendOffer).
-func (w *Worker) EntryFor(sched SchedID, job cluster.JobID) *Entry {
-	return w.index[entryKey{sched, job}]
+// find returns the live entry for a (scheduler, job) pair, or nil.
+func (w *Worker) find(sched SchedID, job cluster.JobID) *Entry {
+	for _, e := range w.entries {
+		if !e.dead && e.Sched == sched && e.Job == job {
+			return e
+		}
+	}
+	return nil
+}
+
+// EntryFor returns a stamped ref to the reservation entry for a
+// (scheduler, job) pair, or the zero ref. Adapters use it to resolve
+// replies to offers that were sent without a captured entry (see
+// WSendOffer).
+func (w *Worker) EntryFor(sched SchedID, job cluster.JobID) EntryRef {
+	if e := w.find(sched, job); e != nil {
+		return refOf(e)
+	}
+	return EntryRef{}
+}
+
+// newEntry appends a fresh entry for the pair, recycling from the free
+// list when possible.
+func (w *Worker) newEntry(sched SchedID, job cluster.JobID) *Entry {
+	var e *Entry
+	if n := len(w.freeEntries); n > 0 {
+		e = w.freeEntries[n-1]
+		w.freeEntries[n-1] = nil
+		w.freeEntries = w.freeEntries[:n-1]
+		*e = Entry{gen: e.gen} // generation survives recycling
+	} else {
+		e = &Entry{}
+	}
+	e.Sched, e.Job = sched, job
+	e.seq = w.seqCounter
+	w.seqCounter++
+	w.entries = append(w.entries, e)
+	return e
 }
 
 // begin resets the action buffer at each top-level core entry point.
@@ -104,13 +187,9 @@ func (w *Worker) begin() { w.acts = w.acts[:0] }
 // and returns the actions to execute.
 func (w *Worker) AddReservation(sched SchedID, job cluster.JobID, vs float64, remTasks int) []WAction {
 	w.begin()
-	k := entryKey{sched, job}
-	e := w.index[k]
+	e := w.find(sched, job)
 	if e == nil {
-		e = &Entry{Sched: sched, Job: job, seq: w.seqCounter}
-		w.seqCounter++
-		w.index[k] = e
-		w.entries = append(w.entries, e)
+		e = w.newEntry(sched, job)
 	}
 	e.count++
 	e.vs = vs
@@ -146,29 +225,53 @@ func (w *Worker) RetryFired() []WAction {
 // must additionally be resolved by the adapter (synthesized JobDone
 // replies), or their activeRounds slots leak.
 func (w *Worker) DropSched(sched SchedID) {
-	for i := 0; i < len(w.entries); {
-		if w.entries[i].Sched == sched {
-			delete(w.index, entryKey{sched, w.entries[i].Job})
-			w.entries = append(w.entries[:i], w.entries[i+1:]...)
-		} else {
-			i++
+	for _, e := range w.entries {
+		if !e.dead && e.Sched == sched {
+			e.dead = true
+			e.gen++
+			w.deadEntries++
 		}
+	}
+	w.compact()
+}
+
+// purge tombstones an entry; the queue compacts once dead entries
+// dominate. Order of the live entries is preserved throughout. A stale
+// purge (an in-flight reply for an entry already purged) is a no-op.
+func (w *Worker) purge(e *Entry) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	e.gen++ // invalidate outstanding refs and tried marks
+	w.deadEntries++
+	if w.deadEntries >= compactDead && w.deadEntries*2 > len(w.entries) {
+		w.compact()
 	}
 }
 
-func (w *Worker) purge(e *Entry) {
-	// Guarded delete: a stale purge (reply for an entry DropSched already
-	// removed) must not evict a fresh entry that reused the key.
-	if k := (entryKey{e.Sched, e.Job}); w.index[k] == e {
-		delete(w.index, k)
-	}
-	for i, x := range w.entries {
-		if x == e {
-			w.entries = append(w.entries[:i], w.entries[i+1:]...)
-			return
+// compact squeezes dead entries out of the queue, preserving live order,
+// and recycles them to the free list. Pointers stay valid — only slots
+// move — so round-held refs survive; the bumped generations already made
+// them resolve to nil.
+func (w *Worker) compact() {
+	live := w.entries[:0]
+	for _, e := range w.entries {
+		if e.dead {
+			w.freeEntries = append(w.freeEntries, e)
+		} else {
+			live = append(live, e)
 		}
 	}
+	for i := len(live); i < len(w.entries); i++ {
+		w.entries[i] = nil
+	}
+	w.entries = live
+	w.deadEntries = 0
 }
+
+// liveEntries counts non-tombstoned entries (tests and diagnostics).
+func (w *Worker) liveEntries() int { return len(w.entries) - w.deadEntries }
 
 // maxConcurrentRounds caps in-flight negotiations per worker: when a
 // round places a task it immediately starts the next, so throughput is
@@ -192,7 +295,7 @@ func (w *Worker) freeForRounds() int {
 func (w *Worker) hasOfferableWork() bool {
 	now := w.env.Now()
 	for _, e := range w.entries {
-		if e.count > 0 && e.coolTill <= now {
+		if !e.dead && e.count > 0 && e.coolTill <= now {
 			return true
 		}
 	}
@@ -203,11 +306,31 @@ func (w *Worker) hasOfferableWork() bool {
 // retry is worth arming (a cooling queue may become offerable later).
 func (w *Worker) hasAnyReservations() bool {
 	for _, e := range w.entries {
-		if e.count > 0 {
+		if !e.dead && e.count > 0 {
 			return true
 		}
 	}
 	return false
+}
+
+// newRound pops a recycled round (or builds one); fields are reset here
+// so endRound can push rounds back without scrubbing them.
+func (w *Worker) newRound() *Round {
+	if n := len(w.freeRounds); n > 0 {
+		r := w.freeRounds[n-1]
+		w.freeRounds[n-1] = nil
+		w.freeRounds = w.freeRounds[:n-1]
+		r.tried = r.tried[:0]
+		r.refusals = 0
+		r.hasUnsat = false
+		r.unsatSched = 0
+		r.unsatJob = 0
+		r.unsatVS = 0
+		r.g3 = false
+		r.g3Attempts = 0
+		return r
+	}
+	return &Round{w: w, tried: make([]triedRef, 0, 4)}
 }
 
 // kick starts negotiation rounds while slots and reservations allow.
@@ -219,7 +342,7 @@ func (w *Worker) kick() {
 	for w.freeForRounds() > 0 && w.hasOfferableWork() {
 		w.activeRounds++
 		w.env.Stats.RoundsStarted++
-		r := &Round{w: w, tried: make([]*Entry, 0, 4)}
+		r := w.newRound()
 		r.step()
 	}
 	w.scheduleRetry()
@@ -241,15 +364,21 @@ func (w *Worker) scheduleRetry() {
 	w.acts = append(w.acts, WAction{Kind: WArmRetry, Delay: d})
 }
 
-func (w *Worker) endRound(placed bool) {
+// endRound settles a finished negotiation and recycles the round. By the
+// time a round ends it has no offer in flight (the reply that ended it
+// was its only outstanding message), so the object is free for reuse —
+// it is pushed after the follow-up kick so a round never recycles into
+// itself mid-frame.
+func (w *Worker) endRound(r *Round, placed bool) {
 	w.activeRounds--
 	if placed {
 		w.env.Stats.RoundsPlaced++
 		w.backoff = w.cfg.RetryBackoffMin
 		w.kick()
-		return
+	} else {
+		w.scheduleRetry()
 	}
-	w.scheduleRetry()
+	w.freeRounds = append(w.freeRounds, r)
 }
 
 // place runs the accepted task via the adapter. The adapter returns
@@ -265,10 +394,12 @@ func (w *Worker) place(from SchedID, rep Reply) bool {
 // entries: the refusal threshold bounds Hopper offers and G3 samples) —
 // it must be round-private, not an entry-side stamp, because a
 // multi-slot worker runs up to maxConcurrentRounds rounds at once and
-// their tried sets are independent.
+// their tried sets are independent. Rounds are pooled per worker; the
+// generation stamps in tried keep recycled entries from inheriting
+// marks.
 type Round struct {
 	w          *Worker
-	tried      []*Entry
+	tried      []triedRef
 	refusals   int
 	hasUnsat   bool
 	unsatSched SchedID
@@ -280,14 +411,14 @@ type Round struct {
 
 func (r *Round) wasTried(e *Entry) bool {
 	for _, x := range r.tried {
-		if x == e {
+		if x.e == e && x.gen == e.gen {
 			return true
 		}
 	}
 	return false
 }
 
-func (r *Round) markTried(e *Entry) { r.tried = append(r.tried, e) }
+func (r *Round) markTried(e *Entry) { r.tried = append(r.tried, triedRef{e: e, gen: e.gen}) }
 
 // step advances the round until a message goes out or the round ends.
 func (r *Round) step() {
@@ -304,7 +435,7 @@ func (r *Round) pickMinVS() *Entry {
 	now := r.w.env.Now()
 	var best *Entry
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now {
 			continue
 		}
 		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
@@ -320,7 +451,7 @@ func (r *Round) pickSparrow() *Entry {
 	var best *Entry
 	srpt := r.w.cfg.Mode == ModeSparrowSRPT
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) {
+		if e.dead || e.count <= 0 || r.wasTried(e) {
 			continue
 		}
 		if best == nil {
@@ -357,7 +488,7 @@ func (r *Round) stepHopper() {
 	r.markTried(e)
 	r.w.acts = append(r.w.acts, WAction{
 		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, Refusable: true,
-		Round: r, Entry: e,
+		Round: r, Entry: refOf(e),
 	})
 }
 
@@ -370,7 +501,7 @@ func (r *Round) conclude() {
 	if r.hasUnsat {
 		sched, job := r.unsatSched, r.unsatJob
 		r.hasUnsat = false
-		// Entry deliberately nil: the reply handler looks the entry up at
+		// Entry deliberately zero: the reply handler looks the entry up at
 		// delivery time — the worker may hold no reservation for the
 		// unsatisfied job at all.
 		r.w.acts = append(r.w.acts, WAction{
@@ -381,7 +512,7 @@ func (r *Round) conclude() {
 	}
 	if r.refusals == 0 {
 		// Nothing in the queue responded at all; give up this round.
-		r.w.endRound(false)
+		r.w.endRound(r, false)
 		return
 	}
 	r.g3 = true
@@ -397,7 +528,7 @@ func (r *Round) stepG3() {
 	// "power of many choices" spirit, and the backoff retry covers the
 	// rest.
 	if r.g3Attempts >= r.w.cfg.RefusalThreshold+1 {
-		r.w.endRound(false)
+		r.w.endRound(r, false)
 		return
 	}
 	r.g3Attempts++
@@ -405,7 +536,7 @@ func (r *Round) stepG3() {
 	cands := r.w.g3Cands[:0]
 	weights := r.w.g3Weights[:0]
 	for _, e := range r.w.entries {
-		if e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now {
 			continue
 		}
 		cands = append(cands, e)
@@ -413,24 +544,27 @@ func (r *Round) stepG3() {
 	}
 	r.w.g3Cands, r.w.g3Weights = cands, weights
 	if len(cands) == 0 {
-		r.w.endRound(false)
+		r.w.endRound(r, false)
 		return
 	}
 	e := cands[stats.WeightedChoice(r.w.env.Rand, weights)]
 	r.markTried(e)
 	r.w.acts = append(r.w.acts, WAction{
 		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, Refusable: false,
-		Round: r, Entry: e,
+		Round: r, Entry: refOf(e),
 	})
 }
 
 // OnHopperReply processes a scheduler's reply in Hopper mode and returns
-// the follow-up actions. e may be nil for non-refusable offers to jobs
-// with no reservation here (adapters resolve it with EntryFor at
-// delivery time; a nil result stays nil).
-func (w *Worker) OnHopperReply(r *Round, e *Entry, rep Reply) []WAction {
+// the follow-up actions. ref may be zero for non-refusable offers to
+// jobs with no reservation here (adapters resolve those with EntryFor at
+// delivery time); a ref whose entry was purged while the reply was in
+// flight resolves to nil, which is exactly how a detached entry behaved
+// before pooling (its mutations were invisible, its Sched matched the
+// reply's From).
+func (w *Worker) OnHopperReply(r *Round, ref EntryRef, rep Reply) []WAction {
 	w.begin()
-	r.onHopperReply(e, rep)
+	r.onHopperReply(ref.live(), rep)
 	return w.acts
 }
 
@@ -459,7 +593,7 @@ func (r *Round) onHopperReply(e *Entry, rep Reply) {
 				}
 			}
 		}
-		r.w.endRound(r.w.place(from, rep))
+		r.w.endRound(r, r.w.place(from, rep))
 	case rep.Refused:
 		r.refusals++
 		if e != nil {
@@ -490,7 +624,7 @@ func (r *Round) onHopperReply(e *Entry, rep Reply) {
 			r.stepG3()
 		} else if r.refusals >= r.w.cfg.RefusalThreshold {
 			// Non-refusable target had nothing; end the round.
-			r.w.endRound(false)
+			r.w.endRound(r, false)
 		} else {
 			r.stepHopper()
 		}
@@ -502,7 +636,7 @@ func (r *Round) onHopperReply(e *Entry, rep Reply) {
 func (r *Round) stepSparrow() {
 	e := r.pickSparrow()
 	if e == nil {
-		r.w.endRound(false)
+		r.w.endRound(r, false)
 		return
 	}
 	e.count--
@@ -511,28 +645,35 @@ func (r *Round) stepSparrow() {
 	}
 	r.w.acts = append(r.w.acts, WAction{
 		Kind: WSendOffer, Sched: e.Sched, Job: e.Job, GetTask: true,
-		Round: r, Entry: e,
+		Round: r, Entry: refOf(e),
 	})
 }
 
 // OnSparrowReply processes a scheduler's task-pull reply in the Sparrow
-// modes and returns the follow-up actions.
-func (w *Worker) OnSparrowReply(r *Round, e *Entry, rep Reply) []WAction {
+// modes and returns the follow-up actions. A stale ref (entry purged by
+// a concurrent round's reply while this one was in flight) resolves to
+// nil and the reply falls back to its From field, which always matches
+// the purged entry's scheduler.
+func (w *Worker) OnSparrowReply(r *Round, ref EntryRef, rep Reply) []WAction {
 	w.begin()
-	r.onSparrowReply(e, rep)
+	r.onSparrowReply(ref.live(), rep)
 	return w.acts
 }
 
 func (r *Round) onSparrowReply(e *Entry, rep Reply) {
-	if rep.RemTask > 0 {
-		e.remTasks = rep.RemTask
-	}
-	if e.count <= 0 || rep.JobDone {
-		r.w.purge(e)
+	from := rep.From
+	if e != nil {
+		from = e.Sched
+		if rep.RemTask > 0 {
+			e.remTasks = rep.RemTask
+		}
+		if e.count <= 0 || rep.JobDone {
+			r.w.purge(e)
+		}
 	}
 	if rep.HasTask {
-		if r.w.place(e.Sched, rep) {
-			r.w.endRound(true)
+		if r.w.place(from, rep) {
+			r.w.endRound(r, true)
 			return
 		}
 	}

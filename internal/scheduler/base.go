@@ -107,8 +107,9 @@ type Engine interface {
 //     through placement-log identity);
 //   - the non-nil entries of running are exactly the tasks with a live
 //     copy, in placement order;
-//   - wants holds each policy-flagged task at most once (wantSet), in
-//     request order, with the retry-requeue at the front.
+//   - wants holds each policy-flagged task at most once (membership is
+//     the Task.SpecWanted scratch flag), in request order, with the
+//     retry-requeue at the front.
 type jobState struct {
 	job *cluster.Job
 
@@ -122,9 +123,10 @@ type jobState struct {
 	// wants is the FIFO queue of tasks the speculation policy asked to
 	// duplicate and that have not yet received a speculative copy. A
 	// ring deque: the place-failure retry re-queues at the front in O(1)
-	// instead of allocating a fresh slice per retry.
-	wants   cluster.TaskDeque
-	wantSet map[*cluster.Task]bool
+	// instead of allocating a fresh slice per retry. Membership is the
+	// Task.SpecWanted scratch flag (one scheduler owns each task), not a
+	// per-job map.
+	wants cluster.TaskDeque
 
 	// usage counts live copies across the job (slot occupancy).
 	usage int
@@ -178,7 +180,7 @@ func (s *jobState) nextFresh() *cluster.Task {
 func (s *jobState) popWant(maxCopies int) *cluster.Task {
 	for s.wants.Len() > 0 {
 		t := s.wants.PopFront()
-		delete(s.wantSet, t)
+		t.SpecWanted = false
 		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
 			return t
 		}
@@ -188,13 +190,10 @@ func (s *jobState) popWant(maxCopies int) *cluster.Task {
 
 // addWant records a deduplicated speculation request.
 func (s *jobState) addWant(t *cluster.Task) bool {
-	if s.wantSet[t] {
+	if t.SpecWanted {
 		return false
 	}
-	if s.wantSet == nil {
-		s.wantSet = make(map[*cluster.Task]bool)
-	}
-	s.wantSet[t] = true
+	t.SpecWanted = true
 	s.wants.PushBack(t)
 	return true
 }
@@ -296,7 +295,7 @@ func (b *Base) ActiveJobs() int { return len(b.active) }
 
 // Arrive admits a job: registers state, unlocks root phases, dispatches.
 func (b *Base) Arrive(j *cluster.Job) {
-	s := &jobState{job: j, wantSet: make(map[*cluster.Task]bool)}
+	s := &jobState{job: j}
 	b.active = append(b.active, s)
 	b.byID[j.ID] = s
 	if b.onArrive != nil {
@@ -375,8 +374,8 @@ func (b *Base) onTaskDone(t *cluster.Task, winner *cluster.Copy) {
 		}
 	}
 	s.running.Remove(t)
-	if s.wantSet[t] {
-		delete(s.wantSet, t)
+	if t.SpecWanted {
+		t.SpecWanted = false
 		s.wants.Remove(t)
 	}
 	b.scanJob(s)
@@ -437,7 +436,7 @@ func (b *Base) placeSpec(s *jobState) bool {
 	if c := b.Exec.Place(t, true); c == nil {
 		// No free slot; requeue at the front so it is retried first.
 		s.wants.PushFront(t)
-		s.wantSet[t] = true
+		t.SpecWanted = true
 		return false
 	}
 	s.usage++

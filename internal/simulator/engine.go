@@ -67,10 +67,16 @@ func (e *Event) Time() Time { return e.at }
 
 // slot is one scheduled callback, stored by value inside the queue's
 // backing arrays. h is non-nil only for cancellable events (At/After).
+// Exactly one of fn/afn is set: afn carries the PostArg form, where the
+// callback is a shared (usually package-level) function and the
+// per-event state travels in arg — the zero-allocation path for
+// adapters that post pooled message objects instead of closures.
 type slot struct {
 	at  Time
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 	h   *Event
 }
 
@@ -224,7 +230,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
 	}
 	ev := &Event{at: t}
-	e.insert(t, fn, ev)
+	e.insert(slot{at: t, fn: fn, h: ev})
 	return ev
 }
 
@@ -243,7 +249,7 @@ func (e *Engine) Post(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
 	}
-	e.insert(t, fn, nil)
+	e.insert(slot{at: t, fn: fn})
 }
 
 // PostAfter schedules fn to run d seconds from now with no cancellation
@@ -252,7 +258,29 @@ func (e *Engine) PostAfter(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("simulator: negative delay %v", d))
 	}
-	e.insert(e.now+d, fn, nil)
+	e.insert(slot{at: e.now + d, fn: fn})
+}
+
+// PostArg schedules fn(arg) at absolute virtual time t with no
+// cancellation handle. It is the fully allocation-free post: fn is
+// typically one shared package-level dispatch function and arg a pooled
+// message object, so — unlike Post with a capturing closure — nothing is
+// heap-allocated per event. Ordering is identical to Post (FIFO among
+// same-time events by scheduling order).
+func (e *Engine) PostArg(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
+	}
+	e.insert(slot{at: t, afn: fn, arg: arg})
+}
+
+// PostAfterArg schedules fn(arg) d seconds from now with no cancellation
+// handle. Negative d panics.
+func (e *Engine) PostAfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("simulator: negative delay %v", d))
+	}
+	e.insert(slot{at: e.now + d, afn: fn, arg: arg})
 }
 
 // bucketOf maps an absolute time onto an absolute bucket index, clamped so
@@ -265,8 +293,9 @@ func (e *Engine) bucketOf(t Time) int64 {
 	return int64(q)
 }
 
-func (e *Engine) insert(at Time, fn func(), h *Event) {
-	s := slot{at: at, seq: e.seq, fn: fn, h: h}
+func (e *Engine) insert(s slot) {
+	at := s.at
+	s.seq = e.seq
 	e.seq++
 	e.count++
 	if at > e.maxAt {
@@ -455,7 +484,11 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		e.now = s.at
 		e.Fired++
-		s.fn()
+		if s.afn != nil {
+			s.afn(s.arg)
+		} else {
+			s.fn()
+		}
 	}
 	if deadline >= 0 && e.now < deadline {
 		e.now = deadline

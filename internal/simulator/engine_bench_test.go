@@ -98,3 +98,23 @@ func BenchmarkEngineMixedCancel(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkEnginePostArg measures the payload-carrying post: one shared
+// dispatch function plus a pooled argument, the path the decentralized
+// adapter's message events ride. Like Post it must stay allocation-free.
+func BenchmarkEnginePostArg(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	fn := func(any) {}
+	arg := &struct{ n int }{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.PostArg(Time(i%1000), fn, arg)
+		if e.Pending() >= 8192 {
+			b.StopTimer()
+			e.Drain()
+			e.now = 0
+			b.StartTimer()
+		}
+	}
+}

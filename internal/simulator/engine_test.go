@@ -188,3 +188,33 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		eng.Run()
 	}
 }
+
+// TestPostArgInterleavesFIFOWithPost pins the PostArg ordering contract:
+// arg-carrying events share the same (time, scheduling order) queue as
+// closure events, so a mixed same-timestamp sequence fires in exactly
+// the order it was posted — the property the decentralized adapter's
+// message coalescing and pooled dispatch rely on.
+func TestPostArgInterleavesFIFOWithPost(t *testing.T) {
+	e := New(1)
+	var got []int
+	record := func(arg any) { got = append(got, arg.(int)) }
+	for i := 0; i < 12; i++ {
+		i := i
+		if i%3 == 0 {
+			e.Post(1.0, func() { got = append(got, i) })
+		} else {
+			e.PostArg(1.0, record, i)
+		}
+	}
+	e.PostAfterArg(0.5, record, 100)
+	e.Run()
+	want := []int{100, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", got, want)
+		}
+	}
+}

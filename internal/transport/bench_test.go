@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/hopper-sim/hopper/internal/wire"
@@ -46,7 +47,9 @@ func benchPair(b *testing.B, flavor string) (Conn, Conn, func()) {
 // protocol's dominant traffic shape (Reserve is the most frequent
 // message) — over the in-memory pair and a loopback TCP socket. The TCP
 // number is what SetNoDelay protects: with Nagle on, per-message flushes
-// of 33-byte frames serialize on delayed ACKs.
+// of 33-byte frames serialize on delayed ACKs. The allocs/msg metric is
+// end-to-end (encode, framing, decode, both goroutines): the
+// per-connection reusable encode buffer keeps the send half off it.
 func BenchmarkConnThroughput(b *testing.B) {
 	for _, flavor := range []string{"mem", "tcp"} {
 		b.Run(flavor, func(b *testing.B) {
@@ -65,6 +68,8 @@ func BenchmarkConnThroughput(b *testing.B) {
 				done <- nil
 			}()
 			b.ReportAllocs()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := sender.Send(msg); err != nil {
@@ -75,6 +80,9 @@ func BenchmarkConnThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N), "allocs/msg")
 			frame := wire.Append(nil, msg)
 			b.SetBytes(int64(len(frame)))
 		})

@@ -47,8 +47,9 @@ type tcpConn struct {
 	c  net.Conn
 	br *bufio.Reader
 
-	mu sync.Mutex // serializes writes
-	bw *bufio.Writer
+	mu  sync.Mutex // serializes writes
+	bw  *bufio.Writer
+	enc []byte // reusable per-connection encode buffer (guarded by mu)
 
 	closed bool
 }
@@ -84,7 +85,12 @@ func (t *tcpConn) Send(m wire.Message) error {
 	if t.closed {
 		return ErrClosed
 	}
-	if err := wire.WriteMsg(t.bw, m); err != nil {
+	// Encode into the connection's reusable buffer: the old
+	// WriteMsg path allocated a fresh frame per message, which at probe
+	// rates dominated the send path's allocation profile (see
+	// BenchmarkConnThroughput's allocs/msg column).
+	t.enc = wire.Append(t.enc[:0], m)
+	if _, err := t.bw.Write(t.enc); err != nil {
 		return err
 	}
 	// Flush per message: the protocol is latency-sensitive and messages
@@ -160,6 +166,9 @@ type memConn struct {
 	closed   chan struct{}
 	once     sync.Once
 	peer     *memConn
+
+	encMu sync.Mutex
+	enc   []byte // reusable encode buffer for the codec self-check
 }
 
 // Pair returns two connected in-memory ends with the given buffer depth.
@@ -176,9 +185,14 @@ func Pair(buffer int) (Conn, Conn) {
 
 func (m *memConn) Send(msg wire.Message) error {
 	// Round-trip through the codec: catches encode/decode asymmetries in
-	// tests that would otherwise only surface over real sockets.
-	buf := wire.Append(nil, msg)
-	decoded, err := wire.Decode(wire.MsgType(buf[4]), buf[5:])
+	// tests that would otherwise only surface over real sockets. The
+	// encode buffer is per-connection and reusable — Decode copies
+	// everything it keeps (strings, replica lists), so nothing aliases
+	// the buffer once it returns.
+	m.encMu.Lock()
+	m.enc = wire.Append(m.enc[:0], msg)
+	decoded, err := wire.Decode(wire.MsgType(m.enc[4]), m.enc[5:])
+	m.encMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("transport: self-check failed for %s: %w", msg.Type(), err)
 	}
