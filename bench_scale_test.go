@@ -137,6 +137,56 @@ func TestTrajectoryIncludes100kTier(t *testing.T) {
 	t.Fatal("no trajectory file carries the 100k-machine decentral-hopper tier (BENCH_PR5+ convention)")
 }
 
+// TestTrajectoryIncludes1MTier pins the PR 6 convention: from
+// BENCH_PR6.json on, the full-tier trajectory carries the 1M-machine
+// sharded decentralized-Hopper scenario. At least one checked-in file
+// must have it, and that file must also carry the 100k serial/sharded
+// pair showing the sharded engine's wall-clock win at that scale.
+func TestTrajectoryIncludes1MTier(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
+	}
+	for _, file := range files {
+		rep, err := experiments.LoadBenchReport(file)
+		if err != nil {
+			continue // the per-file test reports parse failures
+		}
+		var oneM, serial100k, sharded100k *experiments.ScenarioResult
+		for i := range rep.Scenarios {
+			s := &rep.Scenarios[i]
+			if s.Kind != "decentral-hopper" {
+				continue
+			}
+			switch {
+			case s.Machines >= 1000000 && s.Shards > 1:
+				oneM = s
+			case s.Machines == 100000 && s.Shards == 0:
+				serial100k = s
+			case s.Machines == 100000 && s.Shards > 1:
+				sharded100k = s
+			}
+		}
+		if oneM == nil || oneM.Optimized.Decisions <= 0 {
+			continue
+		}
+		if serial100k == nil || sharded100k == nil {
+			t.Fatalf("%s: has the 1M tier but not the 100k serial/sharded pair", file)
+		}
+		// The sharded run must be meaningfully faster, not just faster:
+		// pin a 1.25x floor. The measured win at 4 shards on one core is
+		// ~1.5x (calendar locality + the indexed victim search); the
+		// original 2x target needs the multi-core execution half, which
+		// DESIGN.md §9 and ROADMAP.md record as the follow-up.
+		if sharded100k.Optimized.WallSeconds*5 > serial100k.Optimized.WallSeconds*4 {
+			t.Fatalf("%s: sharded 100k wall %.1fs not ≥1.25x faster than serial %.1fs",
+				file, sharded100k.Optimized.WallSeconds, serial100k.Optimized.WallSeconds)
+		}
+		return
+	}
+	t.Fatal("no trajectory file carries the 1M-machine sharded decentral-hopper tier (BENCH_PR6+ convention)")
+}
+
 // BenchmarkDispatchScaleSmoke tracks the smoke matrix under
 // `go test -bench`, surfacing the central-Hopper per-decision metrics
 // for quick local comparisons.

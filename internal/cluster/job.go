@@ -100,6 +100,13 @@ type Task struct {
 	// and removes the map allocation per job. The cluster package never
 	// reads it.
 	SpecWanted bool
+
+	// VictimPos is scheduler-owned scratch with the same single-owner
+	// contract: the task's hand-out rank within its job, assigned when
+	// the scheduler adds it to the running set. The speculation monitor's
+	// victim index uses it to reproduce the scan's first-in-hand-out-order
+	// tie-break exactly. The cluster package never reads it.
+	VictimPos int
 }
 
 // ID returns a human-readable identifier for logs and errors.

@@ -170,6 +170,12 @@ type System struct {
 	// Message/round breakdown for diagnostics and the overhead tables.
 	Probes int64 // reservation requests sent
 	Offers int64 // worker->scheduler offers / task pulls
+	// Rollbacks counts worker->scheduler occupancy rollbacks: the task
+	// finished while the accept was in flight (a speculative copy racing
+	// its original). These are scheduler-bound messages but not offers;
+	// counting them as offers would inflate the Section 5 overhead
+	// figures.
+	Rollbacks int64
 
 	// ProbeEventsSaved counts engine events avoided by probe coalescing:
 	// one batch of probes emitted by a single core call is delivered as
@@ -281,10 +287,11 @@ func (s *System) dispatch(m *message) {
 		} else {
 			m.rep = sc.core.HandleOffer(m.job, m.worker.id, m.refusable)
 		}
-		// The reply rides the same message object back to the worker.
+		// The reply rides the same message object back to the worker,
+		// routed to the worker's home shard.
 		m.kind = mReply
 		s.Messages++
-		s.Eng.PostAfterArg(s.Cfg.MsgLatency, dispatchMessage, m)
+		s.Eng.PostArgShard(m.worker.shard, s.Eng.Now()+s.Cfg.MsgLatency, dispatchMessage, m)
 	case mReply:
 		w := m.worker
 		e := m.entry
@@ -314,13 +321,30 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 		Exec:  exec,
 		byJob: make(map[cluster.JobID]*sched),
 	}
+	nShards := eng.ShardCount()
+	if nShards > 0 {
+		// Every protocol message carries at least one one-way latency, so
+		// MsgLatency is the engine's natural lookahead (see shard.go).
+		eng.SetLookahead(cfg.MsgLatency)
+	}
 	pcfg := cfg.protocol()
+	if cfg.Mode == ModeHopper && nShards > 0 &&
+		pcfg.Spec.EstimateNoise <= 0 && pcfg.Spec.MaxCopies == 2 {
+		// Sharded scale runs take the indexed victim search; it is
+		// exact-equivalent to the scan (speculation/victimindex.go), so
+		// serial and sharded runs still produce identical results — the
+		// golden differential test pins that.
+		pcfg.IndexedVictims = true
+	}
 	for i := 0; i < cfg.NumSchedulers; i++ {
-		s.scheds = append(s.scheds, newSched(s, i, pcfg))
+		sc := newSched(s, i, pcfg)
+		sc.shard = shardOf(i, cfg.NumSchedulers, nShards)
+		s.scheds = append(s.scheds, sc)
 	}
 	s.workers = make([]*worker, len(exec.Machines.All))
 	for i := range s.workers {
 		s.workers[i] = newWorker(s, cluster.MachineID(i), pcfg)
+		s.workers[i].shard = shardOf(i, len(s.workers), nShards)
 	}
 	exec.OnTaskDone = s.onTaskDone
 	exec.OnPhaseRunnable = s.onPhaseRunnable
@@ -372,10 +396,11 @@ func (s *System) onSlotFree(m cluster.MachineID) {
 
 // toScheduler delivers a pooled message at its target scheduler after
 // network latency and the scheduler's serial processing queue — the cost
-// model for message overhead.
+// model for message overhead. Kind-specific counters (Offers, Rollbacks)
+// are the send sites' job: this path carries every scheduler-bound
+// message, not just offers.
 func (s *System) toScheduler(sc *sched, m *message) {
 	s.Messages++
-	s.Offers++
 	arrive := s.Eng.Now() + s.Cfg.MsgLatency
 	handle := arrive
 	if sc.busyUntil > handle {
@@ -383,5 +408,5 @@ func (s *System) toScheduler(sc *sched, m *message) {
 	}
 	handle += s.Cfg.ProcDelay
 	sc.busyUntil = handle
-	s.Eng.PostArg(handle, dispatchMessage, m)
+	s.Eng.PostArgShard(sc.shard, handle, dispatchMessage, m)
 }

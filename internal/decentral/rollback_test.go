@@ -1,0 +1,68 @@
+package decentral
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// TestRollbackNotCountedAsOffer forces copy races — the task finishes
+// while a speculative accept is still in flight — and pins the counter
+// split: rollbacks are recorded in Rollbacks, not Offers.
+//
+// The race is engineered, not hoped for: message latency is large
+// (0.25s), originals straggle (5s) while speculative copies are nearly
+// instant (20ms), and many idle workers offer into one scheduler. During
+// an accept's flight window the scheduler sees the task still below its
+// copy cap (copies are created at placement), so it hands the same
+// straggler to another offering worker; the first accept lands, the
+// speculative copy finishes almost immediately, and the second accept
+// arrives at a done task — a placement-failed rollback.
+//
+// The pinned invariant is the message ledger: every probe is one
+// message, every offer is one message plus exactly one reply, and every
+// rollback is one message. Under the old counting (rollbacks bumped
+// Offers) the ledger is off by exactly the rollback count, so this test
+// fails whenever a race occurs; under the fix it balances.
+func TestRollbackNotCountedAsOffer(t *testing.T) {
+	var totalRollbacks int64
+	for seed := int64(1); seed <= 5; seed++ {
+		eng := simulator.New(seed)
+		ms := cluster.NewMachines(8, 1)
+		exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+		sys := New(eng, exec, Config{
+			Mode:          ModeHopper,
+			NumSchedulers: 1,
+			MsgLatency:    0.25,
+			CheckInterval: 0.1,
+		})
+		exec.DurationOverride = func(task *cluster.Task, spec bool) float64 {
+			if spec {
+				return 0.02
+			}
+			return 5
+		}
+		var jobs []*cluster.Job
+		for i := 0; i < 3; i++ {
+			jobs = append(jobs, mkJob(cluster.JobID(i), 2, 1.0, float64(i)*0.05))
+		}
+		runAll(t, eng, sys, jobs)
+		totalRollbacks += sys.Rollbacks
+
+		if got, want := sys.Messages, sys.Probes+2*sys.Offers+sys.Rollbacks; got != want {
+			t.Fatalf("seed %d: message ledger off by %d: Messages=%d, Probes=%d + 2*Offers=%d + Rollbacks=%d = %d — rollbacks are being counted as offers",
+				seed, got-want, got, sys.Probes, 2*sys.Offers, sys.Rollbacks, want)
+		}
+		// A rollback still in flight when its job completes shows up as an
+		// occupancy leak (the job's books close before the decrement
+		// lands). With this test's quarter-second latency that timing is
+		// expected; leaks beyond the rollback count would be a real bug.
+		if sys.OccupancyLeaks > sys.Rollbacks {
+			t.Fatalf("seed %d: %d occupancy leaks exceed %d rollbacks", seed, sys.OccupancyLeaks, sys.Rollbacks)
+		}
+	}
+	if totalRollbacks == 0 {
+		t.Fatal("no seed produced a copy race; the regression is unexercised")
+	}
+}

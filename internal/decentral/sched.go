@@ -14,6 +14,10 @@ type sched struct {
 	id   int
 	core *protocol.Sched
 
+	// shard is this scheduler's home engine shard (0 on serial engines);
+	// see shard.go.
+	shard int
+
 	// busyUntil serializes message processing (System.toScheduler).
 	busyUntil float64
 
@@ -58,7 +62,11 @@ func (sc *sched) sendProbes(probes []protocol.Probe) {
 	m.kind = mProbeBatch
 	m.sched = sc
 	m.probes = append(m.probes[:0], probes...)
-	sc.sys.Eng.PostAfterArg(sc.sys.Cfg.MsgLatency, dispatchMessage, m)
+	// A batch can span workers on several shards; the first probe's home
+	// shard is a locality hint, not a correctness requirement (shard.go).
+	eng := sc.sys.Eng
+	eng.PostArgShard(sc.sys.workers[probes[0].Worker].shard,
+		eng.Now()+sc.sys.Cfg.MsgLatency, dispatchMessage, m)
 }
 
 // ensureTicker runs the periodic speculation scan for this scheduler.

@@ -1,0 +1,23 @@
+package decentral
+
+// Shard partitioning for the sharded engine (simulator.NewSharded): the
+// adapter assigns workers and schedulers to engine shards in contiguous
+// blocks and routes every scheduler-bound and worker-bound message to its
+// target's home shard via PostArgShard. All protocol traffic carries at
+// least one one-way latency, which is exactly the engine's lookahead, so
+// the cross-shard contract holds by construction. On a serial engine the
+// routed posts degrade to plain PostArg and everything below is inert.
+//
+// Routing is a locality hint, not a correctness requirement — the sharded
+// engine executes in global (time, seq) order either way — so coalesced
+// probe batches, which may span workers on several shards, are routed to
+// the first probe's worker shard and still deliver to all of them.
+
+// shardOf maps entity i of n onto one of k shards in contiguous blocks;
+// k <= 0 (serial engine) maps everything to shard 0.
+func shardOf(i, n, k int) int {
+	if k <= 0 || n <= 0 {
+		return 0
+	}
+	return i * k / n
+}

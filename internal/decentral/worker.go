@@ -15,16 +15,25 @@ type worker struct {
 	id   cluster.MachineID
 	core *protocol.Worker
 
+	// shard is this worker's home engine shard (0 on serial engines);
+	// see shard.go.
+	shard int
+
 	retryEv *simulator.Event
 	retryFn func() // bound once; rearming allocates only the handle
 }
 
 func newWorker(sys *System, id cluster.MachineID, pcfg protocol.Config) *worker {
 	w := &worker{sys: sys, id: id}
+	// The *Machine is stable (Machines.All is fixed at construction), so
+	// bind it once: FreeSlots is the hottest env call (every kick and
+	// retry consults it) and the three-hop chase costs a cache miss per
+	// call at 100k+ machines.
+	m := sys.Exec.Machines.Get(id)
 	w.core = protocol.NewWorker(id, pcfg, protocol.WorkerEnv{
 		Now:       func() float64 { return sys.Eng.Now() },
 		Rand:      sys.Eng.Rand(),
-		FreeSlots: func() int { return sys.Exec.Machines.Get(id).Free },
+		FreeSlots: func() int { return m.Free },
 		Place:     w.place,
 		Stats:     &sys.Stats,
 	})
@@ -47,10 +56,16 @@ func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 		m.kind = mPlacementFailed
 		m.sched = sc
 		m.job = t.Job.ID
+		w.sys.Rollbacks++
 		w.sys.toScheduler(sc, m)
 		return false
 	}
 	w.sys.Exec.PlaceOn(t, w.id, rep.Spec)
+	if !rep.Spec {
+		// The original copy's start/duration are fixed now; feed the
+		// scheduler's victim index (no-op unless IndexedVictims).
+		sc.core.CopyPlaced(t)
+	}
 	if w.sys.OnPlace != nil {
 		w.sys.OnPlace(t, w.id, rep.Spec)
 	}
@@ -66,6 +81,7 @@ func (w *worker) exec(acts []protocol.WAction) {
 		switch a.Kind {
 		case protocol.WSendOffer:
 			sc := w.sys.scheds[a.Sched]
+			w.sys.Offers++
 			m := w.sys.getMsg()
 			m.kind = mOffer
 			m.sched = sc

@@ -45,6 +45,10 @@ type ScaleScenario struct {
 	Jobs            int
 	Util            float64
 	Seed            int64
+	// Shards is the engine shard count (0 = serial engine). Sharding is
+	// result-neutral by contract, so a sharded scenario measures pure
+	// wall-clock/locality effects against its serial twin.
+	Shards int `json:",omitempty"`
 }
 
 // BenchMeasurement is one engine run's cost profile.
@@ -111,6 +115,22 @@ func ScaleScenarios100k() []ScaleScenario {
 	return []ScaleScenario{
 		{Name: "decentral-hopper-100k", Kind: "decentral-hopper", Machines: 100000, SlotsPerMachine: 4,
 			Jobs: 2400, Util: 0.7, Seed: 7005},
+		{Name: "decentral-hopper-100k-s4", Kind: "decentral-hopper", Machines: 100000, SlotsPerMachine: 4,
+			Jobs: 2400, Util: 0.7, Seed: 7005, Shards: 4},
+	}
+}
+
+// ScaleScenarios1M is the megacluster tier: decentralized Hopper on one
+// million machines (4M slots), runnable only on the sharded engine —
+// per-shard calendars keep queue operations tractable at this event
+// density, and the indexed victim search keeps offer handling off the
+// O(running-tasks) scan. Full-mode bench runs include it; its numbers
+// have no serial twin (a serial run at this scale is the point of the
+// tier).
+func ScaleScenarios1M() []ScaleScenario {
+	return []ScaleScenario{
+		{Name: "decentral-hopper-1M", Kind: "decentral-hopper", Machines: 1000000, SlotsPerMachine: 4,
+			Jobs: 4800, Util: 0.7, Seed: 7006, Shards: 4},
 	}
 }
 
@@ -151,7 +171,7 @@ func benchTrace(sc ScaleScenario) *workload.Trace {
 func measureRun(sc ScaleScenario, kind SchedulerKind, jobs []*cluster.Job) BenchMeasurement {
 	spec := ClusterSpec{Machines: sc.Machines, SlotsPerMachine: sc.SlotsPerMachine, Exec: cluster.DefaultExecModel()}
 
-	eng := simulator.New(sc.Seed + 1)
+	eng := simulator.NewSharded(sc.Seed+1, sc.Shards)
 	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 	var arr Arriver
@@ -211,6 +231,7 @@ func RunScaleBench(smoke bool, log io.Writer) *BenchReport {
 	if !smoke {
 		scenarios = append(scenarios, ScaleScenarios(false)...)
 		scenarios = append(scenarios, ScaleScenarios100k()...)
+		scenarios = append(scenarios, ScaleScenarios1M()...)
 	}
 	for _, sc := range scenarios {
 		tr := benchTrace(sc)

@@ -69,6 +69,28 @@ func TestDispatchGolden(t *testing.T) {
 	}
 }
 
+// TestDispatchGoldenSharded is the sharding determinism contract (see
+// DESIGN.md): the same golden harness run on a 4-shard engine must
+// reproduce the checked-in tables byte for byte — the identical bar the
+// serial engine is held to, pinning that sharding (and the indexed victim
+// search it enables) can never change a result, only wall-clock time.
+func TestDispatchGoldenSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is seconds-long; skipped with -short")
+	}
+	h := goldenHarness
+	h.Shards = 4
+	got := renderAll(h)
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run TestDispatchGolden with -update first): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("sharded (4-shard) run diverged from the serial golden — the engine's byte-identity contract is broken.\nFirst divergence: %s",
+			firstDiff(string(want), got))
+	}
+}
+
 // firstDiff locates the first differing line for a readable failure.
 func firstDiff(want, got string) string {
 	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")

@@ -27,6 +27,11 @@ type Harness struct {
 	// output is byte-identical: every cell owns a private engine and RNG,
 	// and results and log lines are merged in canonical cell order.
 	Workers int
+	// Shards partitions each cell's event queue across this many engine
+	// shards (simulator.NewSharded); 0 or 1 runs the serial engine. Like
+	// Workers, the setting never changes results: sharded execution is
+	// byte-identical to serial by construction (see DESIGN.md).
+	Shards int
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
 

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestProfile100k replays the 100k-machine decentralized scenario once,
+// for profiling runs (go test -run Profile100k -cpuprofile ...). Opt-in:
+// it costs minutes, so it only runs when HOPPER_PROFILE_100K is set.
+func TestProfile100k(t *testing.T) {
+	sel := os.Getenv("HOPPER_PROFILE_100K")
+	if sel == "" {
+		t.Skip("set HOPPER_PROFILE_100K=1 (or a scenario-name substring) to run the 100k profiling replay")
+	}
+	for _, sc := range ScaleScenarios100k() {
+		if sel != "1" && !strings.Contains(sc.Name, sel) {
+			continue
+		}
+		tr := benchTrace(sc)
+		m := measureRun(sc, benchKind(sc.Kind, false), CloneJobs(tr.Jobs))
+		t.Logf("%s: %.0f ns/decision, %d decisions, %d events, %.1fs wall",
+			sc.Name, m.NsPerDecision, m.Decisions, m.Events, m.WallSeconds)
+	}
+}

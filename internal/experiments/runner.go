@@ -182,6 +182,12 @@ type ClusterSpec struct {
 	Machines        int
 	SlotsPerMachine int
 	Exec            cluster.ExecModel
+
+	// Shards is the engine shard count for runs over this cluster; 0 or 1
+	// means the serial engine. Results are identical either way (the
+	// sharded engine's byte-identity contract); sharding only changes
+	// event-queue locality and wall-clock time.
+	Shards int
 }
 
 // TotalSlots returns cluster capacity.
@@ -221,6 +227,9 @@ type RunResult struct {
 	// Probes/Offers/Rounds/RoundsPlaced break down decentralized
 	// protocol activity.
 	Probes, Offers, Rounds, RoundsPlaced int64
+	// Rollbacks counts occupancy rollbacks (task done while the accept
+	// was in flight); scheduler-bound messages that are not offers.
+	Rollbacks int64
 	// OccLeaks counts jobs finishing with nonzero scheduler occupancy.
 	OccLeaks int64
 	// DoubleWakeups/DoubleWakeupTasks count duplicate phase-wakeup
@@ -241,7 +250,7 @@ type RunResult struct {
 // workloads. It panics if any job fails to finish — that is always a
 // protocol bug and must not be silently averaged over.
 func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed int64) RunResult {
-	eng := simulator.New(seed)
+	eng := simulator.NewSharded(seed, spec.Shards)
 	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 
@@ -272,6 +281,7 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 	if sys != nil {
 		res.Messages = sys.Messages
 		res.Probes, res.Offers = sys.Probes, sys.Offers
+		res.Rollbacks = sys.Rollbacks
 		res.Rounds, res.RoundsPlaced = sys.RoundsStarted, sys.RoundsPlaced
 		res.OccLeaks = sys.OccupancyLeaks
 		res.DoubleWakeups, res.DoubleWakeupTasks = sys.DoubleWakeups, sys.DoubleWakeupTasks

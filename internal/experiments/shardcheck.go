@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/decentral"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// RunShardCheck replays the smoke-tier decentralized scenario on a serial
+// engine and on an n-shard engine and byte-compares the full placement
+// logs (every hand-out in order, with times) plus the end-of-run counter
+// block. It is the cheap standalone form of the sharding byte-identity
+// contract — CI runs it on every push (`hopper-sim -shard-check 2`);
+// TestDispatchGoldenSharded is the exhaustive form over all experiment
+// drivers. Returns nil when identical.
+func RunShardCheck(n int, log io.Writer) error {
+	if n < 2 {
+		return fmt.Errorf("shard-check: need at least 2 shards, got %d", n)
+	}
+	sc := ScaleScenarios(true)[2] // decentral-hopper-1k, the smoke scenario
+	if sc.Kind != "decentral-hopper" {
+		panic("shard-check: smoke scenario order changed")
+	}
+	tr := benchTrace(sc)
+	serial := shardCheckTrace(sc, 0, tr.Jobs)
+	sharded := shardCheckTrace(sc, n, tr.Jobs)
+	if log != nil {
+		fmt.Fprintf(log, "shard-check: scenario %s, %d placements, serial sha256 %x\n",
+			sc.Name, bytes.Count(serial, []byte("\n")), sha256.Sum256(serial))
+		fmt.Fprintf(log, "shard-check: %d shards,  %d placements, sharded sha256 %x\n",
+			n, bytes.Count(sharded, []byte("\n")), sha256.Sum256(sharded))
+	}
+	if !bytes.Equal(serial, sharded) {
+		return fmt.Errorf("shard-check: %d-shard run diverged from serial at %s — the engine's byte-identity contract is broken",
+			n, firstByteDiff(serial, sharded))
+	}
+	if log != nil {
+		fmt.Fprintf(log, "shard-check: OK — %d-shard run byte-identical to serial\n", n)
+	}
+	return nil
+}
+
+// shardCheckTrace runs the scenario once and renders its full observable
+// behavior: the placement stream and the protocol/engine counters.
+func shardCheckTrace(sc ScaleScenario, shards int, jobs []*cluster.Job) []byte {
+	eng := simulator.NewSharded(sc.Seed+1, shards)
+	ms := cluster.NewMachines(sc.Machines, sc.SlotsPerMachine)
+	exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+	sys := decentral.New(eng, exec, decentral.Config{Mode: decentral.ModeHopper, NumSchedulers: 50})
+	var buf bytes.Buffer
+	sys.OnPlace = func(t *cluster.Task, m cluster.MachineID, spec bool) {
+		fmt.Fprintf(&buf, "%.9f %s m%d spec=%t\n", eng.Now(), t.ID(), m, spec)
+	}
+	for _, j := range CloneJobs(jobs) {
+		job := j
+		eng.Post(job.Arrival, func() { sys.Arrive(job) })
+	}
+	eng.Run()
+	fmt.Fprintf(&buf, "end=%.9f fired=%d messages=%d probes=%d offers=%d rollbacks=%d rounds=%d placed=%d leaks=%d\n",
+		eng.Now(), eng.Fired, sys.Messages, sys.Probes, sys.Offers, sys.Rollbacks,
+		sys.RoundsStarted, sys.RoundsPlaced, sys.OccupancyLeaks)
+	return buf.Bytes()
+}
+
+// firstByteDiff names the first differing line of two rendered traces.
+func firstByteDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d (serial %q, sharded %q)", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line count (%d vs %d)", len(al), len(bl))
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import "testing"
+
+// TestShardCheckSmoke runs the CI shard byte-identity gate in-process:
+// the smoke decentralized scenario on 2 shards must match serial exactly.
+func TestShardCheckSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smoke replay twice; skipped with -short")
+	}
+	if err := RunShardCheck(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}

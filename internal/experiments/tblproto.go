@@ -25,6 +25,7 @@ func init() {
 func runTblProto(h Harness) *Result {
 	res := &Result{ID: "tblproto", Title: "Decentralized protocol overhead counters"}
 	spec := Prototype200(1.5)
+	spec.Shards = h.Shards
 	// Bing DAGs are the bushiest profile (fan-in joins over parallel
 	// chains) and Sparkify makes them communication-bound, maximizing
 	// transfer-gated unlock traffic.
@@ -35,6 +36,7 @@ func runTblProto(h Harness) *Result {
 	type counters struct {
 		avg                  float64
 		probes, offers, msgs int64
+		rollbacks            int64
 		rounds, placed       int64
 		dupWakeups, dupTasks int64
 		occLeaks             int64
@@ -47,7 +49,8 @@ func runTblProto(h Harness) *Result {
 		return counters{
 			avg:    r.Run.AvgCompletion(),
 			probes: r.Probes, offers: r.Offers, msgs: r.Messages,
-			rounds: r.Rounds, placed: r.RoundsPlaced,
+			rollbacks: r.Rollbacks,
+			rounds:    r.Rounds, placed: r.RoundsPlaced,
 			dupWakeups: r.DoubleWakeups, dupTasks: r.DoubleWakeupTasks,
 			occLeaks: r.OccLeaks,
 		}
@@ -55,7 +58,7 @@ func runTblProto(h Harness) *Result {
 
 	tab := &metrics.Table{
 		Title:  "Protocol counters (median across seeds; Spark-Bing DAGs, util 85%)",
-		Header: []string{"mode", "avg completion (s)", "probes", "offers", "messages", "rounds", "placed", "dup wakeups", "dup tasks", "occ leaks"},
+		Header: []string{"mode", "avg completion (s)", "probes", "offers", "messages", "rollbacks", "rounds", "placed", "dup wakeups", "dup tasks", "occ leaks"},
 	}
 	med := func(xs []int64) string {
 		fs := make([]float64, len(xs))
@@ -66,12 +69,13 @@ func runTblProto(h Harness) *Result {
 	}
 	for mi, mode := range modes {
 		var avg []float64
-		var probes, offers, msgs, rounds, placed, dupW, dupT, leaks []int64
+		var probes, offers, msgs, rollbacks, rounds, placed, dupW, dupT, leaks []int64
 		for _, c := range rows[mi] {
 			avg = append(avg, c.avg)
 			probes = append(probes, c.probes)
 			offers = append(offers, c.offers)
 			msgs = append(msgs, c.msgs)
+			rollbacks = append(rollbacks, c.rollbacks)
 			rounds = append(rounds, c.rounds)
 			placed = append(placed, c.placed)
 			dupW = append(dupW, c.dupWakeups)
@@ -79,7 +83,7 @@ func runTblProto(h Harness) *Result {
 			leaks = append(leaks, c.occLeaks)
 		}
 		tab.Add(mode.String(), fmt.Sprintf("%.1f", stats.Median(avg)),
-			med(probes), med(offers), med(msgs), med(rounds), med(placed),
+			med(probes), med(offers), med(msgs), med(rollbacks), med(rounds), med(placed),
 			med(dupW), med(dupT), med(leaks))
 	}
 	res.Tables = append(res.Tables, tab)

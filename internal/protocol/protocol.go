@@ -110,6 +110,12 @@ type Config struct {
 	// after its scheduler refused an offer (or had no task), before
 	// re-offering.
 	RefusalCooldown float64
+
+	// IndexedVictims enables the speculation monitor's heap-backed victim
+	// index in place of the per-offer linear scan. Exact-equivalent by
+	// construction (the monitor refuses configurations where it is not);
+	// purely a performance knob.
+	IndexedVictims bool
 }
 
 // WithDefaults fills zero fields with the paper's defaults for the mode.

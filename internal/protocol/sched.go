@@ -139,7 +139,7 @@ type Sched struct {
 // NewSched builds a scheduler core. cfg must already have defaults
 // applied (adapters call Config.WithDefaults once per cluster).
 func NewSched(id SchedID, cfg Config, env SchedEnv) *Sched {
-	return &Sched{
+	sc := &Sched{
 		cfg:   cfg,
 		env:   env,
 		id:    id,
@@ -148,7 +148,16 @@ func NewSched(id SchedID, cfg Config, env SchedEnv) *Sched {
 		beta:  stats.NewTailEstimator(1e-9, cfg.BetaPrior, 30),
 		alpha: estimate.NewAlphaEstimator(),
 	}
+	if cfg.IndexedVictims {
+		sc.mon.EnableIndex()
+	}
+	return sc
 }
+
+// CopyPlaced tells the speculation monitor a non-speculative placement
+// landed (the copy's start and duration are now fixed). Adapters call it
+// after the executor places an original; a no-op unless IndexedVictims.
+func (sc *Sched) CopyPlaced(t *cluster.Task) { sc.mon.OriginalCopyPlaced(t) }
 
 // ID returns the scheduler's cluster-wide identity.
 func (sc *Sched) ID() SchedID { return sc.id }
@@ -432,7 +441,7 @@ func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 		// its virtual size, i.e. below its desired speculation level, so
 		// the slot goes to a racing copy of its worst observable
 		// straggler even if the detection policy has not flagged one.
-		if v := sc.mon.BestVictim(sc.env.Now(), d.running.Tasks(), maxCopies); v != nil {
+		if v := sc.mon.BestVictimFor(sc.env.Now(), jobID, d.running.Tasks(), maxCopies); v != nil {
 			t, spec = v, true
 		}
 	}
@@ -454,6 +463,7 @@ func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 	d.occupied++
 	if !spec {
 		d.running.Add(t)
+		sc.mon.TaskHandedOut(t)
 	}
 	return Reply{
 		HasTask: true, Task: t, Job: jobID,
@@ -503,6 +513,7 @@ func (sc *Sched) HandleGetTask(jobID cluster.JobID, m cluster.MachineID) Reply {
 	d.occupied++
 	if !spec {
 		d.running.Add(t)
+		sc.mon.TaskHandedOut(t)
 	}
 	return Reply{
 		HasTask: true, Task: t, Job: jobID,

@@ -198,13 +198,41 @@ type Engine struct {
 	calOn     bool
 	resizes   int
 	heapOnly  bool // pins the engine to the plain heap (benchmarks/tests)
+	// behindInserts counts sorted inserts into the bucket being consumed
+	// (the b <= curBucket branch); tests use it to prove coverage.
+	behindInserts int
 
 	calibN   int
 	calibSum Time
 
+	// Sharded-mode state (see shard.go; all zero on a serial engine). A
+	// sharded engine partitions the event queue across shards sub-engines
+	// used purely as queues — the parent owns virtual time, the global
+	// sequence counter, the RNG, and the event count, and fires events in
+	// global (time, seq) order, so execution is byte-identical to a serial
+	// engine. Cross-shard posts park in the sending shard's outbox until
+	// the next epoch barrier (epochs are lookahead wide).
+	shards    []*Engine
+	curShard  int
+	lookahead Time
+	outbox    [][]outMsg
+	outboxN   int
+	// heads caches each shard's earliest pending (at, seq) so the merge
+	// loop re-primes only the shard whose queue changed (the one that
+	// just fired, or all after a flush/Drain). headsValid goes false on
+	// any out-of-band queue mutation (Drain).
+	heads      []shardHead
+	headsValid bool
+
 	// Fired counts events that have executed; useful for tests and for
 	// sanity-checking runaway simulations.
 	Fired uint64
+
+	// CrossShard and Barriers count cross-shard events parked in outboxes
+	// and epoch-barrier flushes (sharded engines only) — diagnostics for
+	// tests and bench reports.
+	CrossShard uint64
+	Barriers   uint64
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -294,10 +322,27 @@ func (e *Engine) bucketOf(t Time) int64 {
 }
 
 func (e *Engine) insert(s slot) {
-	at := s.at
 	s.seq = e.seq
 	e.seq++
 	e.count++
+	if e.shards != nil {
+		// Sharded engine: implicit posts are shard-local — they land in
+		// the queue of the shard whose event is executing (shard 0 before
+		// the run starts). Explicit cross-shard routing goes through
+		// PostArgShard.
+		sub := e.shards[e.curShard]
+		sub.now = e.now
+		sub.enqueue(s)
+		return
+	}
+	e.enqueue(s)
+}
+
+// enqueue places an already-sequenced slot into this queue. On a serial
+// engine it is the tail of insert; on a sharded engine it runs against a
+// sub-engine whose clock the parent has just synced.
+func (e *Engine) enqueue(s slot) {
+	at := s.at
 	if at > e.maxAt {
 		e.maxAt = at
 	}
@@ -320,6 +365,7 @@ func (e *Engine) insert(s slot) {
 		// a deadline-advanced cursor): sorted-insert into the unconsumed
 		// tail of near. Consumed entries are all <= now <= at, so the
 		// search over the tail alone is correct.
+		e.behindInserts++
 		i := e.nearPos + sort.Search(len(e.near)-e.nearPos, func(k int) bool {
 			return slotLess(s, e.near[e.nearPos+k])
 		})
@@ -394,10 +440,17 @@ func (e *Engine) prime() bool {
 		}
 		// Copy into the reused near buffer and truncate the bucket in
 		// place, so every bucket keeps its grown capacity for the next
-		// ring rotation and steady-state loads allocate nothing.
+		// ring rotation and steady-state loads allocate nothing. Scrub
+		// the vacated bucket slots (and any stale near tail beyond the
+		// new length) so the retained capacity holds no fn/arg/handle
+		// references once the copied events fire.
+		if len(b) < len(e.near) {
+			clear(e.near[len(b):])
+		}
 		e.near = append(e.near[:0], b...)
 		e.nearPos = 0
 		e.ringCount -= len(b)
+		clear(b)
 		e.buckets[idx] = b[:0]
 		for len(e.overflow) > 0 && e.bucketOf(e.overflow[0].at) <= e.curBucket {
 			e.near = append(e.near, e.overflow.pop())
@@ -425,11 +478,13 @@ func (e *Engine) resize(occupancy int) {
 		}
 	}
 	// Harvest every ring slot back into overflow first; prime re-deals
-	// them at the new width.
+	// them at the new width. Scrub each vacated bucket so the retained
+	// capacity holds no references.
 	for i := range e.buckets {
 		for _, s := range e.buckets[i] {
 			e.overflow.push(s)
 		}
+		clear(e.buckets[i])
 		e.buckets[i] = e.buckets[i][:0]
 	}
 	if nb > int64(len(e.buckets)) {
@@ -448,16 +503,34 @@ func (e *Engine) nextAt() Time {
 	return e.near[e.nearPos].at
 }
 
+// head returns the (at, seq) key of this queue's earliest pending slot;
+// prime must have reported true. The sharded run loop uses it to pick the
+// globally minimal event across sub-queues without popping.
+func (e *Engine) head() (Time, uint64) {
+	if !e.calOn {
+		return e.overflow[0].at, e.overflow[0].seq
+	}
+	s := &e.near[e.nearPos]
+	return s.at, s.seq
+}
+
 func (e *Engine) popMin() slot {
 	if !e.calOn {
 		return e.overflow.pop()
 	}
 	s := e.near[e.nearPos]
+	e.near[e.nearPos] = slot{} // release fn/afn/arg/h for GC
 	e.nearPos++
 	return s
 }
 
-// Stop halts Run after the currently executing event returns.
+// Stop halts Run after the currently executing event returns. If no run
+// is in progress — Stop called between runs, or by the final event's
+// callback after the queue emptied — the stop is retained and the next
+// Run/RunUntil call returns before firing any event. Each Run/RunUntil
+// consumes at most one stop: the run it halts (or the armed run that
+// returns immediately) clears the flag, so the run after that proceeds
+// normally.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until no events remain or Stop is
@@ -469,9 +542,14 @@ func (e *Engine) Run() Time {
 // RunUntil executes events in time order until the next event would fire
 // strictly after deadline, no events remain, or Stop is called. A negative
 // deadline means "no deadline". Time advances to the deadline if it is
-// beyond the last event fired.
+// beyond the last event fired. A Stop that arrived while no run was in
+// progress makes RunUntil return before firing any event (see Stop); the
+// pending stop is consumed either way.
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.stopped = false
+	if e.shards != nil {
+		return e.runSharded(deadline)
+	}
+	defer func() { e.stopped = false }()
 	for !e.stopped && e.prime() {
 		if deadline >= 0 && e.nextAt() > deadline {
 			e.now = deadline
@@ -497,12 +575,31 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Drain discards all pending events without running them. Useful when a
-// simulation has logically completed but periodic timers remain.
+// simulation has logically completed but periodic timers remain. The
+// queue's backing arrays keep their capacity but are scrubbed, so a
+// drained engine retains no references to event callbacks, payloads, or
+// cancellation handles.
 func (e *Engine) Drain() {
+	if e.shards != nil {
+		for _, sub := range e.shards {
+			sub.Drain()
+		}
+		for i := range e.outbox {
+			clear(e.outbox[i])
+			e.outbox[i] = e.outbox[i][:0]
+		}
+		e.outboxN = 0
+		e.count = 0
+		e.headsValid = false
+		return
+	}
+	clear(e.near)
 	e.near = e.near[:0]
 	e.nearPos = 0
+	clear(e.overflow)
 	e.overflow = e.overflow[:0]
 	for i := range e.buckets {
+		clear(e.buckets[i])
 		e.buckets[i] = e.buckets[i][:0]
 	}
 	e.ringCount = 0

@@ -78,6 +78,85 @@ func TestCalendarMatchesHeapOrder(t *testing.T) {
 	}
 }
 
+// runCursorWorkload drives the deadline-advanced-cursor paths: RunUntil
+// with short deadlines, then same-timestamp PostArg fills at exactly the
+// cursor time (and just past it), plus periodic dense bursts that force a
+// mid-run resize. All fills land at or before the bucket being consumed,
+// so the calendar engine takes the b <= curBucket sorted-insert branch.
+// The driver's randomness is engine-independent, so both queue
+// implementations see the identical post sequence.
+func runCursorWorkload(heapOnly bool, seed int64) (e *Engine, times []Time, ids []int64) {
+	e = New(1)
+	e.heapOnly = heapOnly
+	rng := rand.New(rand.NewSource(seed))
+	fire := func(a any) {
+		times = append(times, e.Now())
+		ids = append(ids, a.(int64))
+	}
+	var id int64
+	next := func() int64 { id++; return id }
+	// Initial spread: enough positive deltas to calibrate the calendar.
+	for i := 0; i < 400; i++ {
+		e.PostArg(rng.Float64()*10, fire, next())
+	}
+	budget := 3000
+	deadline := Time(0)
+	for e.Pending() > 0 {
+		deadline += 0.05 + rng.Float64()*0.2
+		e.RunUntil(deadline)
+		if budget <= 0 {
+			continue
+		}
+		for j, k := 0, rng.Intn(4); j < k; j++ {
+			budget -= 2
+			e.PostArg(e.Now(), fire, next()) // same timestamp, behind the cursor
+			e.PostArg(e.Now()+rng.Float64()*0.001, fire, next())
+		}
+		if rng.Intn(10) == 0 {
+			// Dense burst a few buckets ahead: lands in one ring bucket
+			// and drives its occupancy past resizeAt mid-run.
+			base := e.Now() + 2.0
+			for j := 0; j < 60; j++ {
+				budget--
+				e.PostArg(base+rng.Float64()*0.001, fire, next())
+			}
+		}
+	}
+	return e, times, ids
+}
+
+// TestCursorFillsMatchHeapOrder pins the behind-cursor insert path: the
+// calendar must fire deadline-interleaved, same-timestamp, and
+// resize-displaced events in exactly the heap's (time, FIFO) order.
+func TestCursorFillsMatchHeapOrder(t *testing.T) {
+	sawBehind, sawResize := false, false
+	for seed := int64(0); seed < 10; seed++ {
+		_, ta, ia := runCursorWorkload(true, seed)
+		cal, tb, ib := runCursorWorkload(false, seed)
+		if cal.behindInserts > 0 {
+			sawBehind = true
+		}
+		if cal.resizes > 0 {
+			sawResize = true
+		}
+		if len(ia) != len(ib) {
+			t.Fatalf("seed %d: fired %d (heap) vs %d (calendar)", seed, len(ia), len(ib))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] || ia[i] != ib[i] {
+				t.Fatalf("seed %d: divergence at event %d: (t=%v id=%d) vs (t=%v id=%d)",
+					seed, i, ta[i], ia[i], tb[i], ib[i])
+			}
+		}
+	}
+	if !sawBehind {
+		t.Fatal("workload never took the behind-cursor insert branch")
+	}
+	if !sawResize {
+		t.Fatal("workload never resized mid-run")
+	}
+}
+
 // TestCalendarResizeKeepsEvents drives a workload dense enough to force
 // occupancy resizes with ring regrowth and asserts no event is lost.
 func TestCalendarResizeKeepsEvents(t *testing.T) {

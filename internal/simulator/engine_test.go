@@ -141,6 +141,50 @@ func TestStop(t *testing.T) {
 	}
 }
 
+func TestStopBetweenRunsArmsNextRun(t *testing.T) {
+	eng := New(1)
+	count := 0
+	for i := 1; i <= 4; i++ {
+		eng.At(Time(i), func() { count++ })
+	}
+	eng.RunUntil(2.5)
+	if count != 2 {
+		t.Fatalf("fired %d by 2.5, want 2", count)
+	}
+	// Stop with no run in progress must not be dropped: the next run
+	// returns before firing anything.
+	eng.Stop()
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("armed stop was dropped: count=%d, want 2", count)
+	}
+	if eng.Pending() != 2 {
+		t.Fatalf("pending=%d, want 2", eng.Pending())
+	}
+	// The stopped run consumed the stop; the run after it proceeds.
+	eng.Run()
+	if count != 4 {
+		t.Fatalf("stop leaked into a second run: count=%d, want 4", count)
+	}
+}
+
+func TestStopByFinalCallbackArmsNextRun(t *testing.T) {
+	eng := New(1)
+	// The final event's callback stops the engine; the queue is already
+	// empty so the current run ends regardless — the stop must carry over
+	// to the next run instead of vanishing... unless that same run's loop
+	// exit consumed it. Contract: the loop exit check sees stopped=true
+	// and the run consumes it, so the next run proceeds normally.
+	fired := 0
+	eng.At(1, func() { eng.Stop() })
+	eng.Run()
+	eng.At(2, func() { fired++ })
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("run after an in-run stop fired %d, want 1", fired)
+	}
+}
+
 func TestDrain(t *testing.T) {
 	eng := New(1)
 	eng.At(1, func() { t.Fatal("drained event fired") })

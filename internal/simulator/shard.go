@@ -1,0 +1,246 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sharded engine: the event queue is partitioned across N sub-queues
+// ("shards"), but execution stays a single global (time, seq) order — the
+// parent engine owns virtual time, the sequence counter, the RNG, and the
+// event count, and each step fires the minimum head across all shards.
+// Because the execution order (and therefore sequence assignment and RNG
+// consumption) is identical to a serial engine's, a sharded run is
+// byte-identical to a serial run for any shard count, by construction.
+//
+// What sharding buys is queue locality, not reordering: each shard's
+// calendar calibrates to its own event density, so per-shard rings cover
+// N× the time horizon at the same occupancy and fewer inserts detour
+// through the overflow heap. It is also the determinism scaffolding for a
+// future multi-core mode (see DESIGN.md): the epoch/outbox machinery below
+// enforces the conservative-PDES contract today, on one core, where
+// violations are cheap to find.
+//
+// Cross-shard sends must respect the lookahead: an event posted from shard
+// A's executing event onto shard B must be at least `lookahead` in the
+// future (protocol messages always are — lookahead is the minimum one-way
+// message latency). Such posts park in the sending shard's outbox and are
+// delivered at the next epoch barrier (epochs are lookahead wide) in
+// canonical (sender shard, seq) order. Under the global min-merge the
+// barrier never changes execution order — every parked event is beyond the
+// current epoch, and the run loop flushes before crossing an epoch edge —
+// so the machinery is pure contract enforcement plus diagnostics
+// (CrossShard, Barriers).
+
+// outMsg is one cross-shard event parked in a sender outbox until the next
+// epoch barrier.
+type outMsg struct {
+	dst int
+	s   slot
+}
+
+// NewSharded returns an engine whose queue is partitioned across n shards.
+// n <= 1 returns a plain serial engine. The sharded engine's public
+// behavior (Run, RunUntil, Post*, At/After, Stop, Drain, Pending, Rand) is
+// identical to New(seed)'s — byte-identical execution — plus PostArgShard
+// for explicit cross-shard routing.
+func NewSharded(seed int64, n int) *Engine {
+	if n <= 1 {
+		return New(seed)
+	}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.shards = make([]*Engine, n)
+	for i := range e.shards {
+		// Sub-engines are pure queues: no RNG, never Run; the parent syncs
+		// their clocks before every enqueue/prime so calibration and
+		// past-scheduling checks see correct time. They keep the standard
+		// ring cap: each shard sees ~1/n of the events, so at the same cap
+		// its calibrated buckets are wider and the ring horizon covers n×
+		// the time span — widening the cap further was measured slower
+		// (prime's next-bucket scan walks the sparser ring).
+		e.shards[i] = &Engine{}
+	}
+	e.outbox = make([][]outMsg, n)
+	return e
+}
+
+// ShardCount returns the number of queue shards; 0 means a serial engine.
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// SetLookahead declares the minimum cross-shard latency: every
+// PostArgShard to a foreign shard must land at least d beyond the sending
+// event's time. It also sets the epoch width for outbox barriers. Zero
+// (the default) forbids cross-shard posts entirely.
+func (e *Engine) SetLookahead(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("simulator: negative lookahead %v", d))
+	}
+	e.lookahead = d
+}
+
+// PostArgShard schedules fn(arg) at absolute time t on shard dst. On a
+// serial engine it is exactly PostArg (dst ignored), so adapters can route
+// unconditionally. On a sharded engine, posts to the currently executing
+// shard are immediate; posts to any other shard must respect the lookahead
+// and park in the sender's outbox until the next epoch barrier.
+func (e *Engine) PostArgShard(dst int, t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
+	}
+	if e.shards == nil {
+		e.insert(slot{at: t, afn: fn, arg: arg})
+		return
+	}
+	e.postShard(dst, slot{at: t, afn: fn, arg: arg})
+}
+
+func (e *Engine) postShard(dst int, s slot) {
+	s.seq = e.seq
+	e.seq++
+	e.count++
+	if dst == e.curShard {
+		sub := e.shards[dst]
+		sub.now = e.now
+		sub.enqueue(s)
+		return
+	}
+	// Conservative-PDES contract: a cross-shard event must be beyond the
+	// lookahead, otherwise epoch-parallel execution could miss it.
+	if e.lookahead <= 0 {
+		panic("simulator: cross-shard post with no lookahead set (SetLookahead)")
+	}
+	if s.at < e.now+e.lookahead {
+		panic(fmt.Sprintf("simulator: cross-shard post at %v violates lookahead %v from now %v",
+			s.at, e.lookahead, e.now))
+	}
+	e.outbox[e.curShard] = append(e.outbox[e.curShard], outMsg{dst: dst, s: s})
+	e.outboxN++
+	e.CrossShard++
+}
+
+// pastBarrier reports whether advancing to time t would cross the current
+// epoch's end. Epochs are lookahead-wide half-open intervals [kW, (k+1)W).
+func (e *Engine) pastBarrier(t Time) bool {
+	if e.lookahead <= 0 {
+		return false
+	}
+	epochEnd := (math.Floor(e.now/e.lookahead) + 1) * e.lookahead
+	return t >= epochEnd
+}
+
+// flushOutbox delivers all parked cross-shard events in canonical (sender
+// shard, seq) order. Every parked event is at or beyond the current epoch
+// end (the lookahead assert plus the flush-before-crossing rule in
+// runSharded guarantee it), so delivery order cannot affect the global
+// merge — but the canonical order keeps sub-queue internal state (bucket
+// append order) independent of timing accidents.
+func (e *Engine) flushOutbox() {
+	for i := range e.outbox {
+		for _, m := range e.outbox[i] {
+			sub := e.shards[m.dst]
+			sub.now = e.now
+			sub.enqueue(m.s)
+		}
+		clear(e.outbox[i])
+		e.outbox[i] = e.outbox[i][:0]
+	}
+	e.outboxN = 0
+	e.Barriers++
+}
+
+// shardHead caches one shard's earliest pending key, so the merge loop's
+// per-event work is a compare over n cached heads instead of n prime
+// calls. A head goes stale only when its shard's queue changes — a pop or
+// an enqueue — and every mutation path marks exactly the shards it
+// touched (the fired shard absorbs its own implicit posts; outbox flushes
+// refresh everyone; Drain invalidates via headsValid).
+type shardHead struct {
+	at  Time
+	seq uint64
+	ok  bool
+}
+
+// refreshHead re-primes shard i and recaches its head key.
+func (e *Engine) refreshHead(i int) {
+	sub := e.shards[i]
+	sub.now = e.now
+	if sub.prime() {
+		at, seq := sub.head()
+		e.heads[i] = shardHead{at: at, seq: seq, ok: true}
+	} else {
+		e.heads[i] = shardHead{}
+	}
+}
+
+// runSharded is RunUntil for a sharded engine: a global min-merge over
+// cached shard heads by (at, seq), with outbox flushes at epoch edges.
+// Stop and deadline semantics match the serial loop exactly.
+func (e *Engine) runSharded(deadline Time) Time {
+	defer func() { e.stopped = false }()
+	if len(e.heads) != len(e.shards) {
+		e.heads = make([]shardHead, len(e.shards))
+	}
+	for i := range e.heads {
+		e.refreshHead(i)
+	}
+	e.headsValid = true
+	heads := e.heads
+	for !e.stopped {
+		best := -1
+		var bat Time
+		var bseq uint64
+		for i := range heads {
+			h := &heads[i]
+			if !h.ok {
+				continue
+			}
+			if best < 0 || h.at < bat || (h.at == bat && h.seq < bseq) {
+				best, bat, bseq = i, h.at, h.seq
+			}
+		}
+		if e.outboxN > 0 && (best < 0 || e.pastBarrier(bat)) {
+			e.flushOutbox()
+			for i := range heads {
+				e.refreshHead(i)
+			}
+			continue
+		}
+		if best < 0 {
+			break
+		}
+		if deadline >= 0 && bat > deadline {
+			e.now = deadline
+			return e.now
+		}
+		s := e.shards[best].popMin()
+		e.count--
+		if s.h != nil && s.h.canceled {
+			e.refreshHead(best)
+			continue
+		}
+		e.curShard = best
+		e.now = s.at
+		e.Fired++
+		if s.afn != nil {
+			s.afn(s.arg)
+		} else {
+			s.fn()
+		}
+		if e.headsValid {
+			// The fired event's callback could only have enqueued onto its
+			// own shard (implicit posts) or parked in an outbox.
+			e.refreshHead(best)
+		} else {
+			// Out-of-band mutation (Drain) during the callback: rebuild.
+			for i := range heads {
+				e.refreshHead(i)
+			}
+			e.headsValid = true
+		}
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,189 @@
+package simulator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shardNet is a toy message-passing network: nodes fire, draw randomness,
+// and forward to random peers at least one lookahead in the future —
+// exactly the shape of the protocol traffic the sharded engine exists
+// for. The same driver runs on a serial and a sharded engine (dst is
+// ignored on a serial engine), so any divergence in the trace, RNG
+// consumption, or clock is an ordering bug.
+type shardNet struct {
+	eng    *Engine
+	n      int // nodes
+	shards int // partition divisor (>=1 even on serial engines)
+	la     Time
+	hops   int
+	log    strings.Builder
+}
+
+func (net *shardNet) fire(arg any) {
+	id := arg.(int)
+	e := net.eng
+	fmt.Fprintf(&net.log, "%.9f %d %d\n", e.Now(), id, e.Rand().Intn(1000))
+	if net.hops <= 0 {
+		return
+	}
+	net.hops--
+	// Cross-shard hop: random peer, at least one lookahead out.
+	peer := e.Rand().Intn(net.n)
+	e.PostArgShard(peer%net.shards, e.Now()+net.la+e.Rand().Float64()*net.la*3, net.fire, peer)
+	// Same-shard hop: an implicit post stays on the executing shard, at
+	// any delay — including inside the current epoch.
+	if e.Rand().Intn(3) == 0 {
+		e.PostArg(e.Now()+e.Rand().Float64()*net.la/2, net.fire, id)
+	}
+}
+
+func runShardNet(seed int64, shards int) (*shardNet, *Engine) {
+	var eng *Engine
+	if shards <= 1 {
+		eng = New(seed)
+	} else {
+		eng = NewSharded(seed, shards)
+	}
+	eng.SetLookahead(0.001)
+	net := &shardNet{eng: eng, n: 16, shards: max(1, eng.ShardCount()), la: 0.001, hops: 4000}
+	for i := 0; i < net.n; i++ {
+		eng.PostArg(Time(i)*0.0001, net.fire, i)
+	}
+	eng.Run()
+	return net, eng
+}
+
+// TestShardedMatchesSerial pins the tentpole contract: a sharded run is
+// byte-identical to a serial run — same event trace, same RNG draws, same
+// final clock and fire count — for any shard count.
+func TestShardedMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ref, refEng := runShardNet(seed, 1)
+		for _, n := range []int{2, 3, 4, 8} {
+			got, eng := runShardNet(seed, n)
+			if got.log.String() != ref.log.String() {
+				t.Fatalf("seed %d shards %d: trace diverged from serial", seed, n)
+			}
+			if eng.Fired != refEng.Fired || eng.Now() != refEng.Now() {
+				t.Fatalf("seed %d shards %d: Fired/Now = %d/%v, serial %d/%v",
+					seed, n, eng.Fired, eng.Now(), refEng.Fired, refEng.Now())
+			}
+			if eng.CrossShard == 0 || eng.Barriers == 0 {
+				t.Fatalf("seed %d shards %d: CrossShard=%d Barriers=%d — the cross-shard path is unexercised",
+					seed, n, eng.CrossShard, eng.Barriers)
+			}
+		}
+	}
+}
+
+func TestNewShardedDegeneratesToSerial(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if got := NewSharded(7, n).ShardCount(); got != 0 {
+			t.Fatalf("NewSharded(7, %d).ShardCount() = %d, want 0 (serial)", n, got)
+		}
+	}
+	if got := NewSharded(7, 4).ShardCount(); got != 4 {
+		t.Fatalf("ShardCount() = %d, want 4", got)
+	}
+}
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		if !strings.Contains(fmt.Sprint(r), want) {
+			t.Fatalf("panic %q does not contain %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestCrossShardLookaheadEnforced pins the conservative-PDES contract:
+// cross-shard posts inside the lookahead window (or with no lookahead
+// declared) panic instead of silently risking an ordering violation.
+func TestCrossShardLookaheadEnforced(t *testing.T) {
+	eng := NewSharded(1, 2)
+	eng.SetLookahead(0.1)
+	eng.PostArg(0, func(any) {
+		eng.PostArgShard(1, eng.Now()+0.05, func(any) {}, nil)
+	}, nil)
+	mustPanic(t, "violates lookahead", func() { eng.Run() })
+
+	eng = NewSharded(1, 2)
+	eng.PostArg(0, func(any) {
+		eng.PostArgShard(1, eng.Now()+10, func(any) {}, nil)
+	}, nil)
+	mustPanic(t, "no lookahead", func() { eng.Run() })
+
+	// On a serial engine the same post is a plain PostArg: no contract.
+	fired := false
+	ser := New(1)
+	ser.PostArg(0, func(any) {
+		ser.PostArgShard(1, ser.Now()+0.05, func(any) { fired = true }, nil)
+	}, nil)
+	ser.Run()
+	if !fired {
+		t.Fatal("serial PostArgShard did not deliver")
+	}
+}
+
+// TestShardedRunUntilAndStop pins that deadline and Stop semantics match
+// the serial engine: RunUntil advances the clock to the deadline without
+// firing later events, and Stop halts after the current event.
+func TestShardedRunUntilAndStop(t *testing.T) {
+	eng := NewSharded(3, 2)
+	eng.SetLookahead(0.5)
+	var fired []Time
+	note := func(any) { fired = append(fired, eng.Now()) }
+	for i, at := range []Time{1, 2, 3} {
+		eng.PostArgShard(i%2, at, note, nil)
+	}
+	if got := eng.RunUntil(1.5); got != 1.5 || len(fired) != 1 {
+		t.Fatalf("RunUntil(1.5) = %v with %d fired, want 1.5 with 1", got, len(fired))
+	}
+	if got := eng.Run(); got != 3 || len(fired) != 3 {
+		t.Fatalf("Run() = %v with %d fired, want 3 with 3", got, len(fired))
+	}
+
+	eng = NewSharded(3, 2)
+	eng.SetLookahead(0.5)
+	fired = nil
+	eng.PostArgShard(0, 1, func(any) { fired = append(fired, eng.Now()); eng.Stop() }, nil)
+	eng.PostArgShard(1, 2, note, nil)
+	eng.Run()
+	if len(fired) != 1 || eng.Pending() != 1 {
+		t.Fatalf("after Stop: %d fired, %d pending, want 1 and 1", len(fired), eng.Pending())
+	}
+	eng.Run() // stop was consumed; the remaining event fires
+	if len(fired) != 2 {
+		t.Fatalf("after resume: %d fired, want 2", len(fired))
+	}
+}
+
+// TestShardedDrain pins that Drain empties sub-queues and parked outbox
+// events alike.
+func TestShardedDrain(t *testing.T) {
+	eng := NewSharded(5, 2)
+	eng.SetLookahead(0.1)
+	eng.PostArg(0, func(any) {
+		eng.PostArgShard(1, eng.Now()+1, func(any) { t.Error("drained event fired") }, nil)
+		eng.PostArg(eng.Now()+2, func(any) { t.Error("drained event fired") }, nil)
+		eng.Stop()
+	}, nil)
+	eng.Run()
+	if eng.Pending() != 2 {
+		t.Fatalf("Pending() = %d before Drain, want 2 (one parked, one queued)", eng.Pending())
+	}
+	eng.Drain()
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Drain, want 0", eng.Pending())
+	}
+	if got := eng.Run(); got != 0 {
+		t.Fatalf("Run() after Drain = %v, want 0 (no events)", got)
+	}
+}

@@ -181,6 +181,11 @@ type Monitor struct {
 	rng     *rand.Rand
 	jobs    map[cluster.JobID]*jobStats
 	slowPct float64 // percentile for the slow-task threshold (LATE)
+
+	// idx, when non-nil, answers BestVictimFor from per-job heaps instead
+	// of the linear scan — see victimindex.go for the structure and the
+	// exact-equivalence argument.
+	idx map[cluster.JobID]*jobVictims
 }
 
 // NewMonitor returns a Monitor with the given config (defaults applied).
@@ -208,9 +213,10 @@ func (m *Monitor) TaskCompleted(t *cluster.Task, winner *cluster.Copy) {
 	js.version++
 }
 
-// JobDone releases the job's history.
+// JobDone releases the job's history and victim index.
 func (m *Monitor) JobDone(j *cluster.Job) {
 	delete(m.jobs, j.ID)
+	delete(m.idx, j.ID)
 }
 
 // refreshCache recomputes the job-level estimates if completions arrived
@@ -226,11 +232,17 @@ func (js *jobStats) refreshCache(slowPct float64) {
 
 // estNew returns the estimated duration of a fresh copy for a task.
 func (m *Monitor) estNew(t *cluster.Task) float64 {
-	if js := m.jobs[t.Job.ID]; js != nil && js.done.N() >= 5 {
+	return m.estNewFor(t.Job.ID, t.Phase)
+}
+
+// estNewFor is estNew keyed by (job, phase) — the granularity at which the
+// estimate is actually uniform, which the victim index relies on.
+func (m *Monitor) estNewFor(jobID cluster.JobID, phase *cluster.Phase) float64 {
+	if js := m.jobs[jobID]; js != nil && js.done.N() >= 5 {
 		js.refreshCache(m.slowPct)
 		return js.estNew
 	}
-	return t.Phase.MeanTaskDuration
+	return phase.MeanTaskDuration
 }
 
 // slowThreshold returns the straggler cutoff for LATE-style percentile

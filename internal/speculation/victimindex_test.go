@@ -1,0 +1,166 @@
+package speculation
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+)
+
+// victimSim drives one job through randomized hand-out / placement /
+// speculation / completion traffic, mirroring what a scheduler does to
+// the monitor, and lets the test compare the indexed and scanned victim
+// answers at every step.
+type victimSim struct {
+	m       *Monitor
+	rng     *rand.Rand
+	job     *cluster.Job
+	running []*cluster.Task // nil-tombstoned, like RunningSet
+	fresh   []*cluster.Task // handed out, original not yet placed
+	placed  []*cluster.Task // running with exactly one copy
+	done    int
+}
+
+func newVictimSim(m *Monitor, rng *rand.Rand, id cluster.JobID) *victimSim {
+	var phases []*cluster.Phase
+	for p := 0; p < 2; p++ {
+		ph := &cluster.Phase{MeanTaskDuration: []float64{1.0, 2.5}[p], Tasks: make([]*cluster.Task, 15)}
+		for i := range ph.Tasks {
+			ph.Tasks[i] = &cluster.Task{}
+		}
+		phases = append(phases, ph)
+	}
+	return &victimSim{m: m, rng: rng, job: cluster.NewJob(id, "", 0, phases)}
+}
+
+func (s *victimSim) total() int { return len(s.job.Phases[0].Tasks) + len(s.job.Phases[1].Tasks) }
+
+// step performs one random scheduler action at time now and reports
+// whether the job still has work.
+func (s *victimSim) step(now float64) bool {
+	handed := len(s.fresh) + len(s.placed) + s.done
+	switch op := s.rng.Intn(4); {
+	case op == 0 && handed < s.total():
+		// Hand out the next fresh task.
+		ph := s.job.Phases[0]
+		idx := handed
+		if idx >= len(ph.Tasks) {
+			ph = s.job.Phases[1]
+			idx -= len(s.job.Phases[0].Tasks)
+		}
+		t := ph.Tasks[idx]
+		t.State = cluster.TaskRunning
+		s.running = append(s.running, t)
+		s.m.TaskHandedOut(t)
+		s.fresh = append(s.fresh, t)
+	case op == 1 && len(s.fresh) > 0:
+		// Place a pending original. Quantized durations manufacture
+		// finish-time ties, exercising the hand-out-order tie-break.
+		i := s.rng.Intn(len(s.fresh))
+		t := s.fresh[i]
+		s.fresh[i] = s.fresh[len(s.fresh)-1]
+		s.fresh = s.fresh[:len(s.fresh)-1]
+		t.Copies = append(t.Copies, &cluster.Copy{
+			Task: t, Start: now, Duration: float64(s.rng.Intn(8)+1) * 0.5,
+		})
+		s.m.OriginalCopyPlaced(t)
+		s.placed = append(s.placed, t)
+	case op == 2 && len(s.placed) > 0:
+		// Add a speculative copy to a running task (drops it out of
+		// victim eligibility in both implementations).
+		t := s.placed[s.rng.Intn(len(s.placed))]
+		if len(t.Copies) == 1 {
+			t.Copies = append(t.Copies, &cluster.Copy{
+				Task: t, Start: now, Duration: float64(s.rng.Intn(8)+1) * 0.5, Speculative: true,
+			})
+		}
+	case op == 3 && len(s.placed) > 0:
+		// Complete a placed task: a winner is recorded, losers killed,
+		// and the task leaves the running set.
+		i := s.rng.Intn(len(s.placed))
+		t := s.placed[i]
+		s.placed[i] = s.placed[len(s.placed)-1]
+		s.placed = s.placed[:len(s.placed)-1]
+		w := t.Copies[s.rng.Intn(len(t.Copies))]
+		w.Won = true
+		for _, c := range t.Copies {
+			if !c.Won {
+				c.Killed = true
+			}
+		}
+		t.State = cluster.TaskDone
+		s.m.TaskCompleted(t, w)
+		for j, rt := range s.running {
+			if rt == t {
+				s.running[j] = nil
+			}
+		}
+		s.done++
+	}
+	return s.done < s.total()
+}
+
+// TestIndexedVictimMatchesScan is the exact-equivalence differential:
+// across randomized scheduler histories, the indexed BestVictimFor must
+// return the identical task pointer to the linear scan at every query
+// time — including nil-vs-nil, clamped-zero remainings, finish ties, and
+// the estNew switch from phase mean to job median.
+func TestIndexedVictimMatchesScan(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMonitor(Config{}, rng)
+		m.EnableIndex()
+		sims := []*victimSim{newVictimSim(m, rng, 1), newVictimSim(m, rng, 2)}
+		now := 0.0
+		queries := 0
+		for alive := true; alive; {
+			now += float64(rng.Intn(5)) * 0.125
+			alive = false
+			for _, s := range sims {
+				if s.step(now) {
+					alive = true
+				}
+				scan := m.BestVictim(now, s.running, 2)
+				idx := m.BestVictimFor(now, s.job.ID, s.running, 2)
+				if scan != idx {
+					t.Fatalf("seed %d now %v job %d: scan=%v index=%v", seed, now, s.job.ID, tid(scan), tid(idx))
+				}
+				if scan != nil {
+					queries++
+				}
+			}
+		}
+		for _, s := range sims {
+			m.JobDone(s.job)
+			if v := m.BestVictimFor(now, s.job.ID, s.running, 2); v != nil {
+				t.Fatalf("seed %d: victim %v from a completed job", seed, tid(v))
+			}
+		}
+		if queries == 0 {
+			t.Fatalf("seed %d: no query ever produced a victim; the differential is unexercised", seed)
+		}
+	}
+}
+
+func tid(t *cluster.Task) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.ID()
+}
+
+// TestEnableIndexGuards pins that the index refuses configurations where
+// it cannot be exact.
+func TestEnableIndexGuards(t *testing.T) {
+	for _, cfg := range []Config{{MaxCopies: 3}, {EstimateNoise: 0.1}} {
+		m := NewMonitor(cfg, rand.New(rand.NewSource(1)))
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EnableIndex(%+v) did not panic", cfg)
+				}
+			}()
+			m.EnableIndex()
+		}()
+	}
+}
