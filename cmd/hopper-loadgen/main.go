@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -46,8 +47,13 @@ func main() {
 		arrScale  = flag.Float64("arrival-scale", 1.0, "extra compression of inter-arrival gaps")
 		seed      = flag.Int64("seed", 1, "trace generation seed")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "replay deadline")
+		churn     = flag.Float64("churn", 0, "machine churn rate in leaves per virtual minute (requires -boot): workers are killed mid-replay and fresh ones join after -churn-down")
+		churnDown = flag.Float64("churn-down", 30, "virtual seconds a churned-away worker stays gone before a replacement joins")
 	)
 	flag.Parse()
+	if *churn > 0 && !*boot {
+		log.Fatal("-churn requires -boot (it kills and joins in-process workers)")
+	}
 
 	totalSlots := *nWork * *slots
 	numMachines := *nWork
@@ -92,12 +98,26 @@ func main() {
 		clients = append(clients, c)
 	}
 
+	var churnStop chan struct{}
+	var churnDone chan churnSummary
+	if *churn > 0 {
+		churnStop = make(chan struct{})
+		churnDone = make(chan churnSummary, 1)
+		fmt.Printf("churn armed: ~%.1f leaves/virtual-min, %gs virtual downtime\n", *churn, *churnDown)
+		go runChurn(lc, *churn, *churnDown, *timeScale, *seed, churnStop, churnDone)
+	}
+
 	run, stats, err := live.Replay(clients, tr.Jobs, live.ReplayConfig{
 		TimeScale:    *timeScale,
 		ArrivalScale: *arrScale,
 		Timeout:      *timeout,
 		Log:          os.Stderr,
 	})
+	var churned churnSummary
+	if churnStop != nil {
+		close(churnStop)
+		churned = <-churnDone
+	}
 	if err != nil {
 		log.Fatalf("replay: %v", err)
 	}
@@ -111,26 +131,97 @@ func main() {
 
 	if lc != nil {
 		// Booted in-process: the schedulers are ours to inspect. Double
-		// wakeups must stay zero — phase unlock delivery is exactly-once —
-		// and a nonzero count here is how a live deployment surfaces a
-		// re-delivery bug instead of silently absorbing it.
-		var rounds, placed int64
+		// wakeups and occupancy leaks must stay zero — nonzero is how a
+		// live deployment surfaces an accounting bug instead of silently
+		// absorbing it. The fault/recovery columns are expected to be
+		// nonzero exactly when faults were injected (-churn): requeues
+		// for lost copies, watchdog expiries for lost completions, offer
+		// timeouts and stale assigns for lost negotiation legs.
+		var rounds, placed, offerTO, staleAsn int64
 		for _, w := range lc.Workers {
+			if w == nil {
+				continue // churned away, replacement still pending
+			}
 			st := w.Stats()
 			rounds += st.RoundsStarted
 			placed += st.RoundsPlaced
+			offerTO += st.OfferTimeouts
+			staleAsn += st.StaleAssigns
 		}
 		tab := &metrics.Table{
-			Title:  "protocol counters (booted cluster)",
-			Header: []string{"sched", "double wakeups", "occ leaks"},
+			Title:  "protocol + fault/recovery counters (booted cluster)",
+			Header: []string{"sched", "requeues", "watchdog", "reconciled", "dbl wake", "occ leaks"},
 		}
 		for i, sc := range lc.Scheds {
 			st := sc.Stats()
-			tab.AddF(fmt.Sprintf("%d", i), int(st.DoubleWakeups), int(st.OccupancyLeaks))
+			tab.AddF(fmt.Sprintf("%d", i), int(st.Requeues), int(st.WatchdogExpiries),
+				int(st.ReconciledCopies+st.ReconciledReservations),
+				int(st.DoubleWakeups), int(st.OccupancyLeaks))
 		}
 		fmt.Println()
 		fmt.Print(tab.String())
-		fmt.Printf("worker rounds: %d started, %d placed\n", rounds, placed)
+		fmt.Printf("worker rounds: %d started, %d placed; %d offer timeouts, %d stale assigns\n",
+			rounds, placed, offerTO, staleAsn)
+		if *churn > 0 {
+			fmt.Printf("churn: %d workers killed, %d joined\n", churned.killed, churned.joined)
+		}
+	}
+}
+
+// churnSummary reports what the churn driver did.
+type churnSummary struct{ killed, joined int }
+
+// runChurn kills random live workers at the given rate (exponentially
+// spaced, expressed in virtual time and scaled to wall clock) and joins
+// a fresh replacement for each after the downtime. Lost copies ride the
+// scheduler's worker-crash recovery: occupancy rolls back and tasks
+// requeue away from the dead machine. A single goroutine owns every
+// cluster mutation, and the caller reads the summary only after closing
+// stop — so worker churn never races the final counters sweep.
+func runChurn(lc *live.LocalCluster, rate, down, timeScale float64, seed int64,
+	stop chan struct{}, done chan churnSummary) {
+	rng := rand.New(rand.NewSource(seed ^ 0x636875726e)) // "churn"
+	gap := func() time.Duration {
+		return time.Duration(rng.ExpFloat64() * 60 / rate * timeScale * float64(time.Second))
+	}
+	downWall := time.Duration(down * timeScale * float64(time.Second))
+	total := len(lc.Workers)
+	var sum churnSummary
+	var joins []time.Time // FIFO, naturally time-ordered (constant downtime)
+	nextKill := time.Now().Add(gap())
+	for {
+		wake := nextKill
+		if len(joins) > 0 && joins[0].Before(wake) {
+			wake = joins[0]
+		}
+		select {
+		case <-stop:
+			done <- sum
+			return
+		case <-time.After(time.Until(wake)):
+		}
+		now := time.Now()
+		for len(joins) > 0 && !joins[0].After(now) {
+			if _, err := lc.AddWorker(); err == nil {
+				sum.joined++
+			}
+			joins = joins[1:]
+		}
+		if !nextKill.After(now) {
+			var alive []int
+			for i, w := range lc.Workers {
+				if w != nil {
+					alive = append(alive, i)
+				}
+			}
+			// Never take more than a quarter of the fleet down at once.
+			if len(alive) > total*3/4 {
+				lc.KillWorker(alive[rng.Intn(len(alive))])
+				sum.killed++
+				joins = append(joins, now.Add(downWall))
+			}
+			nextKill = now.Add(gap())
+		}
 	}
 }
 

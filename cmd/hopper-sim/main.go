@@ -6,6 +6,7 @@
 //	hopper-sim -list
 //	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-shards N] [-v]
 //	hopper-sim -all
+//	hopper-sim -scenario churn
 //	hopper-sim -shard-check 2
 //	hopper-sim -bench-scale full -bench-out BENCH_PR6.json
 //	hopper-sim -bench-scale smoke -bench-out new.json -bench-check BENCH_PR6.json
@@ -50,6 +51,7 @@ func main() {
 func run() int {
 	var (
 		exp          = flag.String("experiment", "", "experiment ID to run (see -list)")
+		scenario     = flag.String("scenario", "", "robustness scenario ID to run (churn, ...; \"all\" runs every scenario — see -list)")
 		all          = flag.Bool("all", false, "run every experiment")
 		list         = flag.Bool("list", false, "list experiment IDs")
 		scale        = flag.Float64("scale", 1, "job-count scale factor")
@@ -103,6 +105,9 @@ func run() int {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		for _, e := range experiments.Scenarios {
+			fmt.Printf("%-8s %s (scenario; run with -scenario)\n", e.ID, e.Title)
+		}
 		return 0
 	}
 
@@ -153,6 +158,22 @@ func run() int {
 	}
 
 	switch {
+	case *scenario != "":
+		exps := experiments.Scenarios
+		if *scenario != "all" {
+			e, ok := experiments.ScenarioByID(*scenario)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown scenario %q; use -list\n", *scenario)
+				return 2
+			}
+			exps = []experiments.Experiment{e}
+		}
+		start := time.Now()
+		for _, res := range experiments.RunExperiments(h, exps) {
+			fmt.Print(res.String())
+			fmt.Println()
+		}
+		fmt.Printf("(%d scenarios in %.1fs)\n", len(exps), time.Since(start).Seconds())
 	case *all:
 		start := time.Now()
 		for _, res := range experiments.RunExperiments(h, experiments.Registry) {

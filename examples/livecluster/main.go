@@ -21,6 +21,7 @@ import (
 
 	"github.com/hopper-sim/hopper/internal/live"
 	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/wire"
 	"github.com/hopper-sim/hopper/internal/workload"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		Slots:      slots,
 		TimeScale:  timeScale,
 		Seed:       7,
+		// Workers re-dial a crashed scheduler's address until it returns;
+		// needed for the crash/restart drill below.
+		RedialInterval: 0.05,
 	})
 	if err != nil {
 		log.Fatalf("booting cluster: %v", err)
@@ -84,4 +88,71 @@ func main() {
 	fmt.Print(metrics.BinBreakdown("live replay: facebook profile, 2 schedulers / 20 workers", run).String())
 	fmt.Printf("\n%d speculative copies launched; %.1fs wall clock for %.0fs of virtual workload\n",
 		stats.SpecCopies, stats.WallTime.Seconds(), tr.Horizon)
+
+	crashRestartDrill(lc)
+}
+
+// crashRestartDrill kills scheduler 0 mid-workload and restarts it on
+// the same address. Workers keep their in-flight copies running, re-dial
+// on their own, and re-register with a running-copy + lost-reservation
+// inventory; resubmitting the lost jobs then adopts that work instead of
+// re-placing it. The printed counters show the recovery happening.
+func crashRestartDrill(lc *live.LocalCluster) {
+	const (
+		nJobs   = 6
+		nTasks  = 8
+		meanDur = 30.0 // virtual seconds; ~120ms of wall clock each
+	)
+	fmt.Println("\n--- scheduler crash/restart drill ---")
+
+	c1, err := live.NewClient(lc.Addrs[0])
+	if err != nil {
+		log.Fatalf("drill client: %v", err)
+	}
+	jobs := make([]*wire.SubmitJob, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		j := live.SimpleJob(uint64(9000+i), fmt.Sprintf("drill-%d", i), nTasks, meanDur)
+		jobs = append(jobs, j)
+		if err := c1.Submit(j); err != nil {
+			log.Fatalf("drill submit: %v", err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond) // first placement wave is in flight
+
+	fmt.Printf("killing scheduler 0 with %d jobs in flight (no drain — connections just break)\n", nJobs)
+	lc.KillScheduler(0)
+	c1.Close()
+	if err := lc.RestartScheduler(0); err != nil {
+		log.Fatalf("drill restart: %v", err)
+	}
+	fmt.Printf("scheduler 0 restarted on %s; workers re-dial and re-register with their inventory\n", lc.Addrs[0])
+
+	c2, err := live.NewClient(lc.Addrs[0])
+	if err != nil {
+		log.Fatalf("drill client 2: %v", err)
+	}
+	defer c2.Close()
+	// Give the workers one redial period to re-register, then resubmit
+	// the lost jobs from a fresh client.
+	time.Sleep(120 * time.Millisecond)
+	for _, j := range jobs {
+		if err := c2.Submit(j); err != nil {
+			log.Fatalf("drill resubmit: %v", err)
+		}
+	}
+	done := 0
+	for done < nJobs {
+		jc, err := c2.WaitAny()
+		if err != nil {
+			log.Fatalf("drill wait: %v", err)
+		}
+		if jc.Aborted {
+			log.Fatalf("drill job %d aborted after restart: %s", jc.JobID, jc.Error)
+		}
+		done++
+	}
+	st := lc.Scheds[0].Stats()
+	fmt.Printf("all %d jobs completed after the restart\n", nJobs)
+	fmt.Printf("recovery counters: %d running copies reconciled, %d lost reservations reported, %d requeues, %d occupancy leaks\n",
+		st.ReconciledCopies, st.ReconciledReservations, st.Requeues, st.OccupancyLeaks)
 }

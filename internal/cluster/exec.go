@@ -296,6 +296,37 @@ func (x *Executor) copyFinished(c *Copy) {
 	}
 }
 
+// KillCopy forcibly terminates a running copy with no winner — the
+// machine holding it left the cluster (churn) or its worker crashed.
+// The copy is detached from its task so completion accounting (which
+// settles per surviving copy) never counts it, its finish event is
+// cancelled, and the slot is released WITHOUT firing OnSlotFree: the
+// departed machine's slots are not schedulable. Reports false if the
+// copy had already finished or been killed.
+func (x *Executor) KillCopy(c *Copy) bool {
+	t := c.Task
+	if c.Killed || c.Won || t.State == TaskDone {
+		return false
+	}
+	c.Killed = true
+	c.finishEv.Cancel()
+	x.CopiesKilled++
+	ran := x.Eng.Now() - c.Start
+	x.SlotSecondsUsed += ran
+	if c.Speculative {
+		x.SpeculativeSlotSeconds += ran
+	}
+	for i, sib := range t.Copies {
+		if sib == c {
+			t.Copies = append(t.Copies[:i], t.Copies[i+1:]...)
+			break
+		}
+	}
+	x.Machines.Release(c.Machine)
+	x.noteSlotChange()
+	return true
+}
+
 // taskDone performs phase/job completion bookkeeping through the unlock
 // planner and reports whether the task's job just finished (the caller
 // fires OnJobDone after OnTaskDone).

@@ -1,0 +1,94 @@
+package decentral
+
+import (
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+)
+
+// Churn correctness: every job completes despite machines continuously
+// leaving (killing their copies, eating their probes and in-flight
+// hand-outs) and rejoining, slot accounting balances, and occupancy
+// never leaks. This is the simulator half of the failure-domain
+// hardening; the live half is exercised in internal/live.
+func TestChurnAllModesCompleteJobs(t *testing.T) {
+	for _, mode := range []Mode{ModeHopper, ModeSparrow, ModeSparrowSRPT} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			eng, exec, sys := mkSystem(mode, 16, 2, 11)
+			// Aggressive churn: a machine leaves every ~2s simulated
+			// against ~1s mean tasks, staying away ~5s.
+			sys.EnableChurn(ChurnConfig{
+				LeaveEvery: 2.0,
+				Downtime:   5.0,
+				Seed:       int64(mode) + 1,
+			})
+			var jobs []*cluster.Job
+			for i := 0; i < 20; i++ {
+				jobs = append(jobs, mkJob(cluster.JobID(i), 4+i, 1.0, float64(i)*0.6))
+			}
+			runAll(t, eng, sys, jobs)
+
+			if sys.MachinesLeft == 0 {
+				t.Fatal("churn never fired a leave event")
+			}
+			if sys.MachinesLeft < sys.MachinesJoined {
+				t.Fatalf("joined %d machines but only %d left", sys.MachinesJoined, sys.MachinesLeft)
+			}
+			if exec.Machines.FreeSlots() != exec.Machines.TotalSlots() {
+				t.Fatalf("slots leaked: %d free of %d after all jobs done",
+					exec.Machines.FreeSlots(), exec.Machines.TotalSlots())
+			}
+			if sys.OccupancyLeaks != 0 {
+				t.Fatalf("%d occupancy leaks under churn", sys.OccupancyLeaks)
+			}
+			if sys.DoubleWakeups != 0 {
+				t.Fatalf("%d double wakeups under churn", sys.DoubleWakeups)
+			}
+			t.Logf("%s: %d left / %d joined, %d copies lost, %d probes lost, %d assigns lost, %d requeues",
+				mode, sys.MachinesLeft, sys.MachinesJoined, sys.CopiesLost,
+				sys.ProbesLost, sys.AssignsLost, sys.Requeues)
+		})
+	}
+}
+
+// Churn with zero downtime-overlap pressure still recovers copies: a
+// task whose only copy dies on a departed machine is requeued and
+// completes elsewhere.
+func TestChurnRequeuesLostCopies(t *testing.T) {
+	eng, _, sys := mkSystem(ModeHopper, 8, 1, 3)
+	sys.EnableChurn(ChurnConfig{LeaveEvery: 1.0, Downtime: 4.0, Seed: 7})
+	var jobs []*cluster.Job
+	for i := 0; i < 12; i++ {
+		// Long tasks (mean 3s) against 1s churn spacing: leaves land on
+		// busy machines with high probability.
+		jobs = append(jobs, mkJob(cluster.JobID(i), 3, 3.0, float64(i)*0.8))
+	}
+	runAll(t, eng, sys, jobs)
+	if sys.CopiesLost == 0 {
+		t.Fatal("no copies were lost; churn pressure too low to test recovery")
+	}
+	if sys.Requeues == 0 {
+		t.Fatal("copies were lost but nothing requeued")
+	}
+}
+
+// A departed machine must not be handed work: no placement lands on a
+// machine while it is down.
+func TestChurnNoPlacementOnDownMachine(t *testing.T) {
+	eng, _, sys := mkSystem(ModeHopper, 10, 2, 9)
+	sys.EnableChurn(ChurnConfig{LeaveEvery: 1.5, Downtime: 6.0, Seed: 13})
+	sys.OnPlace = func(tk *cluster.Task, m cluster.MachineID, spec bool) {
+		if sys.workers[m].down {
+			t.Fatalf("placed %v on down machine %d", tk.ID(), m)
+		}
+	}
+	var jobs []*cluster.Job
+	for i := 0; i < 15; i++ {
+		jobs = append(jobs, mkJob(cluster.JobID(i), 5, 1.5, float64(i)*0.7))
+	}
+	runAll(t, eng, sys, jobs)
+	if sys.MachinesLeft == 0 {
+		t.Fatal("churn never fired")
+	}
+}

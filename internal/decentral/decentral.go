@@ -23,6 +23,8 @@
 package decentral
 
 import (
+	"math/rand"
+
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/simulator"
@@ -177,6 +179,35 @@ type System struct {
 	// figures.
 	Rollbacks int64
 
+	// Churn accounting (EnableChurn runs only — all zero otherwise).
+	// MachinesLeft/MachinesJoined count churn transitions; CopiesLost
+	// counts running copies killed by a leave; ProbesLost counts
+	// reservations that arrived at a departed machine; AssignsLost counts
+	// task hand-outs that died in flight to one (each triggers a
+	// rollback, and a requeue when it held the task's only placement).
+	MachinesLeft   int64
+	MachinesJoined int64
+	CopiesLost     int64
+	ProbesLost     int64
+	AssignsLost    int64
+
+	// pcfg is the resolved protocol config, kept to build fresh worker
+	// cores when churned machines rejoin.
+	pcfg protocol.Config
+
+	// trackCopies makes workers record their live copies (EnableChurn
+	// sets it; off the churn path placement stays tracking-free).
+	trackCopies bool
+
+	// churnOn/reprobeOn mark the churn driver's self-rearming ticks as
+	// armed, so Arrive can restart them when new jobs land after an idle
+	// gap (the ticks disarm when no jobs are live, or the engine would
+	// never drain).
+	churn     ChurnConfig
+	churnRng  *rand.Rand
+	churnOn   bool
+	reprobeOn bool
+
 	// ProbeEventsSaved counts engine events avoided by probe coalescing:
 	// one batch of probes emitted by a single core call is delivered as
 	// one event (all probes arrive at the same simulated instant and are
@@ -213,6 +244,11 @@ const (
 	// mPlacementFailed: worker -> scheduler occupancy rollback when the
 	// task finished while the accept was in flight.
 	mPlacementFailed
+	// mLostAssign: the scheduler's (modeled) timeout discovery that a
+	// hand-out never reached its worker — the machine left the cluster
+	// with the reply in flight. Rolls back occupancy and requeues the
+	// task if it has no other live copy. Churn runs only.
+	mLostAssign
 )
 
 // message is one pooled simulated protocol message. The same object
@@ -225,6 +261,7 @@ type message struct {
 
 	sched  *sched  // target (offer, placement-failed) or source (probes)
 	worker *worker // offering / reply-receiving worker
+	wepoch int     // worker's churn epoch when the offer was sent
 
 	// Offer context, preserved for the reply leg.
 	job       cluster.JobID
@@ -277,6 +314,12 @@ func (s *System) dispatch(m *message) {
 		for i := range m.probes {
 			p := &m.probes[i]
 			w := s.workers[p.Worker]
+			if w.down {
+				// Probe lost at a departed machine; the periodic
+				// reservation refresh (churn driver) re-covers the task.
+				s.ProbesLost++
+				continue
+			}
 			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem))
 		}
 		s.putMsg(m)
@@ -294,6 +337,22 @@ func (s *System) dispatch(m *message) {
 		s.Eng.PostArgShard(m.worker.shard, s.Eng.Now()+s.Cfg.MsgLatency, dispatchMessage, m)
 	case mReply:
 		w := m.worker
+		if w.down || m.wepoch != w.epoch {
+			// The worker died (or died and rejoined) with this reply in
+			// flight: its round and entry context belong to a previous
+			// core. A hand-out riding the reply is lost work the
+			// scheduler must take back — modeled as its assign-timeout
+			// discovery, one more scheduler-bound rollback message.
+			if m.rep.HasTask {
+				s.AssignsLost++
+				m.kind = mLostAssign
+				s.Rollbacks++
+				s.toScheduler(m.sched, m)
+				return
+			}
+			s.putMsg(m)
+			return
+		}
 		e := m.entry
 		if e.IsZero() {
 			// Non-refusable offer to a job the worker may hold no
@@ -308,6 +367,17 @@ func (s *System) dispatch(m *message) {
 		s.putMsg(m)
 	case mPlacementFailed:
 		m.sched.core.PlacementFailed(m.job)
+		s.putMsg(m)
+	case mLostAssign:
+		sc := m.sched
+		sc.core.PlacementFailed(m.rep.Job)
+		if t := m.rep.Task; t != nil && !m.rep.Spec &&
+			t.State != cluster.TaskDone && t.RunningCopies() == 0 {
+			// The lost hand-out was the task's only placement: requeue it
+			// and re-probe (a speculative hand-out's original still runs,
+			// so the rollback alone settles it).
+			sc.sendProbes(sc.core.RequeueLost(t))
+		}
 		s.putMsg(m)
 	}
 }
@@ -336,6 +406,7 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 		// golden differential test pins that.
 		pcfg.IndexedVictims = true
 	}
+	s.pcfg = pcfg
 	for i := 0; i < cfg.NumSchedulers; i++ {
 		sc := newSched(s, i, pcfg)
 		sc.shard = shardOf(i, cfg.NumSchedulers, nShards)
@@ -366,6 +437,7 @@ func (s *System) Arrive(j *cluster.Job) {
 	s.next++
 	s.byJob[j.ID] = sc
 	sc.admit(j)
+	s.ensureChurnTicks()
 	s.Exec.AdmitJob(j) // fires onPhaseRunnable -> probes
 }
 
@@ -391,6 +463,9 @@ func (s *System) onJobDone(j *cluster.Job) {
 
 func (s *System) onSlotFree(m cluster.MachineID) {
 	w := s.workers[m]
+	if w.down {
+		return // a departed machine's slots are not schedulable
+	}
 	w.exec(w.core.Kick())
 }
 

@@ -19,29 +19,48 @@ type worker struct {
 	// see shard.go.
 	shard int
 
+	// down marks a churned-away machine: it stops offering, probes to it
+	// are lost, and replies stamped with an older epoch are dropped. epoch
+	// increments on every leave so messages addressed to a previous life
+	// of this worker can never reach a fresh core's state.
+	down  bool
+	epoch int
+
+	// running tracks this worker's live copies so a leave can kill them;
+	// maintained only when the system runs a churn driver (trackCopies).
+	running []*cluster.Copy
+
 	retryEv *simulator.Event
 	retryFn func() // bound once; rearming allocates only the handle
 }
 
 func newWorker(sys *System, id cluster.MachineID, pcfg protocol.Config) *worker {
 	w := &worker{sys: sys, id: id}
+	w.core = w.newCore(pcfg)
+	w.retryFn = func() {
+		w.retryEv = nil
+		w.exec(w.core.RetryFired())
+	}
+	return w
+}
+
+// newCore builds a fresh protocol core for this worker — at
+// construction, and again when a churned machine rejoins (a rejoining
+// machine has a new worker process: no reservations, no rounds).
+func (w *worker) newCore(pcfg protocol.Config) *protocol.Worker {
+	sys := w.sys
 	// The *Machine is stable (Machines.All is fixed at construction), so
 	// bind it once: FreeSlots is the hottest env call (every kick and
 	// retry consults it) and the three-hop chase costs a cache miss per
 	// call at 100k+ machines.
-	m := sys.Exec.Machines.Get(id)
-	w.core = protocol.NewWorker(id, pcfg, protocol.WorkerEnv{
+	m := sys.Exec.Machines.Get(w.id)
+	return protocol.NewWorker(w.id, pcfg, protocol.WorkerEnv{
 		Now:       func() float64 { return sys.Eng.Now() },
 		Rand:      sys.Eng.Rand(),
 		FreeSlots: func() int { return m.Free },
 		Place:     w.place,
 		Stats:     &sys.Stats,
 	})
-	w.retryFn = func() {
-		w.retryEv = nil
-		w.exec(w.core.RetryFired())
-	}
-	return w
 }
 
 // place runs the accepted task's copy on this worker's machine. It
@@ -60,7 +79,10 @@ func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 		w.sys.toScheduler(sc, m)
 		return false
 	}
-	w.sys.Exec.PlaceOn(t, w.id, rep.Spec)
+	c := w.sys.Exec.PlaceOn(t, w.id, rep.Spec)
+	if w.sys.trackCopies {
+		w.trackCopy(c)
+	}
 	if !rep.Spec {
 		// The original copy's start/duration are fixed now; feed the
 		// scheduler's victim index (no-op unless IndexedVictims).
@@ -70,6 +92,22 @@ func (w *worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 		w.sys.OnPlace(t, w.id, rep.Spec)
 	}
 	return true
+}
+
+// trackCopy records a live copy for churn kills, compacting settled
+// entries first when the list reaches the machine's slot count (at most
+// Slots copies can be live at once, so the list stays O(slots)).
+func (w *worker) trackCopy(c *cluster.Copy) {
+	if len(w.running) >= w.sys.Exec.Machines.Get(w.id).Slots {
+		live := w.running[:0]
+		for _, rc := range w.running {
+			if !rc.Killed && !rc.Won && rc.Task.State != cluster.TaskDone {
+				live = append(live, rc)
+			}
+		}
+		w.running = live
+	}
+	w.running = append(w.running, c)
 }
 
 // exec realizes a core action list: offers become pooled messages whose
@@ -86,6 +124,7 @@ func (w *worker) exec(acts []protocol.WAction) {
 			m.kind = mOffer
 			m.sched = sc
 			m.worker = w
+			m.wepoch = w.epoch
 			m.job = a.Job
 			m.refusable = a.Refusable
 			m.getTask = a.GetTask

@@ -237,6 +237,10 @@ type RunResult struct {
 	// tasks those duplicates would have enqueued (decentralized runs;
 	// zero under the exactly-once unlock planner).
 	DoubleWakeups, DoubleWakeupTasks int64
+	// Churn/recovery accounting (decentralized runs with EnableChurn;
+	// zero otherwise): machines that left, running copies they killed,
+	// probes and hand-outs lost in flight to them, and tasks requeued.
+	MachinesLeft, CopiesLost, ProbesLost, AssignsLost, Requeues int64
 	// LocalFraction is the fraction of copies that ran data-local.
 	LocalFraction float64
 	// EndTime is the simulated completion time of the whole trace.
@@ -285,6 +289,9 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 		res.Rounds, res.RoundsPlaced = sys.RoundsStarted, sys.RoundsPlaced
 		res.OccLeaks = sys.OccupancyLeaks
 		res.DoubleWakeups, res.DoubleWakeupTasks = sys.DoubleWakeups, sys.DoubleWakeupTasks
+		res.MachinesLeft, res.CopiesLost = sys.MachinesLeft, sys.CopiesLost
+		res.ProbesLost, res.AssignsLost = sys.ProbesLost, sys.AssignsLost
+		res.Requeues = sys.Requeues
 	}
 	if exec.CopiesStarted > 0 {
 		res.LocalFraction = float64(exec.LocalCopies) / float64(exec.CopiesStarted)

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The scenario registry is separate from the paper-figure Registry: the
+// dispatch golden pins Registry's behavior, and robustness scenarios
+// must never leak into it.
+func TestScenarioRegistrySeparate(t *testing.T) {
+	if len(Scenarios) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, e := range Scenarios {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("scenario %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate scenario ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if _, inRegistry := ByID(e.ID); inRegistry {
+			t.Fatalf("scenario %q shadows a paper-figure experiment ID", e.ID)
+		}
+	}
+	if _, ok := ScenarioByID("churn"); !ok {
+		t.Fatal("churn scenario not registered")
+	}
+	if got := strings.Join(ScenarioIDs(), ","); !strings.Contains(got, "churn") {
+		t.Fatalf("ScenarioIDs = %q, want churn included", got)
+	}
+}
+
+// Smoke-run the churn scenario at reduced scale: every cell must finish
+// every job (RunTrace panics otherwise — a stranded job under churn is
+// a recovery bug, not noise) and produce the three tables.
+func TestChurnScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed simulation sweep")
+	}
+	e, ok := ScenarioByID("churn")
+	if !ok {
+		t.Fatal("churn scenario not registered")
+	}
+	res := e.Run(Harness{Scale: 0.1, Seeds: 1})
+	if len(res.Tables) != 3 {
+		t.Fatalf("churn scenario produced %d tables, want 3", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		if len(tab.Rows) != 4 {
+			t.Fatalf("table %q has %d rows, want one per rate (4)", tab.Title, len(tab.Rows))
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package live
 
 import (
+	"time"
+
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/wire"
@@ -102,6 +104,10 @@ type pendingOffer struct {
 	sched   protocol.SchedID
 	job     cluster.JobID
 	getTask bool
+
+	// timer is the offer's abandon timer (nil when timeouts are off); a
+	// reply taking the offer stops it so only unanswered offers expire.
+	timer *time.Timer
 }
 
 // offerTracker correlates scheduler replies to in-flight offers by the
@@ -123,12 +129,26 @@ func (t *offerTracker) track(po pendingOffer) uint64 {
 	return t.next
 }
 
+// arm attaches an abandon timer to an in-flight offer (no-op if the
+// offer was already resolved).
+func (t *offerTracker) arm(seq uint64, tm *time.Timer) {
+	if po, ok := t.pending[seq]; ok {
+		po.timer = tm
+		t.pending[seq] = po
+	} else {
+		tm.Stop()
+	}
+}
+
 // take resolves and removes an in-flight offer; stale or duplicate
 // replies return ok=false and are dropped.
 func (t *offerTracker) take(seq uint64) (pendingOffer, bool) {
 	po, ok := t.pending[seq]
 	if ok {
 		delete(t.pending, seq)
+		if po.timer != nil {
+			po.timer.Stop()
+		}
 	}
 	return po, ok
 }

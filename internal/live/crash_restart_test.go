@@ -1,0 +1,349 @@
+package live
+
+// Scheduler crash-and-restart recovery: a live scheduler is killed
+// abruptly mid-workload (no drain, no notifications — connections just
+// break) and a fresh instance under the same identity takes over. The
+// contract under test:
+//
+//   - Workers park the dead scheduler's reservation inventory and keep
+//     their in-flight copies running.
+//   - On reconnect (ReconnectScheduler) each worker re-registers with a
+//     Hello carrying its running copies and lost reservation counts.
+//   - The restarted scheduler stashes those reports (the job is not
+//     resubmitted yet), and on resubmission adopts them BEFORE firing
+//     the root phases — so already-running tasks are never re-placed.
+//   - The job completes with every task placed exactly once across both
+//     scheduler lives: no lost tasks, no duplicate placements.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/transport"
+)
+
+// placementLog counts real hand-outs via DurationOverride, which only
+// the normal placement path calls — reconciled copies reuse their
+// reported remaining time and never hit it. Shared by both scheduler
+// lives, so the exactly-once check spans the crash.
+type placementLog struct {
+	mu     sync.Mutex
+	counts map[[2]int]int // (phase index, task index) -> placements
+}
+
+func newPlacementLog() *placementLog {
+	return &placementLog{counts: make(map[[2]int]int)}
+}
+
+func (l *placementLog) override(dur float64) func(t *cluster.Task, spec bool) float64 {
+	return func(t *cluster.Task, spec bool) float64 {
+		l.mu.Lock()
+		l.counts[[2]int{t.Phase.Index, t.Index}]++
+		l.mu.Unlock()
+		return dur
+	}
+}
+
+func (l *placementLog) total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, c := range l.counts {
+		n += c
+	}
+	return n
+}
+
+// waitUntil polls cond on the given period until it holds or the
+// deadline passes.
+func waitUntil(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// schedSlotEmpty reports (on the worker loop, so unracy) whether the
+// worker has processed the disconnect of scheduler slot idx.
+func schedSlotEmpty(w *Worker, idx int) bool {
+	ch := make(chan bool, 1)
+	w.post(&internalEvent{fn: func() { ch <- w.scheds[idx] == nil }}, nil)
+	select {
+	case ok := <-ch:
+		return ok
+	case <-w.loop.done:
+		return false
+	}
+}
+
+// registeredWorkers reports (on the scheduler loop) how many workers
+// have said Hello to s.
+func registeredWorkers(s *Scheduler) int {
+	ch := make(chan int, 1)
+	s.post(&internalEvent{fn: func() { ch <- len(s.workers) }}, nil)
+	select {
+	case n := <-ch:
+		return n
+	case <-s.loop.done:
+		return 0
+	}
+}
+
+func TestSchedulerCrashRestartRecoversInFlightWork(t *testing.T) {
+	const (
+		jobID    = 77
+		numTasks = 8
+		workers  = 4
+		// 100 virtual seconds per copy at TimeScale 0.01 = 1s of wall
+		// clock: a wide window to kill and restart the scheduler while
+		// the first wave is still running.
+		taskDur   = 100.0
+		timeScale = 0.01
+	)
+	log := newPlacementLog()
+	mkSched := func() *Scheduler {
+		s, err := NewScheduler(SchedulerConfig{
+			ID: 0, NumSchedulers: 1, TimeScale: timeScale, Seed: 5,
+			MaxCopies:        1, // no speculation: placements count 1:1 with tasks
+			DurationOverride: log.override(taskDur),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	sched1 := mkSched()
+	go sched1.Run()
+
+	var nodes []*Worker
+	for i := 0; i < workers; i++ {
+		se, we := transport.Pair(256)
+		sched1.ServeConn(se)
+		w, err := NewWorkerConns(WorkerConfig{ID: uint32(i), Slots: 1, TimeScale: timeScale},
+			[]transport.Conn{we})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run()
+		nodes = append(nodes, w)
+	}
+	defer func() {
+		for _, w := range nodes {
+			w.Stop()
+		}
+	}()
+
+	cs, cc := transport.Pair(256)
+	sched1.ServeConn(cs)
+	client1, err := NewClientConn(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client1.Close()
+	if err := client1.Submit(SimpleJob(jobID, "crash-restart", numTasks, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// First wave: one copy per single-slot worker, half the job queued.
+	waitUntil(t, "first placement wave", 10*time.Second, func() bool { return log.total() >= workers })
+	if n := log.total(); n != workers {
+		t.Fatalf("placements before crash = %d, want %d (all slots busy, no speculation)", n, workers)
+	}
+
+	// Crash. No drain: the client's wait dies with the connection, and
+	// each worker sees only a broken conn — then parks the scheduler's
+	// reservations and keeps its copy running.
+	sched1.Kill()
+	if jc, err := client1.WaitJob(jobID, 5*time.Second); err == nil {
+		t.Fatalf("client survived the crash with JobComplete %+v, want a dead connection", jc)
+	}
+	for _, w := range nodes {
+		w := w
+		waitUntil(t, "worker to observe the crash", 5*time.Second, func() bool {
+			return schedSlotEmpty(w, 0)
+		})
+	}
+
+	// Restart under the same identity and reconnect every worker. Their
+	// re-registration Hellos (running copy + reservation inventory)
+	// arrive before the job is resubmitted, exercising the stash path.
+	sched2 := mkSched()
+	go sched2.Run()
+	defer sched2.Stop()
+	for _, w := range nodes {
+		se, we := transport.Pair(256)
+		sched2.ServeConn(se)
+		w.ReconnectScheduler(0, we)
+	}
+	waitUntil(t, "workers to re-register", 5*time.Second, func() bool {
+		return registeredWorkers(sched2) == workers
+	})
+
+	// Resubmit the lost job from a fresh client: the restarted
+	// scheduler adopts the 4 reported in-flight copies and places only
+	// the remaining 4 tasks.
+	cs2, cc2 := transport.Pair(256)
+	sched2.ServeConn(cs2)
+	client2, err := NewClientConn(cc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	if err := client2.Submit(SimpleJob(jobID, "crash-restart", numTasks, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := client2.WaitJob(jobID, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job did not complete after restart: %v", err)
+	}
+	if jc.Aborted {
+		t.Fatalf("job aborted after restart: %s", jc.Error)
+	}
+	if jc.TasksRun != numTasks {
+		t.Fatalf("TasksRun = %d, want %d", jc.TasksRun, numTasks)
+	}
+
+	// Exactly-once placement across both scheduler lives.
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.counts) != numTasks {
+		t.Fatalf("placed %d distinct tasks, want %d", len(log.counts), numTasks)
+	}
+	for key, n := range log.counts {
+		if n != 1 {
+			t.Fatalf("task %v placed %d times, want exactly once", key, n)
+		}
+	}
+
+	st := sched2.Stats()
+	if st.ReconciledCopies != workers {
+		t.Errorf("ReconciledCopies = %d, want %d", st.ReconciledCopies, workers)
+	}
+	if st.ReconciledReservations == 0 {
+		t.Errorf("ReconciledReservations = 0, want > 0 (workers held parked reservations)")
+	}
+	if st.OccupancyLeaks != 0 {
+		t.Errorf("OccupancyLeaks = %d, want 0", st.OccupancyLeaks)
+	}
+	if st.DoubleWakeups != 0 {
+		t.Errorf("DoubleWakeups = %d, want 0", st.DoubleWakeups)
+	}
+}
+
+// TestSchedulerCrashRestartLateWorkers pins the direct reconciliation
+// path: the job is resubmitted BEFORE the workers reconnect, so their
+// re-registration inventory must attach to the already-admitted job
+// immediately (no stash) and still prevent double placement.
+func TestSchedulerCrashRestartLateWorkers(t *testing.T) {
+	const (
+		jobID     = 91
+		numTasks  = 4
+		workers   = 2
+		taskDur   = 100.0
+		timeScale = 0.01
+	)
+	log := newPlacementLog()
+	mkSched := func() *Scheduler {
+		s, err := NewScheduler(SchedulerConfig{
+			ID: 0, NumSchedulers: 1, TimeScale: timeScale, Seed: 9,
+			MaxCopies:        1,
+			DurationOverride: log.override(taskDur),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	sched1 := mkSched()
+	go sched1.Run()
+	var nodes []*Worker
+	for i := 0; i < workers; i++ {
+		se, we := transport.Pair(256)
+		sched1.ServeConn(se)
+		w, err := NewWorkerConns(WorkerConfig{ID: uint32(i), Slots: 1, TimeScale: timeScale},
+			[]transport.Conn{we})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run()
+		nodes = append(nodes, w)
+	}
+	defer func() {
+		for _, w := range nodes {
+			w.Stop()
+		}
+	}()
+
+	cs, cc := transport.Pair(256)
+	sched1.ServeConn(cs)
+	client1, err := NewClientConn(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client1.Close()
+	if err := client1.Submit(SimpleJob(jobID, "late-workers", numTasks, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "first placement wave", 10*time.Second, func() bool { return log.total() >= workers })
+
+	sched1.Kill()
+	for _, w := range nodes {
+		w := w
+		waitUntil(t, "worker to observe the crash", 5*time.Second, func() bool {
+			return schedSlotEmpty(w, 0)
+		})
+	}
+
+	sched2 := mkSched()
+	go sched2.Run()
+	defer sched2.Stop()
+
+	// Resubmit first: with zero workers registered the submission is
+	// buffered; the first reconnect flushes it, and the SECOND worker's
+	// Hello then reconciles against an already-admitted job.
+	cs2, cc2 := transport.Pair(256)
+	sched2.ServeConn(cs2)
+	client2, err := NewClientConn(cc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	if err := client2.Submit(SimpleJob(jobID, "late-workers", numTasks, 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range nodes {
+		se, we := transport.Pair(256)
+		sched2.ServeConn(se)
+		w.ReconnectScheduler(0, we)
+	}
+
+	jc, err := client2.WaitJob(jobID, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job did not complete after restart: %v", err)
+	}
+	if jc.Aborted {
+		t.Fatalf("job aborted after restart: %s", jc.Error)
+	}
+
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	if len(log.counts) != numTasks {
+		t.Fatalf("placed %d distinct tasks, want %d", len(log.counts), numTasks)
+	}
+	for key, n := range log.counts {
+		if n != 1 {
+			t.Fatalf("task %v placed %d times, want exactly once", key, n)
+		}
+	}
+	if rc := sched2.Stats().ReconciledCopies; rc != workers {
+		t.Errorf("ReconciledCopies = %d, want %d", rc, workers)
+	}
+}

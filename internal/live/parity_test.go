@@ -124,6 +124,7 @@ type wsSched struct {
 	core      *protocol.Sched
 	busyUntil float64
 	tickerOn  bool
+	reprobeOn bool
 }
 
 type wsWorker struct {
@@ -151,6 +152,12 @@ type wireSystem struct {
 	jobs  map[cluster.JobID]*cluster.Job
 	done  int
 	next  int
+
+	// chaos, when non-nil, interposes fault injection and the live
+	// recovery machinery (offer timeouts, assign watchdogs, reprobe
+	// ticks) on every message path — see fault_parity_test.go. Nil means
+	// faithful delivery: the plain parity contract.
+	chaos *chaosLayer
 
 	log []string
 }
@@ -253,6 +260,9 @@ func (s *wireSystem) arrive(j *cluster.Job) {
 	s.jobs[j.ID] = j
 	sc.core.Admit(j)
 	s.ensureTicker(sc)
+	if s.chaos != nil {
+		s.chaos.ensureReprobe(s, sc)
+	}
 	s.exec.AdmitJob(j)
 }
 
@@ -295,16 +305,27 @@ func (s *wireSystem) sendProbes(sc *wsSched, probes []protocol.Probe) {
 		})
 		rsv := msg.(*wire.Reserve)
 		w := s.workers[wi]
-		s.eng.PostAfter(s.cfg.MsgLatency, func() {
-			w.exec(w.core.AddReservation(protocol.SchedID(rsv.SchedulerID), cluster.JobID(rsv.JobID), rsv.VirtualSize, int(rsv.RemTasks)))
-		})
+		deliver := func(extra float64) {
+			s.eng.PostAfter(s.cfg.MsgLatency+extra, func() {
+				w.exec(w.core.AddReservation(protocol.SchedID(rsv.SchedulerID), cluster.JobID(rsv.JobID), rsv.VirtualSize, int(rsv.RemTasks)))
+			})
+		}
+		if s.chaos != nil {
+			s.chaos.send(wire.TReserve, deliver)
+		} else {
+			deliver(0)
+		}
 	}
 }
 
 // toSched models the scheduler's serial message-processing queue —
 // identical to decentral.System.toScheduler.
-func (s *wireSystem) toSched(sc *wsSched, fn func()) {
-	arrive := s.eng.Now() + s.cfg.MsgLatency
+func (s *wireSystem) toSched(sc *wsSched, fn func()) { s.toSchedAfter(sc, 0, fn) }
+
+// toSchedAfter is toSched with extra injected network delay ahead of the
+// processing queue.
+func (s *wireSystem) toSchedAfter(sc *wsSched, extra float64, fn func()) {
+	arrive := s.eng.Now() + s.cfg.MsgLatency + extra
 	handle := arrive
 	if sc.busyUntil > handle {
 		handle = sc.busyUntil
@@ -332,12 +353,77 @@ func (w *wsWorker) place(from protocol.SchedID, rep protocol.Reply) bool {
 	sc := s.scheds[from]
 	if t.State == cluster.TaskDone {
 		jobID := t.Job.ID
+		if s.chaos != nil {
+			// This rollback is a real worker->scheduler message; the ledger
+			// must classify it (decentral counts it the same way). It is
+			// delivered reliably — rollbacks carry occupancy corrections
+			// with no retry path, so losing one would leak forever.
+			s.chaos.Messages++
+			s.chaos.Rollbacks++
+		}
 		s.toSched(sc, func() { sc.core.PlacementFailed(jobID) })
 		return false
 	}
 	s.exec.PlaceOn(t, w.id, rep.Spec)
 	s.log = append(s.log, fmt.Sprintf("%d/%d/%d@%d spec=%v", t.Job.ID, t.Phase.Index, t.Index, w.id, rep.Spec))
 	return true
+}
+
+// sendReply ships a scheduler core reply back to the worker as its wire
+// frame; under chaos, hand-outs get an assign record (for the watchdog
+// and stale-rejection machinery) and the frame passes the injector.
+func (s *wireSystem) sendReply(sc *wsSched, si int, w *wsWorker, seq uint64, rep protocol.Reply) {
+	back := shove(w.conns[si], s.schedConns[si][w.id], wireFromReply(rep, seq, 0))
+	var record *assignRecord
+	if s.chaos != nil && rep.HasTask {
+		record = s.chaos.newAssign(s, sc, rep)
+	}
+	deliver := func(extra float64) {
+		s.eng.PostAfter(s.cfg.MsgLatency+extra, func() {
+			s.deliverReply(si, w, back, record)
+		})
+	}
+	if s.chaos != nil {
+		s.chaos.send(back.Type(), deliver)
+	} else {
+		deliver(0)
+	}
+}
+
+// deliverReply is the worker-side arrival of a scheduler reply: routed
+// to its round by Seq, exactly like the live worker's onReply — including
+// the stale-assign rejection when the offer was already resolved (only
+// reachable under chaos; faithful delivery panics on staleness).
+func (s *wireSystem) deliverReply(si int, w *wsWorker, back wire.Message, record *assignRecord) {
+	rep2, seq2, ok := replyFromWire(back, protocol.SchedID(si))
+	if !ok {
+		panic("unroutable reply frame")
+	}
+	po, live := w.tracker.take(seq2)
+	if !live {
+		if s.chaos == nil {
+			panic("stale reply in deterministic harness")
+		}
+		if record != nil {
+			s.chaos.staleAssign(s, record)
+		}
+		return
+	}
+	if record != nil {
+		s.chaos.resolve(record)
+	}
+	e := po.entry
+	if e.IsZero() {
+		e = w.core.EntryFor(po.sched, po.job)
+	}
+	if rep2.HasTask {
+		rep2.Task = s.taskOf(rep2)
+	}
+	if po.getTask {
+		w.exec(w.core.OnSparrowReply(po.round, e, rep2))
+	} else {
+		w.exec(w.core.OnHopperReply(po.round, e, rep2))
+	}
 }
 
 // exec realizes worker core actions: offers become Offer frames through
@@ -362,37 +448,23 @@ func (w *wsWorker) exec(acts []protocol.WAction) {
 				GetTask:   a.GetTask,
 			})
 			off := msg.(*wire.Offer)
-			s.toSched(sc, func() {
-				var rep protocol.Reply
-				if off.GetTask {
-					rep = sc.core.HandleGetTask(cluster.JobID(off.JobID), cluster.MachineID(off.WorkerID))
-				} else {
-					rep = sc.core.HandleOffer(cluster.JobID(off.JobID), cluster.MachineID(off.WorkerID), off.Refusable)
-				}
-				back := shove(w.conns[si], s.schedConns[si][w.id], wireFromReply(rep, off.Seq, 0))
-				s.eng.PostAfter(s.cfg.MsgLatency, func() {
-					rep2, seq2, ok := replyFromWire(back, protocol.SchedID(si))
-					if !ok {
-						panic("unroutable reply frame")
-					}
-					po, live := w.tracker.take(seq2)
-					if !live {
-						panic("stale reply in deterministic harness")
-					}
-					e := po.entry
-					if e.IsZero() {
-						e = w.core.EntryFor(po.sched, po.job)
-					}
-					if rep2.HasTask {
-						rep2.Task = s.taskOf(rep2)
-					}
-					if po.getTask {
-						w.exec(w.core.OnSparrowReply(po.round, e, rep2))
+			handleOffer := func(extra float64) {
+				s.toSchedAfter(sc, extra, func() {
+					var rep protocol.Reply
+					if off.GetTask {
+						rep = sc.core.HandleGetTask(cluster.JobID(off.JobID), cluster.MachineID(off.WorkerID))
 					} else {
-						w.exec(w.core.OnHopperReply(po.round, e, rep2))
+						rep = sc.core.HandleOffer(cluster.JobID(off.JobID), cluster.MachineID(off.WorkerID), off.Refusable)
 					}
+					s.sendReply(sc, si, w, off.Seq, rep)
 				})
-			})
+			}
+			if s.chaos != nil {
+				s.chaos.send(wire.TOffer, handleOffer)
+				s.chaos.armOfferTimeout(s, w, seq)
+			} else {
+				handleOffer(0)
+			}
 		case protocol.WArmRetry:
 			w.retryEv = s.eng.After(a.Delay, func() {
 				w.retryEv = nil

@@ -208,6 +208,10 @@ type LocalClusterConfig struct {
 	Mode       protocol.Mode
 	TimeScale  float64
 	Seed       int64
+	// RedialInterval makes workers re-dial a crashed scheduler's address
+	// until it comes back (WorkerConfig.RedialInterval, wall seconds).
+	// Zero disables; set it when the run will exercise RestartScheduler.
+	RedialInterval float64
 	// DurationOverride scripts service times (tests); nil draws from the
 	// heavy-tailed model.
 	DurationOverride func(t *cluster.Task, speculative bool) float64
@@ -218,6 +222,9 @@ type LocalCluster struct {
 	Scheds  []*Scheduler
 	Workers []*Worker
 	Addrs   []string
+
+	cfg    LocalClusterConfig
+	nextID uint32 // next fresh worker ID for churn joins
 }
 
 // StartLocalCluster boots schedulers and workers as goroutines talking
@@ -232,17 +239,9 @@ func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 2
 	}
-	lc := &LocalCluster{}
+	lc := &LocalCluster{cfg: cfg, nextID: uint32(cfg.Workers)}
 	for i := 0; i < cfg.Schedulers; i++ {
-		s, err := NewScheduler(SchedulerConfig{
-			ID:               uint32(i),
-			Addr:             "127.0.0.1:0",
-			Mode:             cfg.Mode,
-			NumSchedulers:    cfg.Schedulers,
-			TimeScale:        cfg.TimeScale,
-			Seed:             cfg.Seed + int64(i),
-			DurationOverride: cfg.DurationOverride,
-		})
+		s, err := lc.newScheduler(i, "127.0.0.1:0")
 		if err != nil {
 			lc.Stop()
 			return nil, err
@@ -252,13 +251,7 @@ func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 		lc.Addrs = append(lc.Addrs, s.Addr())
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := NewWorker(WorkerConfig{
-			ID:             uint32(i),
-			Slots:          cfg.Slots,
-			SchedulerAddrs: lc.Addrs,
-			Mode:           cfg.Mode,
-			TimeScale:      cfg.TimeScale,
-		})
+		w, err := lc.newWorker(uint32(i))
 		if err != nil {
 			lc.Stop()
 			return nil, err
@@ -269,11 +262,96 @@ func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 	return lc, nil
 }
 
+func (lc *LocalCluster) newScheduler(i int, addr string) (*Scheduler, error) {
+	return NewScheduler(SchedulerConfig{
+		ID:               uint32(i),
+		Addr:             addr,
+		Mode:             lc.cfg.Mode,
+		NumSchedulers:    lc.cfg.Schedulers,
+		TimeScale:        lc.cfg.TimeScale,
+		Seed:             lc.cfg.Seed + int64(i),
+		DurationOverride: lc.cfg.DurationOverride,
+	})
+}
+
+func (lc *LocalCluster) newWorker(id uint32) (*Worker, error) {
+	return NewWorker(WorkerConfig{
+		ID:             id,
+		Slots:          lc.cfg.Slots,
+		SchedulerAddrs: lc.Addrs,
+		Mode:           lc.cfg.Mode,
+		TimeScale:      lc.cfg.TimeScale,
+		RedialInterval: lc.cfg.RedialInterval,
+	})
+}
+
+// KillScheduler crashes scheduler i abruptly (Scheduler.Kill): no
+// drain, peers see only broken connections. Pair with RestartScheduler.
+func (lc *LocalCluster) KillScheduler(i int) {
+	lc.Scheds[i].Kill()
+}
+
+// RestartScheduler replaces a killed (or stopped) scheduler with a
+// fresh instance under the same identity, listening on the SAME address
+// so workers configured with RedialInterval find it again on their own.
+// The bind is retried briefly: the dead listener's port may take a
+// moment to free.
+func (lc *LocalCluster) RestartScheduler(i int) error {
+	var s *Scheduler
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		s, err = lc.newScheduler(i, lc.Addrs[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("live: rebinding scheduler %d on %s: %w", i, lc.Addrs[i], err)
+	}
+	go s.Run()
+	lc.Scheds[i] = s
+	return nil
+}
+
+// KillWorker stops worker i (its drain reports in-flight copies as
+// killed, so schedulers requeue the lost work — a machine leaving the
+// cluster). The slot in Workers is nil-ed; use AddWorker to join a
+// replacement.
+func (lc *LocalCluster) KillWorker(i int) {
+	if lc.Workers[i] != nil {
+		lc.Workers[i].Stop()
+		lc.Workers[i] = nil
+	}
+}
+
+// AddWorker joins a brand-new worker (fresh ID) to the cluster — a
+// machine arriving. Returns the Workers index it was stored at.
+func (lc *LocalCluster) AddWorker() (int, error) {
+	id := lc.nextID
+	lc.nextID++
+	w, err := lc.newWorker(id)
+	if err != nil {
+		return 0, err
+	}
+	go w.Run()
+	for i, old := range lc.Workers {
+		if old == nil {
+			lc.Workers[i] = w
+			return i, nil
+		}
+	}
+	lc.Workers = append(lc.Workers, w)
+	return len(lc.Workers) - 1, nil
+}
+
 // Stop tears the cluster down (workers first, so their drains reach
 // live schedulers).
 func (lc *LocalCluster) Stop() {
 	for _, w := range lc.Workers {
-		w.Stop()
+		if w != nil {
+			w.Stop()
+		}
 	}
 	for _, s := range lc.Scheds {
 		s.Stop()

@@ -5,6 +5,7 @@ import (
 	"log"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
@@ -47,6 +48,15 @@ type SchedulerConfig struct {
 	// CheckInterval is the speculation scan period in virtual seconds
 	// (default 0.25).
 	CheckInterval float64
+	// WatchdogGrace is how long past a copy's drawn duration (virtual
+	// seconds) the scheduler waits for its completion report before
+	// declaring the copy lost and requeueing — the recovery path for
+	// dropped Assign frames, dropped TaskDone reports, and silently
+	// stalled workers. Zero uses defaultWatchdogGrace; negative disables
+	// the watchdog. A spurious expiry (slow report, not a lost one) is
+	// safe: the late report finds its copy gone and is ignored, at the
+	// cost of one redundant placement.
+	WatchdogGrace float64
 	// Seed drives the service-time RNG.
 	Seed int64
 	// DurationOverride, when set, supplies copy service times instead of
@@ -76,8 +86,20 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	if c.CheckInterval == 0 {
 		c.CheckInterval = 0.25
 	}
+	if c.WatchdogGrace == 0 {
+		c.WatchdogGrace = defaultWatchdogGrace
+	} else if c.WatchdogGrace < 0 {
+		c.WatchdogGrace = 0
+	}
 	return c
 }
+
+// defaultWatchdogGrace is the copy watchdog's slack in virtual seconds.
+// Generous against report latency (milliseconds of wall clock) so a
+// healthy copy never expires; the effective grace is additionally
+// floored at one wall-clock second (see copyDeadline) so aggressive
+// time compression cannot turn scheduling hiccups into phantom losses.
+const defaultWatchdogGrace = 5.0
 
 // lJob is scheduler-side job state: the cluster.Job driving the protocol
 // core plus submission bookkeeping.
@@ -96,6 +118,10 @@ type lCopy struct {
 	worker   *peer
 	workerID uint32
 	seq      uint64
+
+	// deadline is the watchdog expiry (virtual time): the copy's drawn
+	// duration plus grace. Zero when the watchdog is disabled.
+	deadline float64
 }
 
 type copyKey struct {
@@ -135,6 +161,20 @@ type Scheduler struct {
 	pendingProbes []protocol.Probe
 	tickerOn      bool
 
+	// pendingRecon buffers running-copy inventory from worker Hellos for
+	// jobs not (re)submitted yet, keyed by job ID: after a crash the
+	// workers typically re-register before the clients resubmit, and
+	// their copies must attach to the rebuilt job the moment it is
+	// admitted — before its root phases fire — or the scheduler
+	// double-places the tasks.
+	pendingRecon map[uint64][]pendingRecon
+
+	// abrupt marks a Kill() teardown: drain skips the aborted
+	// JobComplete protocol and just severs connections, emulating a
+	// crash for recovery tests. (Written by Kill's goroutine, read by
+	// drain after loop.done closes — the close is the happens-before.)
+	abrupt atomic.Bool
+
 	// unlock owns phase wakeup delivery (cluster.UnlockPlanner): unlocks
 	// become loop-posted timers and each phase's probes go out exactly
 	// once.
@@ -145,6 +185,13 @@ type Scheduler struct {
 type pendingSubmit struct {
 	msg  *wire.SubmitJob
 	from *peer
+}
+
+// pendingRecon is one stashed running-copy report awaiting its job's
+// (re)submission.
+type pendingRecon struct {
+	workerID uint32
+	rc       wire.RunningCopy
 }
 
 // maxTasksPerPhase / maxTasksPerJob bound client-supplied job shapes:
@@ -162,14 +209,15 @@ const (
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:     cfg,
-		loop:    newLoop(cfg.Logger),
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
-		workers: make(map[uint32]*peer),
-		jobs:    make(map[uint64]*lJob),
-		copies:  make(map[copyKey]*lCopy),
-		byTask:  make(map[*cluster.Task][]*lCopy),
-		start:   time.Now(),
+		cfg:          cfg,
+		loop:         newLoop(cfg.Logger),
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		workers:      make(map[uint32]*peer),
+		jobs:         make(map[uint64]*lJob),
+		copies:       make(map[copyKey]*lCopy),
+		byTask:       make(map[*cluster.Task][]*lCopy),
+		pendingRecon: make(map[uint64][]pendingRecon),
+		start:        time.Now(),
 	}
 	s.model = cluster.DefaultExecModel()
 	s.model.Beta = cfg.Beta
@@ -373,10 +421,41 @@ func (s *Scheduler) Stop() {
 	s.loop.stop()
 }
 
+// Kill terminates the scheduler abruptly — no aborted JobComplete
+// frames, no graceful notification of anyone — emulating a crash for
+// recovery tests and chaos drills. Peers learn of the death only from
+// their connections breaking, exactly as with a real process kill;
+// workers park this scheduler's state for re-registration and clients
+// see their wait fail.
+func (s *Scheduler) Kill() {
+	s.abrupt.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.loop.stop()
+}
+
 // drain fails every still-pending job with an explicit aborted
 // JobComplete — the client learns its fate instead of watching a
-// connection die mid-round — then closes worker connections.
+// connection die mid-round — then closes worker connections. After a
+// Kill it skips the notifications and just severs everything.
 func (s *Scheduler) drain() {
+	if s.abrupt.Load() {
+		for _, j := range s.jobs {
+			if j.client != nil {
+				j.client.conn.Close()
+			}
+		}
+		for _, ps := range s.pendingAdmit {
+			if ps.from != nil {
+				ps.from.conn.Close()
+			}
+		}
+		for _, p := range s.workers {
+			p.conn.Close()
+		}
+		return
+	}
 	for id, j := range s.jobs {
 		if j.client != nil {
 			s.loop.send(j.client, &wire.JobComplete{
@@ -462,7 +541,15 @@ func (s *Scheduler) handle(env envelope) {
 				copy(s.workerIDs[at+1:], s.workerIDs[at:])
 				s.workerIDs[at] = cluster.MachineID(m.ID)
 				s.totalSlots += int(m.Slots)
+				// Reconcile BEFORE flushing buffered submissions: a
+				// resubmission queued behind this registration must see
+				// this worker's inventory stashed, or its admission
+				// re-places tasks the worker is still running.
+				s.reconcileWorker(m)
 				s.flushPending()
+			}
+			if known {
+				s.reconcileWorker(m)
 			}
 		}
 	case *wire.SubmitJob:
@@ -592,8 +679,95 @@ func (s *Scheduler) admit(client *peer, m *wire.SubmitJob) {
 	lj := &lJob{job: j, client: client, submitVirt: now}
 	s.jobs[m.JobID] = lj
 	s.core.Admit(j)
+	// Attach copies that re-registering workers reported for this job
+	// BEFORE the root phases fire: StartCopy marks those tasks Running,
+	// so PhaseRunnable queues only the genuinely unplaced remainder and
+	// the in-flight work is adopted instead of duplicated.
+	if stash := s.pendingRecon[m.JobID]; stash != nil {
+		delete(s.pendingRecon, m.JobID)
+		n := 0
+		for _, pr := range stash {
+			if s.reconcileCopy(lj, pr.workerID, pr.rc) {
+				n++
+			}
+		}
+		s.loop.logf("job %d resubmitted: adopted %d of %d reported in-flight copies", m.JobID, n, len(stash))
+	}
 	s.ensureTicker()
 	s.unlock.AdmitJob(j, now) // fires root-phase probes through Deliver
+}
+
+// reconcileWorker processes the recovery inventory of a (re-)registering
+// worker's Hello: lost-reservation counts are recorded (fresh probes on
+// resubmission recreate the reservations themselves), and still-running
+// copies are re-attached — immediately for jobs this scheduler already
+// knows, or stashed until the job's (re)submission. This is how a
+// restarted scheduler rebuilds placement state it lost with its process.
+func (s *Scheduler) reconcileWorker(m *wire.Hello) {
+	if len(m.Running) == 0 && len(m.Reservations) == 0 {
+		return
+	}
+	total := 0
+	for _, jr := range m.Reservations {
+		total += int(jr.Count)
+	}
+	if total > 0 {
+		s.core.ReconcileReservations(total)
+	}
+	for _, rc := range m.Running {
+		if lj := s.jobs[rc.JobID]; lj != nil {
+			s.reconcileCopy(lj, m.ID, rc)
+		} else {
+			s.pendingRecon[rc.JobID] = append(s.pendingRecon[rc.JobID], pendingRecon{workerID: m.ID, rc: rc})
+		}
+	}
+}
+
+// reconcileCopy re-attaches one reported in-flight copy to its task:
+// the task transitions to Running (so the phase wakeup skips it), the
+// copy is indexed under the worker's original assign seq (so its
+// eventual TaskDone settles normally), its watchdog is armed from the
+// reported remaining time, and the core's occupancy/running bookkeeping
+// is restored. Reports that no longer apply — unknown worker, stale
+// coordinates, task already done, duplicate (worker, seq) — are dropped;
+// the worker's copy then finishes into the stale-report path harmlessly.
+func (s *Scheduler) reconcileCopy(lj *lJob, workerID uint32, rc wire.RunningCopy) bool {
+	w := s.workers[workerID]
+	if w == nil {
+		return false
+	}
+	j := lj.job
+	if int(rc.Phase) >= len(j.Phases) {
+		return false
+	}
+	ph := j.Phases[rc.Phase]
+	if int(rc.TaskIndex) >= len(ph.Tasks) {
+		return false
+	}
+	t := ph.Tasks[rc.TaskIndex]
+	if t.State == cluster.TaskDone {
+		return false
+	}
+	key := copyKey{workerID, rc.Seq}
+	if _, dup := s.copies[key]; dup {
+		return false
+	}
+	rem := rc.Remaining
+	if rem < 0 {
+		rem = 0
+	}
+	mid := cluster.MachineID(workerID)
+	c := t.StartCopy(s.now(), mid, rc.Speculative, t.LocalOn(mid), rem)
+	if rc.Speculative {
+		lj.specCopies++
+	}
+	lc := &lCopy{job: lj, task: t, copy: c, worker: w, workerID: workerID, seq: rc.Seq,
+		deadline: s.copyDeadline(rem)}
+	s.copies[key] = lc
+	s.byTask[t] = append(s.byTask[t], lc)
+	s.core.ReconcileRunning(t, rc.Speculative)
+	s.ensureTicker()
+	return true
 }
 
 // sendProbes realizes a core probe list as Reserve frames.
@@ -690,6 +864,7 @@ func (s *Scheduler) ensureTicker() {
 				if s.core.NeedsTicker() {
 					s.sendProbes(s.core.ScanSpec())
 				}
+				s.expireOverdueCopies()
 				ticks++
 				if ticks%reprobeEvery == 0 {
 					s.sendProbes(s.core.ReprobeStalled())
@@ -708,6 +883,15 @@ func (s *Scheduler) post(msg interface{}, from *peer) {
 
 // onOffer answers a worker's offer or Sparrow pull through the core.
 func (s *Scheduler) onOffer(from *peer, m *wire.Offer) {
+	if _, dup := s.copies[copyKey{m.WorkerID, m.Seq}]; dup {
+		// A duplicated offer frame whose first delivery already won a task:
+		// answering again would commit a second copy under the same
+		// (worker, seq) key, orphaning the first in the in-flight index —
+		// an occupancy leak no settlement path could ever find. Duplicates
+		// whose first delivery was refused carry no such state and may be
+		// re-answered; the worker drops the surplus reply as stale.
+		return
+	}
 	var rep protocol.Reply
 	if m.GetTask {
 		rep = s.core.HandleGetTask(cluster.JobID(m.JobID), cluster.MachineID(m.WorkerID))
@@ -740,10 +924,48 @@ func (s *Scheduler) startCopy(rep protocol.Reply, w *peer, workerID uint32, seq 
 	if rep.Spec && lj != nil {
 		lj.specCopies++
 	}
-	lc := &lCopy{job: lj, task: t, copy: c, worker: w, workerID: workerID, seq: seq}
+	lc := &lCopy{job: lj, task: t, copy: c, worker: w, workerID: workerID, seq: seq,
+		deadline: s.copyDeadline(dur)}
 	s.copies[copyKey{workerID, seq}] = lc
 	s.byTask[t] = append(s.byTask[t], lc)
 	return dur
+}
+
+// copyDeadline computes a new copy's watchdog expiry: now + duration +
+// grace, with the grace floored at one wall-clock second so compressed
+// time scales keep real slack. Returns 0 (no deadline) with the
+// watchdog disabled.
+func (s *Scheduler) copyDeadline(dur float64) float64 {
+	grace := s.cfg.WatchdogGrace
+	if grace <= 0 {
+		return 0
+	}
+	if floor := 1.0 / s.cfg.TimeScale; grace < floor {
+		grace = floor
+	}
+	return s.now() + dur + grace
+}
+
+// expireOverdueCopies sweeps the in-flight copies for ones whose report
+// is overdue and settles them as lost: occupancy unwinds, a task left
+// copy-less requeues with fresh probes, and a Kill tells the worker to
+// reclaim the slot in case the copy is in fact still running (a late
+// real report then finds the copy gone and is dropped).
+func (s *Scheduler) expireOverdueCopies() {
+	now := s.now()
+	var overdue []*lCopy
+	for _, lc := range s.copies {
+		if lc.deadline > 0 && now > lc.deadline {
+			overdue = append(overdue, lc)
+		}
+	}
+	for _, lc := range overdue {
+		s.stats.WatchdogExpiries++
+		s.loop.logf("copy of job %d task %d on worker %d overdue; requeueing",
+			lc.task.Job.ID, lc.task.Index, lc.workerID)
+		s.loop.send(lc.worker, &wire.Kill{JobID: uint64(lc.task.Job.ID), Seq: lc.seq})
+		s.settleLostCopy(lc)
+	}
 }
 
 // onTaskDone settles a copy report: a win resolves the whole race
@@ -768,7 +990,14 @@ func (s *Scheduler) onTaskDone(m *wire.TaskDone) {
 
 	s.detachCopy(lc)
 	if t.State == cluster.TaskDone {
-		return // crossed with our Kill; already settled
+		// Crossed with our Kill, or a recovery race placed this copy
+		// after the task was already won (it was not part of the win's
+		// settlement — sibling kills cleared every indexed copy then):
+		// roll its hand-out back or the job finishes with occupancy
+		// pinned and leaks.
+		s.removeCopy(t, c)
+		s.core.PlacementFailed(t.Job.ID)
+		return
 	}
 
 	// This copy wins the race.

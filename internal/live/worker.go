@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
@@ -32,16 +33,50 @@ type WorkerConfig struct {
 	// seconds (protocol defaults when zero).
 	RetryBackoffMin float64
 	RetryBackoffMax float64
+	// RetryJitter spreads retry backoffs (protocol.Config.RetryJitter);
+	// zero uses defaultRetryJitter, negative disables jitter entirely
+	// (deterministic tests).
+	RetryJitter float64
+	// OfferTimeout is how long (virtual seconds) the worker waits for a
+	// reply to an offer before abandoning it and moving the round on — the
+	// recovery path for dropped offers and dropped replies. Zero uses
+	// defaultOfferTimeout, negative disables timeouts.
+	OfferTimeout float64
+	// RedialInterval, when positive, makes the worker re-dial a lost
+	// scheduler's address (SchedulerAddrs mode only) every this many wall
+	// seconds until it reconnects — the crash-recovery path for TCP
+	// clusters. On reconnect the worker re-registers with its running-copy
+	// and lost-reservation inventory so a restarted scheduler rebuilds its
+	// placement state. Zero disables (in-memory tests reconnect
+	// explicitly via ReconnectScheduler).
+	RedialInterval float64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
 }
 
-// runningCopy is one emulated in-flight copy on this worker.
+// defaultRetryJitter is the retry-backoff spread live workers run with:
+// enough to break retry lockstep after a mass-loss event (partition
+// heal, scheduler restart) without distorting the backoff scale. The
+// simulator keeps jitter at zero — its dispatch golden pins exact retry
+// timing.
+const defaultRetryJitter = 0.2
+
+// defaultOfferTimeout is the offer-abandon deadline in virtual seconds:
+// generous against reply latency (milliseconds of wall clock) while
+// bounding how long a lost frame can stall a negotiation round.
+const defaultOfferTimeout = 5.0
+
+// runningCopy is one emulated in-flight copy on this worker. sidx is
+// the dial-order slot of the scheduler that placed it (for re-pointing
+// the completion report after a reconnect) and startedVirt the virtual
+// start time (for computing Remaining in a re-registration Hello).
 type runningCopy struct {
-	seq   uint64
-	msg   wire.Assign
-	from  *peer
-	timer *time.Timer
+	seq         uint64
+	msg         wire.Assign
+	from        *peer
+	timer       *time.Timer
+	sidx        int
+	startedVirt float64
 }
 
 // Worker is a live worker node: a thin adapter feeding a protocol.Worker
@@ -68,6 +103,11 @@ type Worker struct {
 	retry     *time.Timer
 	retryGen  uint64 // invalidates stale RetryFired deliveries
 
+	// parked holds the reservation inventory DropSched discarded per
+	// dial-order slot, reported to the scheduler on reconnect (the
+	// restarted instance counts them; fresh probes recreate them).
+	parked map[int][]protocol.LostReservation
+
 	// curReply carries the in-delivery assign context into the core's
 	// Place callback (single-threaded loop; never concurrent).
 	curReply struct {
@@ -93,6 +133,16 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	}
 	if c.TimeScale == 0 {
 		c.TimeScale = 1
+	}
+	if c.RetryJitter == 0 {
+		c.RetryJitter = defaultRetryJitter
+	} else if c.RetryJitter < 0 {
+		c.RetryJitter = 0
+	}
+	if c.OfferTimeout == 0 {
+		c.OfferTimeout = defaultOfferTimeout
+	} else if c.OfferTimeout < 0 {
+		c.OfferTimeout = 0
 	}
 	return c
 }
@@ -128,6 +178,7 @@ func NewWorkerConns(cfg WorkerConfig, conns []transport.Conn) (*Worker, error) {
 		idByPeer:  make(map[*peer]protocol.SchedID),
 		freeSlots: cfg.Slots,
 		running:   make(map[uint64]*runningCopy),
+		parked:    make(map[int][]protocol.LostReservation),
 	}
 	pcfg := protocol.Config{
 		Mode:             cfg.Mode,
@@ -135,6 +186,7 @@ func NewWorkerConns(cfg WorkerConfig, conns []transport.Conn) (*Worker, error) {
 		RetryBackoffMin:  cfg.RetryBackoffMin,
 		RetryBackoffMax:  cfg.RetryBackoffMax,
 	}.WithDefaults()
+	pcfg.RetryJitter = cfg.RetryJitter // after defaults: zero here means disabled, not unset
 	w.core = protocol.NewWorker(cluster.MachineID(cfg.ID), pcfg, protocol.WorkerEnv{
 		Now:       w.now,
 		Rand:      rand.New(rand.NewSource(int64(cfg.ID)*7919 + 5)),
@@ -212,10 +264,15 @@ func (w *Worker) onSchedDisconnect(p *peer) {
 	// known-type decode failure, and the scheduler must see the break
 	// rather than keep committing state into a half-open socket.
 	p.conn.Close()
+	idx := -1
 	for i, sp := range w.scheds {
 		if sp == p {
 			w.scheds[i] = nil // keep the dial-order fallback honest
+			idx = i
 		}
+	}
+	if idx >= 0 && w.cfg.RedialInterval > 0 && idx < len(w.cfg.SchedulerAddrs) {
+		w.redial(idx)
 	}
 	sid, learned := w.idByPeer[p]
 	if !learned {
@@ -230,7 +287,12 @@ func (w *Worker) onSchedDisconnect(p *peer) {
 		delete(w.schedByID, sid)
 	}
 	delete(w.idByPeer, p)
-	w.core.DropSched(sid)
+	if lost := w.core.DropSched(sid); len(lost) > 0 && idx >= 0 {
+		// Park the discarded inventory for the re-registration Hello; a
+		// second disconnect of the same slot before reconnecting cannot
+		// happen (the slot is nil until attachSched repopulates it).
+		w.parked[idx] = lost
+	}
 	var orphans []uint64
 	for seq, po := range w.tracker.pending {
 		if po.sched == sid {
@@ -246,6 +308,103 @@ func (w *Worker) onSchedDisconnect(p *peer) {
 			w.exec(w.core.OnHopperReply(po.round, po.entry, rep))
 		}
 	}
+}
+
+// redial retries a lost scheduler's TCP address in the background until
+// it answers, then hands the fresh connection to the loop via
+// ReconnectScheduler. One goroutine per disconnect; it exits when the
+// worker stops or the dial lands.
+func (w *Worker) redial(idx int) {
+	addr := w.cfg.SchedulerAddrs[idx]
+	interval := time.Duration(w.cfg.RedialInterval * float64(time.Second))
+	w.loop.logf("re-dialing scheduler slot %d (%s) every %v", idx, addr, interval)
+	go func() {
+		for {
+			select {
+			case <-w.loop.done:
+				return
+			case <-time.After(interval):
+			}
+			conn, err := transport.Dial(addr)
+			if err != nil {
+				continue
+			}
+			w.ReconnectScheduler(idx, conn)
+			return
+		}
+	}()
+}
+
+// ReconnectScheduler hands the worker a replacement connection for the
+// scheduler at dial-order slot idx (the slot NewWorkerConns assigned the
+// original connection). The worker re-registers over it with a Hello
+// carrying its running-copy and lost-reservation inventory, which is how
+// a restarted scheduler reconstructs placement state. Safe to call from
+// any goroutine; the connection is adopted (and closed on rejection —
+// slot still occupied or worker stopped).
+func (w *Worker) ReconnectScheduler(idx int, conn transport.Conn) {
+	w.post(&internalEvent{fn: func() { w.attachSched(idx, conn) }}, nil)
+	// If the loop is already stopped the post was dropped; close the
+	// conn so a late redial doesn't leak a socket.
+	select {
+	case <-w.loop.done:
+		conn.Close()
+	default:
+	}
+}
+
+// attachSched adopts a replacement scheduler connection: re-register
+// with the running copies placed by that slot's previous instance (so
+// the restarted scheduler reconciles instead of double-placing) plus the
+// reservation counts DropSched parked, re-point in-flight completion
+// reports at the new connection, and start reading from it.
+func (w *Worker) attachSched(idx int, conn transport.Conn) {
+	if idx < 0 || idx >= len(w.scheds) || w.scheds[idx] != nil {
+		conn.Close()
+		return
+	}
+	p := &peer{conn: conn, hello: wire.Hello{Role: wire.RoleScheduler, ID: uint32(idx)}}
+	hello := &wire.Hello{Role: wire.RoleWorker, ID: w.cfg.ID, Slots: uint32(w.cfg.Slots)}
+	now := w.now()
+	var mine []*runningCopy
+	for _, rc := range w.running {
+		if rc.sidx == idx {
+			mine = append(mine, rc)
+		}
+	}
+	// Deterministic inventory order: the scheduler rebuilds copies in
+	// Hello order, and tests pin that.
+	sort.Slice(mine, func(i, j int) bool { return mine[i].seq < mine[j].seq })
+	for _, rc := range mine {
+		rc.from = p // completion report goes to the new instance
+		rem := rc.msg.Duration - (now - rc.startedVirt)
+		if rem < 0 {
+			rem = 0
+		}
+		hello.Running = append(hello.Running, wire.RunningCopy{
+			JobID:       rc.msg.JobID,
+			Seq:         rc.seq,
+			Phase:       rc.msg.Phase,
+			TaskIndex:   rc.msg.TaskIndex,
+			Speculative: rc.msg.Speculative,
+			Remaining:   rem,
+		})
+	}
+	for _, lr := range w.parked[idx] {
+		hello.Reservations = append(hello.Reservations, wire.JobReservation{
+			JobID: uint64(lr.Job), Count: uint32(lr.Count),
+		})
+	}
+	delete(w.parked, idx)
+	w.loop.logf("reattached scheduler slot %d: reporting %d running copies, %d reservation entries",
+		idx, len(hello.Running), len(hello.Reservations))
+	if err := conn.Send(hello); err != nil {
+		w.loop.logf("re-registration to scheduler slot %d failed: %v", idx, err)
+		conn.Close()
+		return
+	}
+	w.scheds[idx] = p
+	go w.loop.readFrom(p)
 }
 
 // Stop terminates the worker; Run reports in-flight copies as killed on
@@ -365,7 +524,25 @@ func (w *Worker) onReply(from *peer, m wire.Message) {
 	}
 	po, live := w.tracker.take(seq)
 	if !live {
-		return // stale reply; the round is gone
+		// Stale reply: the offer was already resolved (first delivery of a
+		// duplicate, a reply that lost to its own timeout, or a round torn
+		// down by a disconnect). Refusals and no-tasks just vanish, but a
+		// stale Assign carries a task the scheduler has committed a slot
+		// for: if it did not start here (no running copy under this seq),
+		// reject it explicitly so the scheduler unwinds the copy and
+		// requeues instead of waiting on a report that will never come. A
+		// duplicate of an assign that DID start is dropped silently — the
+		// single running copy will report once.
+		if a, isAssign := m.(*wire.Assign); isAssign {
+			if _, started := w.running[seq]; !started {
+				w.stats.StaleAssigns++
+				w.loop.send(from, &wire.TaskDone{
+					JobID: a.JobID, Seq: seq, Phase: a.Phase, TaskIndex: a.TaskIndex,
+					WorkerID: w.cfg.ID, Killed: true,
+				})
+			}
+		}
+		return
 	}
 	e := po.entry
 	if e.IsZero() {
@@ -382,6 +559,32 @@ func (w *Worker) onReply(from *peer, m wire.Message) {
 		w.exec(w.core.OnHopperReply(po.round, e, rep))
 	}
 	w.curReply.msg = nil
+}
+
+// offerTimedOut abandons an offer no reply ever answered (dropped offer
+// frame or dropped reply): the round resumes against a synthesized
+// no-task reply, exactly as if the scheduler had answered empty-handed.
+// The entry cools normally, so a healthy-but-slow scheduler is retried
+// rather than written off. If the real reply surfaces later it finds
+// the tracker slot gone and lands in onReply's stale path (a late
+// Assign is rejected with a killed TaskDone there).
+func (w *Worker) offerTimedOut(seq uint64) {
+	po, live := w.tracker.take(seq)
+	if !live {
+		return // answered (or torn down) before the deadline
+	}
+	w.stats.OfferTimeouts++
+	w.loop.logf("offer %d to scheduler %d timed out; abandoning", seq, po.sched)
+	e := po.entry
+	if e.IsZero() {
+		e = w.core.EntryFor(po.sched, po.job)
+	}
+	rep := protocol.Reply{Job: po.job, From: po.sched}
+	if po.getTask {
+		w.exec(w.core.OnSparrowReply(po.round, e, rep))
+	} else {
+		w.exec(w.core.OnHopperReply(po.round, e, rep))
+	}
 }
 
 // place is the core's placement callback: occupy a slot and emulate the
@@ -401,7 +604,15 @@ func (w *Worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 		return false
 	}
 	w.freeSlots--
-	rc := &runningCopy{seq: w.curReply.seq, msg: *a, from: w.curReply.from}
+	rc := &runningCopy{
+		seq: w.curReply.seq, msg: *a, from: w.curReply.from,
+		sidx: -1, startedVirt: w.now(),
+	}
+	for i, sp := range w.scheds {
+		if sp == w.curReply.from {
+			rc.sidx = i
+		}
+	}
 	w.running[rc.seq] = rc
 	wall := time.Duration(a.Duration * w.cfg.TimeScale * float64(time.Second))
 	rc.timer = time.AfterFunc(wall, func() {
@@ -472,6 +683,12 @@ func (w *Worker) exec(acts []protocol.WAction) {
 				Refusable: a.Refusable,
 				GetTask:   a.GetTask,
 			})
+			if w.cfg.OfferTimeout > 0 {
+				wall := time.Duration(w.cfg.OfferTimeout * w.cfg.TimeScale * float64(time.Second))
+				w.tracker.arm(seq, time.AfterFunc(wall, func() {
+					w.post(&internalEvent{fn: func() { w.offerTimedOut(seq) }}, nil)
+				}))
+			}
 		case protocol.WArmRetry:
 			// Generation-tag each arm: a RetryFired event already queued
 			// from an older timer must not reach the core after a newer

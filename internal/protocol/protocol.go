@@ -102,9 +102,18 @@ type Config struct {
 
 	// RetryBackoffMin/Max bound the worker's idle retry backoff when a
 	// negotiation round ends without placing a task (seconds, in the
-	// adapter's clock domain).
+	// adapter's clock domain). RetryBackoffMax is a hard cap: no armed
+	// retry delay ever exceeds it, jitter included.
 	RetryBackoffMin float64
 	RetryBackoffMax float64
+
+	// RetryJitter spreads each armed retry delay uniformly over
+	// [d*(1-RetryJitter), d*(1+RetryJitter)] so workers that lost their
+	// reservations in the same event (a partition, a scheduler crash) do
+	// not retry in lockstep. Zero disables jitter. WithDefaults leaves it
+	// zero — the simulator's dispatch golden pins exact retry timing —
+	// and the live adapters enable it (see live.defaultRetryJitter).
+	RetryJitter float64
 
 	// RefusalCooldown is how long a worker treats a job as satisfied
 	// after its scheduler refused an offer (or had no task), before
@@ -173,6 +182,30 @@ type Stats struct {
 	// here rather than silently absorbed.
 	DoubleWakeups     int64
 	DoubleWakeupTasks int64
+
+	// Requeues counts tasks pushed back to the fresh queue after their
+	// worker (or an individual copy) was lost — the recovery path shared
+	// by worker crashes, copy watchdog expiries, and machine churn.
+	Requeues int64
+
+	// OfferTimeouts counts offers a worker abandoned because no reply
+	// arrived in time (dropped offer or dropped reply), and StaleAssigns
+	// the task hand-offs rejected because they answered an offer already
+	// abandoned — both are fault-recovery events, not bugs.
+	OfferTimeouts int64
+	StaleAssigns  int64
+
+	// WatchdogExpiries counts in-flight copies a scheduler gave up on
+	// because no completion report arrived within the copy's duration plus
+	// grace (lost assign, lost report, or a stalled worker).
+	WatchdogExpiries int64
+
+	// ReconciledCopies / ReconciledReservations count scheduler state
+	// rebuilt from worker re-registration after a restart: running copies
+	// re-attached without re-placement, and reservation entries workers
+	// reported still holding.
+	ReconciledCopies       int64
+	ReconciledReservations int64
 }
 
 // Reply is a scheduler's answer to a worker's offer or task pull. It is

@@ -332,6 +332,51 @@ func TestRetryBackoffDoublesAndResets(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffJitterStaysWithinCap pins the jittered backoff: delays
+// spread (workers desynchronize after a mass-loss event) but never leave
+// [RetryBackoffMin, RetryBackoffMax] — the max is a hard cap even with
+// jitter applied on top of a saturated doubling accumulator.
+func TestRetryBackoffJitterStaysWithinCap(t *testing.T) {
+	cfg := Config{Mode: ModeHopper, NumSchedulers: 3, RetryJitter: 0.5}.WithDefaults()
+	var st Stats
+	w := NewWorker(0, cfg, WorkerEnv{
+		Now:       func() float64 { return 0 },
+		Rand:      rand.New(rand.NewSource(7)),
+		FreeSlots: func() int { return 1 },
+		Place:     func(SchedID, Reply) bool { return true },
+		Stats:     &st,
+	})
+	e := w.newEntry(0, 7)
+	e.count, e.vs, e.coolTill = 1, 2, 100 // cooling: retries arm, no offers
+
+	var delays []float64
+	for i := 0; i < 40; i++ {
+		for _, a := range w.RetryFired() {
+			if a.Kind == WArmRetry {
+				delays = append(delays, a.Delay)
+			}
+		}
+	}
+	if len(delays) != 40 {
+		t.Fatalf("got %d retry arms, want 40", len(delays))
+	}
+	varied := false
+	for i, d := range delays {
+		if d < cfg.RetryBackoffMin || d > cfg.RetryBackoffMax {
+			t.Fatalf("delay[%d] = %v outside [%v, %v]", i, d, cfg.RetryBackoffMin, cfg.RetryBackoffMax)
+		}
+		if i > 0 && d != delays[i-1] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jittered delays never varied; jitter draw is dead code")
+	}
+	if w.backoff != cfg.RetryBackoffMax {
+		t.Fatalf("doubling accumulator = %v, want capped at %v", w.backoff, cfg.RetryBackoffMax)
+	}
+}
+
 func TestOccupancyLeakDetection(t *testing.T) {
 	h := newHarness(t, ModeHopper, 2)
 	j := mkJob(50, 2, 1.0)

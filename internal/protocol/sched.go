@@ -73,11 +73,21 @@ func (d *dJob) demand() int { return d.pendingFresh.Len() + d.wants.Len() }
 // whose input is local on machine m, then any original task, then a
 // speculative copy. Returns (nil, false) when the job has nothing to run.
 func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool) {
-	for i := 0; i < d.pendingFresh.Len(); i++ {
-		if t := d.pendingFresh.At(i); t.LocalOn(m) {
+	for i := 0; i < d.pendingFresh.Len(); {
+		t := d.pendingFresh.At(i)
+		if t.State == cluster.TaskDone {
+			// Stale entry: the task completed while queued (only possible
+			// through live-adapter recovery races — a reconciled or
+			// requeued copy finishing first). Handing it out would place a
+			// doomed copy and leak its occupancy.
+			d.pendingFresh.RemoveAt(i)
+			continue
+		}
+		if t.LocalOn(m) {
 			d.pendingFresh.RemoveAt(i)
 			return t, false
 		}
+		i++
 	}
 	if d.pendingFresh.Len() > 0 {
 		return d.pendingFresh.PopFront(), false
@@ -491,11 +501,51 @@ func (sc *Sched) RequeueLost(t *cluster.Task) []Probe {
 	if d == nil || t.State == cluster.TaskDone {
 		return sc.probeBuf
 	}
+	sc.env.Stats.Requeues++
 	d.running.Remove(t)
+	// Idempotent under double loss: two machines can lose copies of the
+	// same task back to back (concurrent worker crashes, churn), and a
+	// duplicate queue entry would hand the task out twice.
+	d.pendingFresh.Remove(t)
 	d.pendingFresh.PushBack(t)
 	sc.reqScratch = append(sc.reqScratch[:0], t)
 	sc.probeForTasks(d, sc.reqScratch)
 	return sc.probeBuf
+}
+
+// ReconcileRunning restores the hand-out bookkeeping for a copy that a
+// re-registering worker reports as still executing (scheduler restart,
+// live adapters only). It mirrors the occupancy/running accounting of a
+// normal hand-out without consuming a reservation, so the rebuilt core
+// neither double-places the task nor leaks occupancy when the copy
+// completes. The caller must have transitioned the task to Running
+// (cluster.Task.StartCopy) before admitting the job's phases, so
+// PhaseRunnable skips it.
+func (sc *Sched) ReconcileRunning(t *cluster.Task, spec bool) {
+	d := sc.jobs[t.Job.ID]
+	if d == nil {
+		return
+	}
+	// The task may already sit in pendingFresh: the job was (re)admitted
+	// before this worker's inventory arrived, so PhaseRunnable queued it
+	// as unplaced. Pull it out or it gets handed out a second time —
+	// and, once done, leaks the phantom hand-out's occupancy forever.
+	d.pendingFresh.Remove(t)
+	d.occupied++
+	if !spec {
+		d.running.Add(t)
+		sc.mon.TaskHandedOut(t)
+	}
+	sc.env.Stats.ReconciledCopies++
+}
+
+// ReconcileReservations accounts for reservations a re-registering
+// worker reports having lost with the previous scheduler instance.
+// Nothing is re-installed — fresh probes on job resubmission recreate
+// demand — but the count surfaces in Stats so operators can see the
+// recovery happened.
+func (sc *Sched) ReconcileReservations(n int) {
+	sc.env.Stats.ReconciledReservations += int64(n)
 }
 
 // HandleGetTask is the Sparrow baselines' task pull: hand over the next

@@ -219,20 +219,40 @@ func (w *Worker) RetryFired() []WAction {
 	return w.acts
 }
 
+// LostReservation records one job's reservation state discarded by
+// DropSched, so a live adapter can report it to the scheduler when (if)
+// the scheduler comes back: the restarted scheduler counts these for
+// reconciliation accounting, and fresh probes from job resubmission
+// recreate the reservations themselves.
+type LostReservation struct {
+	Job   cluster.JobID
+	Count int     // reservations held for the job
+	VS    float64 // last-known virtual size
+	Rem   int     // last-known remaining tasks
+}
+
 // DropSched removes every reservation entry of a scheduler that left
 // the cluster (live adapters only — the simulator never loses
-// schedulers). Rounds with offers already in flight to that scheduler
-// must additionally be resolved by the adapter (synthesized JobDone
-// replies), or their activeRounds slots leak.
-func (w *Worker) DropSched(sched SchedID) {
+// schedulers) and returns the reservation inventory that was lost, for
+// re-registration reporting. Rounds with offers already in flight to
+// that scheduler must additionally be resolved by the adapter
+// (synthesized JobDone replies), or their activeRounds slots leak.
+func (w *Worker) DropSched(sched SchedID) []LostReservation {
+	var lost []LostReservation
 	for _, e := range w.entries {
 		if !e.dead && e.Sched == sched {
+			if e.count > 0 {
+				lost = append(lost, LostReservation{
+					Job: e.Job, Count: e.count, VS: e.vs, Rem: e.remTasks,
+				})
+			}
 			e.dead = true
 			e.gen++
 			w.deadEntries++
 		}
 	}
 	w.compact()
+	return lost
 }
 
 // purge tombstones an entry; the queue compacts once dead entries
@@ -359,6 +379,17 @@ func (w *Worker) scheduleRetry() {
 	w.backoff *= 2
 	if w.backoff > w.cfg.RetryBackoffMax {
 		w.backoff = w.cfg.RetryBackoffMax
+	}
+	if j := w.cfg.RetryJitter; j > 0 {
+		d *= 1 + j*(2*w.env.Rand.Float64()-1)
+		if d < w.cfg.RetryBackoffMin {
+			d = w.cfg.RetryBackoffMin
+		}
+	}
+	// Hard cap after jitter: a long partition must converge on retries
+	// every RetryBackoffMax seconds, never longer.
+	if d > w.cfg.RetryBackoffMax {
+		d = w.cfg.RetryBackoffMax
 	}
 	w.retryArmed = true
 	w.acts = append(w.acts, WAction{Kind: WArmRetry, Delay: d})

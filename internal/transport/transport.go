@@ -37,8 +37,20 @@ type Conn interface {
 	RemoteAddr() string
 }
 
-// ErrClosed is returned by operations on a closed connection.
+// ErrClosed is returned by operations on a closed connection. Both
+// transports report it for sends on a connection that is closed locally
+// or by the peer: match with errors.Is(err, ErrClosed), since the TCP
+// side wraps the underlying write error (EPIPE, ECONNRESET, ...) rather
+// than discarding it.
 var ErrClosed = errors.New("transport: connection closed")
+
+// closedErr wraps a transport-level failure so callers can match it with
+// errors.Is(err, ErrClosed) while logs keep the root cause.
+type closedErr struct{ cause error }
+
+func (e *closedErr) Error() string   { return "transport: connection closed: " + e.cause.Error() }
+func (e *closedErr) Unwrap() error   { return e.cause }
+func (e *closedErr) Is(t error) bool { return t == ErrClosed }
 
 // --- TCP ----------------------------------------------------------------
 
@@ -91,12 +103,18 @@ func (t *tcpConn) Send(m wire.Message) error {
 	// BenchmarkConnThroughput's allocs/msg column).
 	t.enc = wire.Append(t.enc[:0], m)
 	if _, err := t.bw.Write(t.enc); err != nil {
-		return err
+		return &closedErr{cause: err}
 	}
 	// Flush per message: the protocol is latency-sensitive and messages
 	// are small; Nagle is disabled by default on TCPConn via the kernel's
 	// behavior with explicit flushes.
-	return t.bw.Flush()
+	if err := t.bw.Flush(); err != nil {
+		// No write deadlines are ever set on these connections, so a write
+		// error means the stream is dead (peer closed, reset, ...): report
+		// it as ErrClosed so TCP and in-memory sends fail identically.
+		return &closedErr{cause: err}
+	}
+	return nil
 }
 
 // Recv returns the next message. A frame-local decode failure (unknown

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -174,6 +175,36 @@ func TestSendAfterCloseFails(t *testing.T) {
 	a.Close()
 	if err := a.Send(&wire.Ping{Nonce: 1}); err == nil {
 		t.Fatal("send after close succeeded")
+	}
+}
+
+// TestSendAfterPeerCloseReturnsErrClosed pins the two transports to the
+// same failure type: a send on a connection the peer has closed fails
+// with an error matching ErrClosed via errors.Is. TCP surfaces the break
+// asynchronously (early sends may land in the kernel buffer before the
+// RST returns), so the test sends until the failure appears.
+func TestSendAfterPeerCloseReturnsErrClosed(t *testing.T) {
+	for _, kind := range []string{"mem", "tcp"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, b, cleanup := testConnPair(t, kind)
+			defer cleanup()
+			b.Close()
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				err := a.Send(&wire.Ping{Nonce: 1})
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Fatalf("send after peer close = %v, want errors.Is(err, ErrClosed)", err)
+					}
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("sends kept succeeding after peer close")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
 	}
 }
 

@@ -391,7 +391,45 @@ type Hello struct {
 	Role  uint8
 	ID    uint32
 	Slots uint32 // workers announce their slot count
+
+	// Running is a re-registering worker's inventory of this scheduler's
+	// copies still executing on it — the state a restarted scheduler
+	// rebuilds its placement bookkeeping from instead of double-placing
+	// the tasks. Empty on a first registration.
+	Running []RunningCopy
+	// Reservations reports the parked reservations the worker held for
+	// this scheduler's jobs when the previous connection died (counts
+	// aggregated per job). The restarted scheduler re-probes on job
+	// resubmission anyway, so this is reconciliation accounting, not a
+	// replacement for fresh probes.
+	Reservations []JobReservation
 }
+
+// RunningCopy is one still-executing copy in a re-registration Hello.
+// Seq is the worker's original assign sequence number, so the completion
+// report the copy eventually sends resolves against the reconciled
+// record. Remaining is the copy's service time left at Hello time, in
+// virtual seconds — the restarted scheduler arms its watchdog from it.
+type RunningCopy struct {
+	JobID       uint64
+	Seq         uint64
+	Phase       uint16
+	TaskIndex   uint32
+	Speculative bool
+	Remaining   float64
+}
+
+// JobReservation aggregates a worker's lost reservations for one job.
+type JobReservation struct {
+	JobID uint64
+	Count uint32
+}
+
+// MaxHelloInventory bounds the per-Hello inventory list lengths the
+// decoder will allocate for (a worker holds at most slots-many running
+// copies and a handful of reservation entries; a malicious frame gets
+// no amplification).
+const MaxHelloInventory = 1 << 16
 
 // Type implements Message.
 func (*Hello) Type() MsgType { return THello }
@@ -400,6 +438,20 @@ func (m *Hello) encode(b []byte) []byte {
 	b = putU8(b, m.Role)
 	b = putU32(b, m.ID)
 	b = putU32(b, m.Slots)
+	b = putU16(b, uint16(len(m.Running)))
+	for _, rc := range m.Running {
+		b = putU64(b, rc.JobID)
+		b = putU64(b, rc.Seq)
+		b = putU16(b, rc.Phase)
+		b = putU32(b, rc.TaskIndex)
+		b = putBool(b, rc.Speculative)
+		b = putF64(b, rc.Remaining)
+	}
+	b = putU16(b, uint16(len(m.Reservations)))
+	for _, jr := range m.Reservations {
+		b = putU64(b, jr.JobID)
+		b = putU32(b, jr.Count)
+	}
 	return b
 }
 
@@ -407,6 +459,36 @@ func (m *Hello) decode(r *reader) error {
 	m.Role = r.u8()
 	m.ID = r.u32()
 	m.Slots = r.u32()
+	nr := int(r.u16())
+	if nr > 0 {
+		m.Running = make([]RunningCopy, 0, min(nr, MaxHelloInventory))
+		for i := 0; i < nr; i++ {
+			if r.err != nil {
+				return r.err
+			}
+			m.Running = append(m.Running, RunningCopy{
+				JobID:       r.u64(),
+				Seq:         r.u64(),
+				Phase:       r.u16(),
+				TaskIndex:   r.u32(),
+				Speculative: r.bool(),
+				Remaining:   r.f64(),
+			})
+		}
+	}
+	nv := int(r.u16())
+	if nv > 0 {
+		m.Reservations = make([]JobReservation, 0, min(nv, MaxHelloInventory))
+		for i := 0; i < nv; i++ {
+			if r.err != nil {
+				return r.err
+			}
+			m.Reservations = append(m.Reservations, JobReservation{
+				JobID: r.u64(),
+				Count: r.u32(),
+			})
+		}
+	}
 	return r.err
 }
 

@@ -58,6 +58,15 @@ func corpusMessages() []Message {
 		&NoTask{JobID: 7, Seq: 91, JobDone: true, NoDemand: true, VirtualSize: 12.5, RemTasks: 3},
 		&TaskDone{JobID: 7, Seq: 92, Phase: 2, TaskIndex: 5, WorkerID: 12, Duration: 3.5, Killed: true},
 		&Hello{Role: RoleWorker, ID: 17, Slots: 16},
+		&Hello{Role: RoleWorker, ID: 18, Slots: 4,
+			Running: []RunningCopy{
+				{JobID: 7, Seq: 88, Phase: 1, TaskIndex: 17, Speculative: true, Remaining: 2.5},
+				{JobID: 9, Seq: 91, Phase: 0, TaskIndex: 0, Remaining: 0.25},
+			},
+			Reservations: []JobReservation{{JobID: 7, Count: 3}, {JobID: 11, Count: 1}},
+		},
+		&Hello{Role: RoleWorker, ID: 19, Slots: 2,
+			Reservations: []JobReservation{{JobID: 5, Count: 2}}},
 		&Ping{Nonce: 0xDEADBEEF},
 		&Pong{Nonce: 0xDEADBEEF},
 		&Kill{JobID: 7, Seq: 93},
