@@ -163,7 +163,7 @@ func TestTrajectoryIncludes1MTier(t *testing.T) {
 				oneM = s
 			case s.Machines == 100000 && s.Shards == 0:
 				serial100k = s
-			case s.Machines == 100000 && s.Shards > 1:
+			case s.Machines == 100000 && s.Shards > 1 && !s.Parallel:
 				sharded100k = s
 			}
 		}
@@ -185,6 +185,51 @@ func TestTrajectoryIncludes1MTier(t *testing.T) {
 		return
 	}
 	t.Fatal("no trajectory file carries the 1M-machine sharded decentral-hopper tier (BENCH_PR6+ convention)")
+}
+
+// TestTrajectoryIncludesParallelTier pins the PR 8 convention: from
+// BENCH_PR8.json on, the full-tier trajectory carries the
+// parallel-engine twins — the 100k serial/sharded/parallel triple and
+// the 1M sharded/parallel pair — so every later file records what the
+// intra-epoch parallel engine cost or saved on its capture machine.
+// No speedup floor is pinned here: a single-core capture box runs the
+// parallel rows at goroutine budget 1 and legitimately measures
+// overhead, not speedup (DESIGN.md section 9); wall-clock claims
+// belong to multi-core captures and their CHANGES.md entries.
+func TestTrajectoryIncludesParallelTier(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
+	}
+	for _, file := range files {
+		rep, err := experiments.LoadBenchReport(file)
+		if err != nil {
+			continue // the per-file test reports parse failures
+		}
+		var p100k, p1M, serial100k, sharded100k bool
+		for _, s := range rep.Scenarios {
+			if s.Kind != "decentral-hopper" || s.Optimized.Decisions <= 0 {
+				continue
+			}
+			switch {
+			case s.Machines == 100000 && s.Parallel:
+				p100k = true
+			case s.Machines >= 1000000 && s.Parallel:
+				p1M = true
+			case s.Machines == 100000 && s.Shards == 0:
+				serial100k = true
+			case s.Machines == 100000 && s.Shards > 1:
+				sharded100k = true
+			}
+		}
+		if p100k && p1M {
+			if !serial100k || !sharded100k {
+				t.Fatalf("%s: has the parallel tiers but not the 100k serial/sharded rows to compare against", file)
+			}
+			return
+		}
+	}
+	t.Fatal("no trajectory file carries the parallel-engine 100k+1M tiers (BENCH_PR8+ convention)")
 }
 
 // BenchmarkDispatchScaleSmoke tracks the smoke matrix under

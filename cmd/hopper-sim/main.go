@@ -4,10 +4,11 @@
 // Usage:
 //
 //	hopper-sim -list
-//	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-shards N] [-v]
+//	hopper-sim -experiment fig6 [-scale 1] [-seeds 3] [-workers N] [-shards N] [-shard-parallel] [-v]
 //	hopper-sim -all
 //	hopper-sim -scenario churn
 //	hopper-sim -shard-check 2
+//	hopper-sim -shard-parallel-check 4
 //	hopper-sim -bench-scale full -bench-out BENCH_PR6.json
 //	hopper-sim -bench-scale smoke -bench-out new.json -bench-check BENCH_PR6.json
 //	hopper-sim -bench-scale full -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -16,10 +17,15 @@
 // EXPERIMENTS.md records expected shapes and paper-vs-measured values.
 // Simulation cells run on a worker pool (-workers, default GOMAXPROCS);
 // output is byte-identical whatever the parallelism — see DESIGN.md for
-// the determinism contract. -bench-scale replays the canonical scenario
-// matrix (smoke = 1k machines for CI; full adds the 10k tier, the
-// 100k-machine decentralized tier as a serial/4-shard pair, and the
-// 1M-machine sharded tier) under the optimized and
+// the determinism contract. -shard-parallel additionally drains each
+// cell's shards concurrently (decentralized cells only): deterministic
+// for a fixed (seed, shards) at any goroutine budget, but a different
+// event schedule than the serial engine — -shard-parallel-check is the
+// standalone gate for that contract. -bench-scale replays the canonical
+// scenario matrix (smoke = 1k machines for CI; full adds the 10k tier,
+// the 100k-machine decentralized tier as a serial/4-shard/parallel
+// triple, and the 1M-machine sharded+parallel tier) under the
+// optimized and
 // frozen-reference dispatch implementations and reports ns per
 // scheduling decision, allocs per decision, and events/sec;
 // -bench-check fails (exit 1) on a >20% ns/decision regression relative
@@ -57,8 +63,10 @@ func run() int {
 		scale        = flag.Float64("scale", 1, "job-count scale factor")
 		seeds        = flag.Int("seeds", 3, "independent replays per data point")
 		workers      = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
-		shards       = flag.Int("shards", 0, "engine shard count per simulation cell (0 = serial engine; results are identical either way)")
+		shards       = flag.Int("shards", 0, "engine shard count per simulation cell (0 = serial engine; results are identical either way). With -shard-parallel, 0 means GOMAXPROCS shards")
+		shardPar     = flag.Bool("shard-parallel", false, "drain shards concurrently within epoch windows (decentralized cells only; deterministic per (seed, shards) but a different schedule than serial — see DESIGN.md)")
 		shardCheck   = flag.Int("shard-check", 0, "verify the N-shard engine is byte-identical to serial on the smoke scenario, then exit")
+		shardParCk   = flag.Int("shard-parallel-check", 0, "verify the N-shard parallel engine is stable across goroutine budgets and identical to its serial replay, then exit")
 		verbose      = flag.Bool("v", false, "log per-run progress")
 		benchScale   = flag.String("bench-scale", "", "run the scale benchmark suite: \"full\" (1k+10k+100k machines) or \"smoke\" (1k)")
 		benchOut     = flag.String("bench-out", "", "write the scale benchmark report to this JSON file (requires -bench-scale)")
@@ -123,6 +131,18 @@ func run() int {
 		return 0
 	}
 
+	if *shardParCk != 0 {
+		if *shardParCk < 2 {
+			fmt.Fprintln(os.Stderr, "-shard-parallel-check needs at least 2 shards")
+			return 2
+		}
+		if err := experiments.RunShardParallelCheck(*shardParCk, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "shard-parallel-check FAILED:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *benchScale == "" && (*benchOut != "" || *benchCheck != "" || *benchSummary != "") {
 		fmt.Fprintln(os.Stderr, "-bench-out/-bench-check/-bench-summary require -bench-scale")
 		return 2
@@ -152,7 +172,12 @@ func run() int {
 		return 2
 	}
 
-	h := experiments.Harness{Scale: *scale, Seeds: *seeds, Workers: *workers, Shards: *shards}
+	h := experiments.Harness{Scale: *scale, Seeds: *seeds, Workers: *workers,
+		Shards: *shards, ShardParallel: *shardPar}
+	if *shardPar && h.Shards == 0 {
+		// Parallel draining needs shards to drain; default to one per core.
+		h.Shards = runtime.GOMAXPROCS(0)
+	}
 	if *verbose {
 		h.Log = os.Stderr
 	}

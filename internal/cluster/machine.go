@@ -93,6 +93,29 @@ func (ms *Machines) Release(id MachineID) {
 	ms.freeSlots++
 }
 
+// AcquireLocal takes one slot on this machine without maintaining the
+// cluster-wide free index or slot counters. It is the slot primitive for
+// parallel shard execution, where a machine's slots are owned by exactly
+// one shard and the global index (free list, FreeSlots) is not readable
+// mid-run — decentralized placement only ever consults the machine's own
+// Free count, so the index staleness is unobservable there. The same
+// capacity panic as Acquire applies.
+func (m *Machine) AcquireLocal() {
+	if m.Free <= 0 {
+		panic(fmt.Sprintf("cluster: acquiring slot on full machine %d", m.ID))
+	}
+	m.Free--
+}
+
+// ReleaseLocal returns one slot taken with AcquireLocal. It panics on
+// over-release, like Release.
+func (m *Machine) ReleaseLocal() {
+	if m.Free >= m.Slots {
+		panic(fmt.Sprintf("cluster: releasing slot on idle machine %d", m.ID))
+	}
+	m.Free++
+}
+
 func (ms *Machines) removeFree(id MachineID) {
 	i := ms.pos[id]
 	last := len(ms.free) - 1
@@ -181,6 +204,47 @@ func (ms *Machines) RandomSubset(rng *rand.Rand, k int, dst []MachineID) []Machi
 			v = j
 		}
 		ms.sampleSeen[v] = epoch
+		dst = append(dst, MachineID(v))
+	}
+	return dst
+}
+
+// SubsetSampler is a goroutine-confined RandomSubset: the same Floyd
+// sampler with the same RNG draw sequence, but with its own duplicate-
+// marker scratch instead of the shared one inside Machines. Parallel
+// shards each own one, so concurrent probe waves never race on
+// sampleSeen/sampleEpoch.
+type SubsetSampler struct {
+	n     int
+	seen  []int64
+	epoch int64
+}
+
+// NewSubsetSampler returns a sampler over this machine set. The machine
+// count is fixed at creation (machine sets never grow mid-run).
+func (ms *Machines) NewSubsetSampler() *SubsetSampler {
+	return &SubsetSampler{n: len(ms.All), seen: make([]int64, len(ms.All))}
+}
+
+// RandomSubset fills dst with k distinct machine IDs, exactly like
+// Machines.RandomSubset — identical draws from the same rng state.
+func (s *SubsetSampler) RandomSubset(rng *rand.Rand, k int, dst []MachineID) []MachineID {
+	n := s.n
+	if k >= n {
+		dst = dst[:0]
+		for i := 0; i < n; i++ {
+			dst = append(dst, MachineID(i))
+		}
+		return dst
+	}
+	dst = dst[:0]
+	s.epoch++
+	for j := n - k; j < n; j++ {
+		v := rng.Intn(j + 1)
+		if s.seen[v] == s.epoch {
+			v = j
+		}
+		s.seen[v] = s.epoch
 		dst = append(dst, MachineID(v))
 	}
 	return dst

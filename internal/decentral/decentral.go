@@ -154,6 +154,15 @@ type System struct {
 	scheds  []*sched
 	workers []*worker
 
+	// shards holds the per-shard state of a parallel run (parallel.go);
+	// empty on serial and serial-merge engines. When non-empty, byJob and
+	// the message pool below are unused — each pshard owns its slice of
+	// them — and the counter fields are merged from the shards by
+	// finalize once the run drains.
+	shards    []*pshard
+	finalized bool
+	durSeed   int64 // Exec's service-time seed, read once at build
+
 	byJob map[cluster.JobID]*sched
 	done  []*cluster.Job
 
@@ -226,6 +235,13 @@ type System struct {
 	// order — the assignment log the sim-vs-live parity test compares.
 	// Observation only: it must not mutate cluster state.
 	OnPlace func(t *cluster.Task, m cluster.MachineID, spec bool)
+
+	// OnPlacePar is OnPlace for parallel engines: placements stream in
+	// per-shard order, so the observer receives the worker's home shard
+	// and must keep per-shard logs (a global interleaving would be
+	// schedule-dependent). Called from shard goroutines — the observer
+	// must be shard-confined or synchronized.
+	OnPlacePar func(shard int, t *cluster.Task, m cluster.MachineID, spec bool)
 }
 
 // msgKind discriminates pooled message events.
@@ -249,6 +265,14 @@ const (
 	// with the reply in flight. Rolls back occupancy and requeues the
 	// task if it has no other live copy. Churn runs only.
 	mLostAssign
+
+	// Execution-plane kinds, parallel engines only (parallel.go): the
+	// worker shard reports copy starts and finishes to the task's
+	// scheduler shard, which replies with kills for race losers and
+	// rejected placements.
+	mPlaced   // worker -> scheduler: copy started (start, dur, machine)
+	mFinished // worker -> scheduler: copy reached its service time
+	mKill     // scheduler -> worker: terminate a running copy
 )
 
 // message is one pooled simulated protocol message. The same object
@@ -272,6 +296,19 @@ type message struct {
 
 	rep    protocol.Reply   // reply payload (mReply)
 	probes []protocol.Probe // batch payload (mProbeBatch)
+
+	// Execution-plane payload (parallel engines; see parallel.go). The
+	// (task, attempt) pair is the cross-shard copy correlation key.
+	ps      *pshard // shard responsible for the message at delivery
+	task    *cluster.Task
+	attempt int
+	start   float64 // mPlaced: copy start time
+	dur     float64 // mPlaced: drawn service time
+	fin     float64 // mFinished: completion instant
+	mach    cluster.MachineID
+	spec    bool
+	local   bool
+	queued  bool // mOffer: already passed the scheduler's busyUntil queue
 }
 
 // getMsg pops a recycled message (or allocates the pool's next one).
@@ -293,6 +330,8 @@ func (s *System) putMsg(m *message) {
 	m.entry = protocol.EntryRef{}
 	m.rep = protocol.Reply{}
 	m.probes = m.probes[:0]
+	m.task = nil
+	m.ps = nil
 	m.next = s.freeMsg
 	s.freeMsg = m
 }
@@ -407,6 +446,12 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 		pcfg.IndexedVictims = true
 	}
 	s.pcfg = pcfg
+	if np := eng.ParallelShards(); np > 0 {
+		// Parallel engine: per-shard schedulers, workers, pools, and an
+		// execution plane replacing the shared Executor (parallel.go).
+		s.initParallel(np, pcfg)
+		return s
+	}
 	for i := 0; i < cfg.NumSchedulers; i++ {
 		sc := newSched(s, i, pcfg)
 		sc.shard = shardOf(i, cfg.NumSchedulers, nShards)
@@ -427,12 +472,20 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 // Name identifies the system in reports.
 func (s *System) Name() string { return s.Cfg.Mode.String() }
 
-// Completed returns finished jobs in completion order.
-func (s *System) Completed() []*cluster.Job { return s.done }
+// Completed returns finished jobs in completion order. On a parallel
+// engine the first call (after the run drains) merges the shard-local
+// results; call it only once the engine has gone idle.
+func (s *System) Completed() []*cluster.Job {
+	s.finalize()
+	return s.done
+}
 
 // Arrive admits a job, assigning it round-robin to a scheduler exactly as
 // the paper's frontends do.
 func (s *System) Arrive(j *cluster.Job) {
+	if len(s.shards) > 0 {
+		panic("decentral: parallel systems take arrivals via PostArrival before Run")
+	}
 	sc := s.scheds[s.next%len(s.scheds)]
 	s.next++
 	s.byJob[j.ID] = sc

@@ -1,0 +1,669 @@
+package decentral
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/protocol"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// Parallel shard adapter: the decentralized system on a parallel engine
+// (simulator.NewParallel), where shards fire concurrently within epoch
+// windows and may not touch each other's state. The serial and
+// serial-merge paths share one Executor, one message pool, one global
+// counter set — none of which survives concurrent firing. This file
+// replaces them with per-shard state plus an explicit execution-plane
+// message protocol:
+//
+//   - a scheduler shard (S) owns everything the protocol core reads:
+//     task/job/phase state, Copy records, busyUntil, estimators, the
+//     speculation monitor, and the unlock planner for its jobs;
+//   - a worker shard (W) owns machine slot accounting (Machine.Free via
+//     AcquireLocal/ReleaseLocal), the worker cores, and copy execution —
+//     a placed copy is a wcopy record firing on W's clock, not an
+//     Executor event;
+//   - the two halves correlate through (task, attempt): S stamps
+//     Reply.Attempt at hand-out, W keys the service-time RNG and its
+//     wcopy on it, and mPlaced/mFinished/mKill messages carry it back
+//     and forth. W never reads Task.State; S never reads Machine.Free.
+//
+// Service times stay paired across engine flavors: CopyServiceRNG is
+// keyed by (job, phase, task, attempt), so a copy's duration depends
+// only on its hand-out ordinal, not on which shard draws it.
+//
+// Statistics semantics under the parallel schedule differ from serial in
+// two documented ways: a hand-out that loses the race with its task's
+// completion becomes a placed-then-killed copy (serial rejects it before
+// placement), and a killed copy's slot-seconds accrue until the kill
+// message reaches its worker shard (serial reclaims at the winner's
+// finish instant). Both are deterministic under the stream-schedule
+// contract; neither affects job completion times' determinism.
+
+// pshard is the per-shard half of a parallel System: every scheduler and
+// worker homed on engine shard i goes through shards[i], and everything
+// here is touched only by that shard's goroutine during a run.
+type pshard struct {
+	sys *System
+	id  int
+	eng *simulator.Engine // the shard's sub-engine
+
+	// freeMsg heads this shard's pooled-message free list. Messages are
+	// recycled into the pool of the shard where processing ended, so the
+	// pools exchange objects but are never touched concurrently.
+	freeMsg *message
+
+	// byJob maps this shard's jobs to their schedulers (the shard-local
+	// slice of System.byJob).
+	byJob map[cluster.JobID]*sched
+
+	// done collects jobs completed by this shard's schedulers; finalize
+	// merges and canonically orders the shards' lists.
+	done []*cluster.Job
+
+	// sampler is the shard-confined probe fan-out sampler (same draws as
+	// Machines.RandomSubset, private duplicate-marker scratch).
+	sampler *cluster.SubsetSampler
+
+	// unlock is the shard-local phase wakeup planner for this shard's
+	// jobs — the parallel stand-in for the Executor's planner.
+	unlock cluster.UnlockPlanner
+
+	// stats is the shard-local protocol.Stats all local cores write.
+	stats protocol.Stats
+
+	// Shard-local counters, merged into the System totals by finalize.
+	messages         int64
+	probes           int64
+	offers           int64
+	rollbacks        int64
+	probeEventsSaved int64
+
+	// Execution-side counters (the Executor's, shard-local).
+	copiesStarted     int
+	speculativeCopies int
+	copiesKilled      int
+	localCopies       int
+	tasksDone         int
+	slotSeconds       float64
+	specSlotSeconds   float64
+
+	// probeMsgs/batchOrder are sendProbesPar scratch: one in-flight batch
+	// message per destination shard, in first-appearance order.
+	probeMsgs  []*message
+	batchOrder []int
+
+	// freeWC heads the wcopy free list (worker-shard execution records).
+	freeWC *wcopy
+}
+
+// wcopy is a worker shard's record of one running copy: the execution
+// half of a Copy, correlated to the scheduler shard's record by
+// (task, attempt). It fires through a pooled engine event (fireWCopy)
+// that is never cancelled — kills mark the record and the event no-ops —
+// so recycling happens only at fire time, when no event can still hold
+// the pointer.
+type wcopy struct {
+	w       *worker
+	sc      *sched // owning scheduler, for the finish report
+	t       *cluster.Task
+	attempt int
+	start   float64
+	dur     float64
+	spec    bool
+	local   bool
+	killed  bool
+	next    *wcopy // free-list link
+}
+
+func (ps *pshard) getWC() *wcopy {
+	if c := ps.freeWC; c != nil {
+		ps.freeWC = c.next
+		c.next = nil
+		return c
+	}
+	return &wcopy{}
+}
+
+func (ps *pshard) putWC(c *wcopy) {
+	*c = wcopy{next: ps.freeWC}
+	ps.freeWC = c
+}
+
+// getMsg pops a recycled message from this shard's pool.
+func (ps *pshard) getMsg() *message {
+	if m := ps.freeMsg; m != nil {
+		ps.freeMsg = m.next
+		m.next = nil
+		return m
+	}
+	return &message{sys: ps.sys}
+}
+
+// putMsg scrubs and recycles a message into this shard's pool.
+func (ps *pshard) putMsg(m *message) {
+	m.sched = nil
+	m.worker = nil
+	m.round = nil
+	m.entry = protocol.EntryRef{}
+	m.rep = protocol.Reply{}
+	m.probes = m.probes[:0]
+	m.task = nil
+	m.queued = false
+	m.ps = nil
+	m.next = ps.freeMsg
+	ps.freeMsg = m
+}
+
+// dispatchParMessage is the engine-facing dispatch entry point for
+// parallel shards: the message's ps field is the shard responsible for
+// it at delivery time (senders point it at the destination).
+func dispatchParMessage(arg any) {
+	m := arg.(*message)
+	m.ps.dispatch(m)
+}
+
+// post sends m to another shard's dispatch after the one-way latency.
+// The destination takes over responsibility for (and eventually pools)
+// the message.
+func (ps *pshard) post(dst *pshard, shard int, m *message) {
+	m.ps = dst
+	ps.eng.PostArgShard(shard, ps.eng.Now()+ps.sys.Cfg.MsgLatency, dispatchParMessage, m)
+}
+
+// dispatch processes one delivered message on its owning shard.
+func (ps *pshard) dispatch(m *message) {
+	switch m.kind {
+	case mProbeBatch:
+		sid := protocol.SchedID(m.sched.id)
+		for i := range m.probes {
+			p := &m.probes[i]
+			w := ps.sys.workers[p.Worker]
+			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem))
+		}
+		ps.putMsg(m)
+	case mOffer:
+		sc := m.sched
+		if !m.queued {
+			// First delivery: the offer just arrived over the network.
+			// Model the scheduler's serial processing queue by re-posting
+			// the same message to this shard at its handle time — the
+			// parallel equivalent of toScheduler's busyUntil advance,
+			// applied at arrival (send-side peeking at busyUntil would
+			// cross shards).
+			m.queued = true
+			handle := ps.eng.Now()
+			if sc.busyUntil > handle {
+				handle = sc.busyUntil
+			}
+			handle += ps.sys.Cfg.ProcDelay
+			sc.busyUntil = handle
+			ps.eng.PostArgShard(ps.id, handle, dispatchParMessage, m)
+			return
+		}
+		m.queued = false
+		if m.getTask {
+			m.rep = sc.core.HandleGetTask(m.job, m.worker.id)
+		} else {
+			m.rep = sc.core.HandleOffer(m.job, m.worker.id, m.refusable)
+		}
+		if m.rep.HasTask {
+			// Stamp the hand-out ordinal: the worker shard keys its
+			// service-time draw and its execution record on it.
+			t := m.rep.Task
+			m.rep.Attempt = t.Attempts
+			t.Attempts++
+		}
+		m.kind = mReply
+		ps.messages++
+		ps.post(m.worker.ps, m.worker.shard, m)
+	case mReply:
+		w := m.worker
+		e := m.entry
+		if e.IsZero() {
+			e = w.core.EntryFor(protocol.SchedID(m.sched.id), m.job)
+		}
+		if m.getTask {
+			w.exec(w.core.OnSparrowReply(m.round, e, m.rep))
+		} else {
+			w.exec(w.core.OnHopperReply(m.round, e, m.rep))
+		}
+		ps.putMsg(m)
+	case mPlaced:
+		// Worker shard reports a copy started. If the task finished while
+		// the hand-out was in flight (a speculative copy racing its
+		// original), this shard rejects it: occupancy rolls back and the
+		// worker is told to kill the already-running copy. The serial path
+		// rejects at the worker before placement (mPlacementFailed); here
+		// the worker cannot read Task.State, so rejection is the
+		// scheduler's job and costs one extra kill message.
+		sc := m.sched
+		t := m.task
+		if t.State == cluster.TaskDone {
+			sc.core.PlacementFailed(t.Job.ID)
+			ps.rollbacks++
+			ps.messages++
+			w := ps.sys.workers[m.mach]
+			k := ps.getMsg()
+			k.kind = mKill
+			k.worker = w
+			k.task = t
+			k.attempt = m.attempt
+			ps.post(w.ps, w.shard, k)
+		} else {
+			c := t.StartCopy(m.start, m.mach, m.spec, m.local, m.dur)
+			c.Attempt = m.attempt
+			if !m.spec {
+				sc.core.CopyPlaced(t)
+			}
+		}
+		ps.putMsg(m)
+	case mFinished:
+		ps.finishAtSched(m)
+		ps.putMsg(m)
+	case mKill:
+		// Scheduler orders a copy killed (race lost or placement
+		// rejected). If the copy already fired, its finish report is in
+		// flight and the scheduler will ignore it — nothing to do here.
+		w := m.worker
+		for _, c := range w.live {
+			if c.t == m.task && c.attempt == m.attempt {
+				c.killed = true
+				w.removeLive(c)
+				w.m.ReleaseLocal()
+				ran := ps.eng.Now() - c.start
+				ps.slotSeconds += ran
+				if c.spec {
+					ps.specSlotSeconds += ran
+				}
+				ps.copiesKilled++
+				w.exec(w.core.Kick())
+				break
+			}
+		}
+		ps.putMsg(m)
+	}
+}
+
+// finishAtSched settles a completed copy at its task's scheduler shard:
+// the parallel counterpart of Executor.copyFinished minus slot
+// accounting (the worker shards own that). The completion time is the
+// copy's finish instant m.fin, not the (later) report arrival, so job
+// response times match what a serial run of the same schedule produces.
+func (ps *pshard) finishAtSched(m *message) {
+	sc := m.sched
+	t := m.task
+	if t.State == cluster.TaskDone {
+		// A losing copy outran its kill message; the winner already
+		// settled the task.
+		return
+	}
+	var win *cluster.Copy
+	for _, c := range t.Copies {
+		if c.Attempt == m.attempt {
+			win = c
+			break
+		}
+	}
+	if win == nil {
+		// mPlaced always FIFO-precedes mFinished on the same W->S stream,
+		// so the record must exist.
+		panic(fmt.Sprintf("decentral: finish report for unknown copy of task %s attempt %d",
+			t.ID(), m.attempt))
+	}
+	win.Won = true
+	t.State = cluster.TaskDone
+	t.DoneAt = m.fin
+	ps.tasksDone++
+
+	// Kill racing siblings: mark the scheduler-side record and tell each
+	// sibling's worker shard. Slot-seconds for kills accrue at the worker
+	// when the kill lands.
+	for _, sib := range t.Copies {
+		if sib == win || sib.Killed || sib.Won {
+			continue
+		}
+		sib.Killed = true
+		w := ps.sys.workers[sib.Machine]
+		k := ps.getMsg()
+		k.kind = mKill
+		k.worker = w
+		k.task = t
+		k.attempt = sib.Attempt
+		ps.post(w.ps, w.shard, k)
+	}
+
+	jobDone := ps.unlock.CompleteTask(t, m.fin)
+	// Same ordering contract as the Executor: TaskDone before JobDone, so
+	// the scheduler settles occupancy and estimators while the job is
+	// still registered.
+	sc.core.TaskDone(t, win)
+	if jobDone {
+		sc.core.JobDone(t.Job)
+		delete(ps.byJob, t.Job.ID)
+		ps.done = append(ps.done, t.Job)
+	}
+}
+
+// fireWCopy is the engine event for a worker-shard copy reaching its
+// service time. Package-level so PostArg posts it allocation-free.
+func fireWCopy(arg any) {
+	c := arg.(*wcopy)
+	ps := c.w.ps
+	if c.killed {
+		// A kill landed first; the record was settled there. Only now is
+		// it safe to recycle — no event holds the pointer anymore.
+		ps.putWC(c)
+		return
+	}
+	w := c.w
+	w.removeLive(c)
+	w.m.ReleaseLocal()
+	ps.slotSeconds += c.dur
+	if c.spec {
+		ps.specSlotSeconds += c.dur
+	}
+	m := ps.getMsg()
+	m.kind = mFinished
+	m.sched = c.sc
+	m.task = c.t
+	m.attempt = c.attempt
+	m.fin = ps.eng.Now()
+	ps.post(c.sc.ps, c.sc.shard, m)
+	ps.putWC(c)
+	// The freed slot re-enters negotiation immediately, like OnSlotFree.
+	w.exec(w.core.Kick())
+}
+
+// placePar is the worker core's Place binding on a parallel shard: run
+// the accepted copy on this worker's machine, under worker-shard slot
+// accounting, and report the placement to the scheduler shard. It never
+// reads Task.State — rejection of stale hand-outs is the scheduler's
+// job at mPlaced. Always reports placed to the core.
+func (w *worker) placePar(from protocol.SchedID, rep protocol.Reply) bool {
+	ps := w.ps
+	if ps.sys.Exec.DurationOverride != nil {
+		panic("decentral: DurationOverride is not supported on a parallel engine")
+	}
+	t := rep.Task
+	sc := w.sys.scheds[from]
+	w.m.AcquireLocal()
+	local := t.LocalOn(w.id)
+	now := ps.eng.Now()
+	dur := ps.sys.Exec.Model.Duration(
+		cluster.CopyServiceRNG(ps.sys.durSeed, t, rep.Attempt),
+		t.Phase.MeanTaskDuration, local)
+
+	c := ps.getWC()
+	c.w = w
+	c.sc = sc
+	c.t = t
+	c.attempt = rep.Attempt
+	c.start = now
+	c.dur = dur
+	c.spec = rep.Spec
+	c.local = local
+	w.live = append(w.live, c)
+	ps.eng.PostArg(now+dur, fireWCopy, c)
+
+	ps.copiesStarted++
+	if rep.Spec {
+		ps.speculativeCopies++
+	}
+	if local {
+		ps.localCopies++
+	}
+
+	m := ps.getMsg()
+	m.kind = mPlaced
+	m.sched = sc
+	m.task = t
+	m.attempt = rep.Attempt
+	m.start = now
+	m.dur = dur
+	m.mach = w.id
+	m.spec = rep.Spec
+	m.local = local
+	ps.post(sc.ps, sc.shard, m)
+
+	if ps.sys.OnPlacePar != nil {
+		ps.sys.OnPlacePar(ps.id, t, w.id, rep.Spec)
+	}
+	return true
+}
+
+// removeLive unlinks an execution record from the worker's live list
+// (order-free: lookups are by identity, and the list is at most the
+// machine's slot count long).
+func (w *worker) removeLive(c *wcopy) {
+	for i, lc := range w.live {
+		if lc == c {
+			last := len(w.live) - 1
+			w.live[i] = w.live[last]
+			w.live[last] = nil
+			w.live = w.live[:last]
+			return
+		}
+	}
+}
+
+// sendOfferPar realizes a WSendOffer action on a parallel shard: the
+// offer travels to the scheduler's shard, where arrival-time queueing
+// (mOffer's two-step) models the processing delay.
+func (w *worker) sendOfferPar(a protocol.WAction) {
+	ps := w.ps
+	sc := w.sys.scheds[a.Sched]
+	ps.offers++
+	ps.messages++
+	m := ps.getMsg()
+	m.kind = mOffer
+	m.sched = sc
+	m.worker = w
+	m.job = a.Job
+	m.refusable = a.Refusable
+	m.getTask = a.GetTask
+	m.round = a.Round
+	m.entry = a.Entry
+	ps.post(sc.ps, sc.shard, m)
+}
+
+// sendProbesPar realizes a probe batch on a parallel shard. Probes in
+// one batch can target workers on several shards, and a shard boundary
+// is a real ownership boundary here — so the batch splits into one
+// message per destination shard, in first-appearance order. Event
+// savings shrink accordingly (n probes cost as many events as distinct
+// destination shards).
+func (sc *sched) sendProbesPar(probes []protocol.Probe) {
+	ps := sc.ps
+	sys := sc.sys
+	order := ps.batchOrder[:0]
+	for i := range probes {
+		p := &probes[i]
+		dst := sys.workers[p.Worker].shard
+		m := ps.probeMsgs[dst]
+		if m == nil {
+			m = ps.getMsg()
+			m.kind = mProbeBatch
+			m.sched = sc
+			ps.probeMsgs[dst] = m
+			order = append(order, dst)
+		}
+		m.probes = append(m.probes, *p)
+	}
+	ps.batchOrder = order
+	n := int64(len(probes))
+	ps.messages += n
+	ps.probes += n
+	ps.probeEventsSaved += n - int64(len(order))
+	for _, dst := range order {
+		m := ps.probeMsgs[dst]
+		ps.probeMsgs[dst] = nil
+		ps.post(sys.shards[dst], dst, m)
+	}
+}
+
+// newPshard builds shard i's state over the parallel engine.
+func newPshard(sys *System, id int) *pshard {
+	ps := &pshard{
+		sys:       sys,
+		id:        id,
+		eng:       sys.Eng.ShardEngine(id),
+		byJob:     make(map[cluster.JobID]*sched),
+		sampler:   sys.Exec.Machines.NewSubsetSampler(),
+		probeMsgs: make([]*message, sys.Eng.ParallelShards()),
+	}
+	ps.unlock = cluster.UnlockPlanner{
+		Schedule: func(at simulator.Time, fire func()) {
+			// Unlock times are computed from the task's finish instant,
+			// which can precede the shard clock by up to the report
+			// latency — clamp into the present.
+			if now := ps.eng.Now(); at < now {
+				at = now
+			}
+			ps.eng.Post(at, fire)
+		},
+		Deliver: func(p *cluster.Phase) {
+			if sc := ps.byJob[p.Job.ID]; sc != nil {
+				sc.sendProbes(sc.core.PhaseRunnable(p))
+			}
+		},
+	}
+	return ps
+}
+
+// newSchedPar builds a scheduler homed on shard ps: same core, but every
+// environment binding (clock, RNG, fan-out sampler, stats) is
+// shard-local.
+func newSchedPar(sys *System, ps *pshard, id int, pcfg protocol.Config) *sched {
+	sc := &sched{sys: sys, id: id, eng: ps.eng, ps: ps, shard: ps.id}
+	total := sys.Exec.Machines.TotalSlots() // fixed at construction
+	sc.core = protocol.NewSched(protocol.SchedID(id), pcfg, protocol.SchedEnv{
+		Now:           ps.eng.Now,
+		Rand:          ps.eng.Rand(),
+		TotalSlots:    func() int { return total },
+		RandomWorkers: ps.sampler.RandomSubset,
+		Stats:         &ps.stats,
+	})
+	return sc
+}
+
+// newWorkerPar builds a worker homed on shard ps, with placement bound
+// to placePar and slot reads bound to the shard-owned machine record.
+func newWorkerPar(sys *System, ps *pshard, id cluster.MachineID, pcfg protocol.Config) *worker {
+	w := &worker{sys: sys, id: id, eng: ps.eng, ps: ps, shard: ps.id}
+	w.m = sys.Exec.Machines.Get(id)
+	m := w.m
+	w.core = protocol.NewWorker(id, pcfg, protocol.WorkerEnv{
+		Now:       ps.eng.Now,
+		Rand:      ps.eng.Rand(),
+		FreeSlots: func() int { return m.Free },
+		Place:     w.placePar,
+		Stats:     &ps.stats,
+	})
+	w.retryFn = func() {
+		w.retryEv = nil
+		w.exec(w.core.RetryFired())
+	}
+	return w
+}
+
+// initParallel wires the per-shard state of a parallel System. Machines'
+// shard assignment (shardOf over machine IDs) is the ownership map: a
+// machine's slots are only ever touched by its home shard.
+func (s *System) initParallel(np int, pcfg protocol.Config) {
+	s.durSeed = s.Exec.DurSeed()
+	s.shards = make([]*pshard, np)
+	for i := range s.shards {
+		s.shards[i] = newPshard(s, i)
+	}
+	for i := 0; i < s.Cfg.NumSchedulers; i++ {
+		ps := s.shards[shardOf(i, s.Cfg.NumSchedulers, np)]
+		s.scheds = append(s.scheds, newSchedPar(s, ps, i, pcfg))
+	}
+	s.workers = make([]*worker, len(s.Exec.Machines.All))
+	for i := range s.workers {
+		ps := s.shards[shardOf(i, len(s.workers), np)]
+		s.workers[i] = newWorkerPar(s, ps, cluster.MachineID(i), pcfg)
+	}
+}
+
+// arrival carries one scheduled job admission to its scheduler's shard.
+type arrival struct {
+	sc  *sched
+	job *cluster.Job
+}
+
+func admitArrival(arg any) {
+	a := arg.(*arrival)
+	a.sc.admit(a.job)
+	a.sc.ps.unlock.AdmitJob(a.job, a.sc.eng.Now())
+}
+
+// PostArrival schedules job j's admission at j.Arrival. On a parallel
+// engine the admission runs on the owning scheduler's shard (round-robin
+// assignment, exactly like Arrive); on serial engines it is equivalent
+// to posting Arrive. Parallel systems must receive every job through
+// this method before Run — Arrive mid-run would touch shard state from
+// outside its goroutine.
+func (s *System) PostArrival(j *cluster.Job) {
+	if len(s.shards) == 0 {
+		s.Eng.Post(j.Arrival, func() { s.Arrive(j) })
+		return
+	}
+	sc := s.scheds[s.next%len(s.scheds)]
+	s.next++
+	sc.ps.byJob[j.ID] = sc
+	s.Eng.PostArgShard(sc.shard, j.Arrival, admitArrival, &arrival{sc: sc, job: j})
+}
+
+// mergeStats adds src's counters into dst, field by field.
+func mergeStats(dst, src *protocol.Stats) {
+	dst.RoundsStarted += src.RoundsStarted
+	dst.RoundsPlaced += src.RoundsPlaced
+	dst.OccupancyLeaks += src.OccupancyLeaks
+	dst.DoubleWakeups += src.DoubleWakeups
+	dst.DoubleWakeupTasks += src.DoubleWakeupTasks
+	dst.Requeues += src.Requeues
+	dst.OfferTimeouts += src.OfferTimeouts
+	dst.StaleAssigns += src.StaleAssigns
+	dst.WatchdogExpiries += src.WatchdogExpiries
+	dst.ReconciledCopies += src.ReconciledCopies
+	dst.ReconciledReservations += src.ReconciledReservations
+}
+
+// finalize folds the shard-local counters and done lists into the
+// System-level fields after a parallel run drains. The merged done list
+// is ordered canonically by (completion time, job ID) — the same order a
+// serial replay of the schedule completes them in, up to same-instant
+// ties, which the ID breaks deterministically.
+func (s *System) finalize() {
+	if s.finalized || len(s.shards) == 0 {
+		return
+	}
+	s.finalized = true
+	x := s.Exec
+	for _, ps := range s.shards {
+		s.Messages += ps.messages
+		s.Probes += ps.probes
+		s.Offers += ps.offers
+		s.Rollbacks += ps.rollbacks
+		s.ProbeEventsSaved += ps.probeEventsSaved
+		mergeStats(&s.Stats, &ps.stats)
+		x.CopiesStarted += ps.copiesStarted
+		x.SpeculativeCopies += ps.speculativeCopies
+		x.CopiesKilled += ps.copiesKilled
+		x.LocalCopies += ps.localCopies
+		x.TasksDone += ps.tasksDone
+		x.SlotSecondsUsed += ps.slotSeconds
+		x.SpeculativeSlotSeconds += ps.specSlotSeconds
+		s.done = append(s.done, ps.done...)
+	}
+	sort.Slice(s.done, func(i, j int) bool {
+		a, b := s.done[i], s.done[j]
+		if a.DoneAt != b.DoneAt {
+			return a.DoneAt < b.DoneAt
+		}
+		return a.ID < b.ID
+	})
+}

@@ -1,0 +1,187 @@
+package decentral
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/simulator"
+)
+
+// parResult is a full observable fingerprint of one parallel decentral
+// run: per-job completions, per-shard placement streams, and every
+// merged counter. Two runs of the same stream schedule must match it
+// byte for byte.
+type parResult struct {
+	comp    []string
+	places  [][]string
+	summary string
+}
+
+// runParDecentral runs a decentralized workload on a parallel engine
+// with the given shard count and goroutine budget (1 = forced-serial
+// replay, 0 = up to GOMAXPROCS) and fingerprints everything observable.
+func runParDecentral(t *testing.T, mode Mode, seed int64, shards, parallelism int) parResult {
+	t.Helper()
+	eng := simulator.NewParallel(seed, shards)
+	eng.SetParallelism(parallelism)
+	ms := cluster.NewMachines(12, 2)
+	exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+	sys := New(eng, exec, Config{Mode: mode, NumSchedulers: 3, CheckInterval: 0.1})
+	if len(sys.shards) != shards {
+		t.Fatalf("parallel system built %d shards, want %d", len(sys.shards), shards)
+	}
+
+	places := make([][]string, shards)
+	sys.OnPlacePar = func(shard int, task *cluster.Task, m cluster.MachineID, spec bool) {
+		places[shard] = append(places[shard],
+			fmt.Sprintf("%d.%d.%d@%d spec=%v", task.Job.ID, task.Phase.Index, task.Index, m, spec))
+	}
+
+	var jobs []*cluster.Job
+	for i := 0; i < 15; i++ {
+		jobs = append(jobs, mkJob(cluster.JobID(i), 4+i*2, 1.0, float64(i)*0.5))
+	}
+	for _, j := range jobs {
+		sys.PostArrival(j)
+	}
+	eng.Run()
+
+	done := sys.Completed()
+	if len(done) != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", len(done), len(jobs))
+	}
+	var comp []string
+	for _, j := range done {
+		comp = append(comp, fmt.Sprintf("%d@%v", j.ID, j.DoneAt))
+	}
+	for _, m := range ms.All {
+		if m.Free != m.Slots {
+			t.Fatalf("machine %d leaked slots: %d/%d free", m.ID, m.Free, m.Slots)
+		}
+	}
+	if sys.OccupancyLeaks != 0 {
+		t.Fatalf("%d occupancy leaks", sys.OccupancyLeaks)
+	}
+	summary := fmt.Sprintf("msgs=%d probes=%d offers=%d rollbacks=%d saved=%d copies=%d spec=%d killed=%d local=%d tasks=%d slotsecs=%v specsecs=%v fired=%d",
+		sys.Messages, sys.Probes, sys.Offers, sys.Rollbacks, sys.ProbeEventsSaved,
+		exec.CopiesStarted, exec.SpeculativeCopies, exec.CopiesKilled, exec.LocalCopies,
+		exec.TasksDone, exec.SlotSecondsUsed, exec.SpeculativeSlotSeconds, eng.Fired)
+	return parResult{comp: comp, places: places, summary: summary}
+}
+
+func sameParResult(t *testing.T, label string, a, b parResult) {
+	t.Helper()
+	if a.summary != b.summary {
+		t.Fatalf("%s: counters diverge:\n  %s\n  %s", label, a.summary, b.summary)
+	}
+	if len(a.comp) != len(b.comp) {
+		t.Fatalf("%s: completion counts diverge", label)
+	}
+	for i := range a.comp {
+		if a.comp[i] != b.comp[i] {
+			t.Fatalf("%s: completion %d diverges: %s vs %s", label, i, a.comp[i], b.comp[i])
+		}
+	}
+	for s := range a.places {
+		if len(a.places[s]) != len(b.places[s]) {
+			t.Fatalf("%s: shard %d placement counts diverge: %d vs %d",
+				label, s, len(a.places[s]), len(b.places[s]))
+		}
+		for i := range a.places[s] {
+			if a.places[s][i] != b.places[s][i] {
+				t.Fatalf("%s: shard %d placement %d diverges: %s vs %s",
+					label, s, i, a.places[s][i], b.places[s][i])
+			}
+		}
+	}
+}
+
+// TestDecentralParallelMatchesForcedSerial is the adapter-level
+// differential test of the stream-schedule determinism contract: the
+// concurrent run equals its forced-serial replay (SetParallelism(1))
+// byte for byte — placements, completions, and every counter — for all
+// three protocol modes and several shard counts.
+func TestDecentralParallelMatchesForcedSerial(t *testing.T) {
+	for _, mode := range []Mode{ModeHopper, ModeSparrow, ModeSparrowSRPT} {
+		for _, shards := range []int{2, 4} {
+			label := fmt.Sprintf("%s/%d-shards", mode, shards)
+			par := runParDecentral(t, mode, 21, shards, 0)
+			ser := runParDecentral(t, mode, 21, shards, 1)
+			sameParResult(t, label, par, ser)
+		}
+	}
+}
+
+// TestDecentralParallelRunToRunStable pins run-to-run determinism at a
+// fixed (seed, shards) across repetitions, goroutine budgets, and
+// GOMAXPROCS settings.
+func TestDecentralParallelRunToRunStable(t *testing.T) {
+	base := runParDecentral(t, ModeHopper, 33, 4, 0)
+	for rep := 0; rep < 2; rep++ {
+		sameParResult(t, fmt.Sprintf("rep %d", rep), base, runParDecentral(t, ModeHopper, 33, 4, 0))
+	}
+	sameParResult(t, "budget 2", base, runParDecentral(t, ModeHopper, 33, 4, 2))
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		sameParResult(t, fmt.Sprintf("GOMAXPROCS %d", procs), base, runParDecentral(t, ModeHopper, 33, 4, 0))
+	}
+}
+
+// TestDecentralParallelExercisesExecutionPlane makes sure the workload
+// above actually walks the mPlaced/mFinished/mKill protocol, including
+// the speculation kill path — a differential test over a schedule with
+// no kills would prove nothing about them.
+func TestDecentralParallelExercisesExecutionPlane(t *testing.T) {
+	eng := simulator.NewParallel(45, 4)
+	ms := cluster.NewMachines(12, 2)
+	exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+	sys := New(eng, exec, Config{Mode: ModeHopper, NumSchedulers: 3, CheckInterval: 0.1})
+	for i := 0; i < 30; i++ {
+		sys.PostArrival(mkJob(cluster.JobID(i), 6+i, 1.0, float64(i)*0.3))
+	}
+	eng.Run()
+	if got := len(sys.Completed()); got != 30 {
+		t.Fatalf("completed %d of 30 jobs", got)
+	}
+	if exec.TasksDone == 0 || exec.CopiesStarted == 0 {
+		t.Fatal("no execution-plane traffic at all")
+	}
+	if exec.SpeculativeCopies == 0 || exec.CopiesKilled == 0 {
+		t.Fatalf("kill path unexercised: spec=%d killed=%d (pick a different seed/workload)",
+			exec.SpeculativeCopies, exec.CopiesKilled)
+	}
+	if eng.CrossShard == 0 || eng.Barriers == 0 {
+		t.Fatalf("no cross-shard traffic: cross=%d barriers=%d", eng.CrossShard, eng.Barriers)
+	}
+}
+
+// TestDecentralParallelArriveGuard pins the arrival contract: parallel
+// systems refuse Arrive (it would touch shard state from outside its
+// goroutine) and accept PostArrival, while on serial engines
+// PostArrival degrades to a posted Arrive.
+func TestDecentralParallelArriveGuard(t *testing.T) {
+	eng := simulator.NewParallel(1, 2)
+	exec := cluster.NewExecutor(eng, cluster.NewMachines(4, 2), cluster.DefaultExecModel())
+	sys := New(eng, exec, Config{Mode: ModeHopper, NumSchedulers: 2, CheckInterval: 0.1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Arrive on a parallel system did not panic")
+			}
+		}()
+		sys.Arrive(mkJob(1, 2, 0.5, 0))
+	}()
+
+	seng := simulator.New(1)
+	sexec := cluster.NewExecutor(seng, cluster.NewMachines(4, 2), cluster.DefaultExecModel())
+	ssys := New(seng, sexec, Config{Mode: ModeHopper, NumSchedulers: 2, CheckInterval: 0.1})
+	ssys.PostArrival(mkJob(1, 2, 0.5, 0))
+	seng.Run()
+	if len(ssys.Completed()) != 1 {
+		t.Fatal("PostArrival on a serial engine did not admit the job")
+	}
+}

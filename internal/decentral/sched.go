@@ -3,6 +3,7 @@ package decentral
 import (
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/protocol"
+	"github.com/hopper-sim/hopper/internal/simulator"
 )
 
 // sched is the simulator adapter around one protocol.Sched core: it owns
@@ -14,18 +15,27 @@ type sched struct {
 	id   int
 	core *protocol.Sched
 
+	// eng is the engine this scheduler schedules on: the System engine on
+	// serial and serial-merge engines, the home shard's sub-engine on a
+	// parallel one (whose parent queue is off-limits mid-run).
+	eng *simulator.Engine
+
+	// ps is the home shard's state on a parallel engine, nil otherwise.
+	ps *pshard
+
 	// shard is this scheduler's home engine shard (0 on serial engines);
 	// see shard.go.
 	shard int
 
-	// busyUntil serializes message processing (System.toScheduler).
+	// busyUntil serializes message processing (System.toScheduler on
+	// serial engines, the mOffer two-step in parallel.go).
 	busyUntil float64
 
 	tickerOn bool
 }
 
 func newSched(sys *System, id int, pcfg protocol.Config) *sched {
-	sc := &sched{sys: sys, id: id}
+	sc := &sched{sys: sys, id: id, eng: sys.Eng}
 	sc.core = protocol.NewSched(protocol.SchedID(id), pcfg, protocol.SchedEnv{
 		Now:           func() float64 { return sys.Eng.Now() },
 		Rand:          sys.Eng.Rand(),
@@ -52,6 +62,12 @@ func (sc *sched) admit(j *cluster.Job) {
 // call.
 func (sc *sched) sendProbes(probes []protocol.Probe) {
 	if len(probes) == 0 {
+		return
+	}
+	if sc.ps != nil {
+		// Parallel shards split the batch per destination shard —
+		// ownership boundary, not a locality hint (parallel.go).
+		sc.sendProbesPar(probes)
 		return
 	}
 	n := int64(len(probes))
@@ -82,7 +98,7 @@ func (sc *sched) ensureTicker() {
 			return
 		}
 		sc.sendProbes(sc.core.ScanSpec())
-		sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
+		sc.eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
 	}
-	sc.sys.Eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
+	sc.eng.PostAfter(sc.sys.Cfg.CheckInterval, tick)
 }

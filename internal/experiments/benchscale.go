@@ -49,6 +49,24 @@ type ScaleScenario struct {
 	// result-neutral by contract, so a sharded scenario measures pure
 	// wall-clock/locality effects against its serial twin.
 	Shards int `json:",omitempty"`
+	// Parallel drains the shards concurrently inside each epoch window
+	// (simulator.NewParallel; decentralized kinds only). A parallel
+	// scenario is deterministic at its (Seed, Shards) but follows a
+	// different event schedule than its serial twin, so its decision
+	// count can differ slightly; wall-clock and events/s are the columns
+	// to compare.
+	Parallel bool `json:",omitempty"`
+}
+
+// engine names the scenario's engine variant for summary tables.
+func (sc ScaleScenario) engine() string {
+	switch {
+	case sc.Parallel:
+		return fmt.Sprintf("parallel-%d", sc.Shards)
+	case sc.Shards > 1:
+		return fmt.Sprintf("sharded-%d", sc.Shards)
+	}
+	return "serial"
 }
 
 // BenchMeasurement is one engine run's cost profile.
@@ -117,6 +135,8 @@ func ScaleScenarios100k() []ScaleScenario {
 			Jobs: 2400, Util: 0.7, Seed: 7005},
 		{Name: "decentral-hopper-100k-s4", Kind: "decentral-hopper", Machines: 100000, SlotsPerMachine: 4,
 			Jobs: 2400, Util: 0.7, Seed: 7005, Shards: 4},
+		{Name: "decentral-hopper-100k-p4", Kind: "decentral-hopper", Machines: 100000, SlotsPerMachine: 4,
+			Jobs: 2400, Util: 0.7, Seed: 7005, Shards: 4, Parallel: true},
 	}
 }
 
@@ -131,6 +151,8 @@ func ScaleScenarios1M() []ScaleScenario {
 	return []ScaleScenario{
 		{Name: "decentral-hopper-1M", Kind: "decentral-hopper", Machines: 1000000, SlotsPerMachine: 4,
 			Jobs: 4800, Util: 0.7, Seed: 7006, Shards: 4},
+		{Name: "decentral-hopper-1M-p4", Kind: "decentral-hopper", Machines: 1000000, SlotsPerMachine: 4,
+			Jobs: 4800, Util: 0.7, Seed: 7006, Shards: 4, Parallel: true},
 	}
 }
 
@@ -166,23 +188,38 @@ func benchTrace(sc ScaleScenario) *workload.Trace {
 }
 
 // measureRun replays the trace once under the given scheduler, measuring
-// wall time and allocation count. The simulation is single-goroutine, so
-// runtime.MemStats.Mallocs deltas attribute cleanly.
+// wall time and allocation count. Serial scenarios run on a single
+// goroutine, so runtime.MemStats.Mallocs deltas attribute cleanly;
+// parallel scenarios still get exact Mallocs (the counter is global) but
+// spread them across shard goroutines.
 func measureRun(sc ScaleScenario, kind SchedulerKind, jobs []*cluster.Job) BenchMeasurement {
 	spec := ClusterSpec{Machines: sc.Machines, SlotsPerMachine: sc.SlotsPerMachine, Exec: cluster.DefaultExecModel()}
 
-	eng := simulator.NewSharded(sc.Seed+1, sc.Shards)
+	var eng *simulator.Engine
+	if sc.Parallel {
+		eng = simulator.NewParallel(sc.Seed+1, sc.Shards)
+	} else {
+		eng = simulator.NewSharded(sc.Seed+1, sc.Shards)
+	}
 	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 	var arr Arriver
+	var sys *decentral.System
 	if kind.Central != nil {
 		arr = kind.Central(eng, exec)
 	} else {
-		arr = kind.Decentral(eng, exec)
+		sys = kind.Decentral(eng, exec)
+		arr = sys
 	}
-	for _, j := range jobs {
-		job := j
-		eng.Post(job.Arrival, func() { arr.Arrive(job) })
+	if sc.Parallel {
+		for _, j := range jobs {
+			sys.PostArrival(j)
+		}
+	} else {
+		for _, j := range jobs {
+			job := j
+			eng.Post(job.Arrival, func() { arr.Arrive(job) })
+		}
 	}
 
 	runtime.GC()
@@ -302,17 +339,17 @@ func (r *BenchReport) SummaryTable(baseline *BenchReport, baselineName string) s
 			base[s.Name] = s
 		}
 	}
-	b.WriteString("| scenario | ns/decision | allocs/decision | events/s | speedup vs ref |")
+	b.WriteString("| scenario | engine | ns/decision | allocs/decision | events/s | speedup vs ref |")
 	if baseline != nil {
 		fmt.Fprintf(&b, " baseline (%s) | Δ |", baselineName)
 	}
-	b.WriteString("\n|---|---:|---:|---:|---:|")
+	b.WriteString("\n|---|---|---:|---:|---:|---:|")
 	if baseline != nil {
 		b.WriteString("---:|---:|")
 	}
 	b.WriteString("\n")
 	for _, s := range r.Scenarios {
-		fmt.Fprintf(&b, "| %s | %.0f | %.1f | %.0f |", s.Name,
+		fmt.Fprintf(&b, "| %s | %s | %.0f | %.1f | %.0f |", s.Name, s.engine(),
 			s.Optimized.NsPerDecision, s.Optimized.AllocsPerDecision, s.Optimized.EventsPerSec)
 		if s.SpeedupNsPerDecision > 0 {
 			fmt.Fprintf(&b, " %.2fx |", s.SpeedupNsPerDecision)

@@ -91,6 +91,49 @@ func TestDispatchGoldenSharded(t *testing.T) {
 	}
 }
 
+const goldenParallelPath = "testdata/dispatch_golden_parallel.txt"
+
+// TestDispatchGoldenParallel pins the parallel engine's stream-schedule
+// determinism contract at experiment-table granularity: the golden
+// harness on a 4-shard parallel engine (Harness.ShardParallel) must
+// reproduce its own checked-in tables byte for byte, on any machine, at
+// any GOMAXPROCS or goroutine budget. This golden is deliberately
+// SEPARATE from dispatch_golden.txt: a parallel run follows the
+// (seed, shards) stream schedule, not the serial event order, so its
+// decentralized sections differ from the serial tables by design — the
+// contract is run-to-run stability at fixed (seed, shards), not
+// serial-equality (see DESIGN.md section 9). Centralized sections still
+// run the serial-merge engine and must match the serial golden exactly;
+// any diff in them here means a central driver started consuming
+// harness parallelism it must not see.
+func TestDispatchGoldenParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is seconds-long; skipped with -short")
+	}
+	h := goldenHarness
+	h.Shards = 4
+	h.ShardParallel = true
+	got := renderAll(h)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenParallelPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenParallelPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenParallelPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenParallelPath)
+	if err != nil {
+		t.Fatalf("missing parallel golden file (run with -update to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("parallel (4-shard) run diverged from its own golden — the stream-schedule determinism contract is broken.\nFirst divergence: %s",
+			firstDiff(string(want), got))
+	}
+}
+
 // firstDiff locates the first differing line for a readable failure.
 func firstDiff(want, got string) string {
 	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")

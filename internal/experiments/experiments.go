@@ -32,6 +32,13 @@ type Harness struct {
 	// Workers, the setting never changes results: sharded execution is
 	// byte-identical to serial by construction (see DESIGN.md).
 	Shards int
+	// ShardParallel switches decentralized cells from the serial-merge
+	// sharded engine to the parallel one (simulator.NewParallel): shards
+	// drain concurrently inside each epoch window. Unlike Shards alone,
+	// this changes the event schedule — results are deterministic for a
+	// fixed (seed, Shards) but not byte-identical to serial runs (see
+	// DESIGN.md §9). Centralized cells ignore it.
+	ShardParallel bool
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
 

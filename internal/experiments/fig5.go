@@ -28,7 +28,9 @@ func fig5Spec(h Harness) (ClusterSpec, int) {
 	if workers < 200 {
 		workers = 200
 	}
-	return ClusterSpec{Machines: workers, SlotsPerMachine: 1, Exec: em, Shards: h.Shards}, workers / 40 // schedulers
+	spec := ClusterSpec{Machines: workers, SlotsPerMachine: 1, Exec: em}
+	h.applyShards(&spec)
+	return spec, workers / 40 // schedulers
 }
 
 // centralizedRef runs the same trace under the centralized Hopper engine,
@@ -156,7 +158,7 @@ func runFig5b(h Harness) *Result {
 func runFig11(h Harness) *Result {
 	res := &Result{ID: "fig11", Title: "Probe ratio vs gains (decentralized prototype)"}
 	spec := Prototype200(1.5)
-	spec.Shards = h.Shards
+	h.applyShards(&spec)
 	prof := workload.Sparkify(workload.Facebook())
 	tab := &metrics.Table{
 		Title:  "Figure 11: reduction (%) in avg job duration vs Sparrow-SRPT",

@@ -58,6 +58,34 @@ func (h Harness) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// shardProcs caps each parallel cell's shard-goroutine budget so that
+// concurrent cells × per-cell shard goroutines never oversubscribe the
+// machine: with W cells running at once, each gets GOMAXPROCS/W
+// goroutines (at least 1, i.e. forced-serial shard draining). A sole
+// cell gets 0 — the engine's "up to GOMAXPROCS" default. The budget
+// never changes results (stream-schedule determinism), only wall-clock
+// time. See DESIGN.md §4.
+func (h Harness) shardProcs() int {
+	w := h.workers()
+	if w <= 1 {
+		return 0
+	}
+	p := runtime.GOMAXPROCS(0) / w
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// applyShards threads the harness engine-shard settings into a cell's
+// cluster spec; every experiment driver calls it where it used to copy
+// Shards alone.
+func (h Harness) applyShards(spec *ClusterSpec) {
+	spec.Shards = h.Shards
+	spec.ShardParallel = h.ShardParallel
+	spec.ShardProcs = h.shardProcs()
+}
+
 // cells runs f once per cell index on the harness worker pool and returns
 // the results in cell order. Each cell receives a harness whose Log is a
 // private buffer; buffers are flushed to h.Log in cell order afterwards,
@@ -188,6 +216,19 @@ type ClusterSpec struct {
 	// sharded engine's byte-identity contract); sharding only changes
 	// event-queue locality and wall-clock time.
 	Shards int
+
+	// ShardParallel drains shards concurrently within each epoch window
+	// (simulator.NewParallel) instead of merging them serially. Only
+	// decentralized runs honor it — centralized engines share cluster
+	// state across shards and fall back to the serial-merge engine. A
+	// parallel run follows the stream-schedule contract: deterministic
+	// for a fixed (seed, Shards) at any goroutine budget, but NOT
+	// byte-identical to the serial engine's schedule (see DESIGN.md §9).
+	ShardParallel bool
+	// ShardProcs caps goroutines per parallel run; 0 means up to
+	// GOMAXPROCS. Harness.applyShards sets it so that concurrent cells ×
+	// per-cell shard goroutines never oversubscribe the machine.
+	ShardProcs int
 }
 
 // TotalSlots returns cluster capacity.
@@ -254,7 +295,14 @@ type RunResult struct {
 // workloads. It panics if any job fails to finish — that is always a
 // protocol bug and must not be silently averaged over.
 func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed int64) RunResult {
-	eng := simulator.NewSharded(seed, spec.Shards)
+	parallel := spec.ShardParallel && spec.Shards > 1 && kind.Decentral != nil
+	var eng *simulator.Engine
+	if parallel {
+		eng = simulator.NewParallel(seed, spec.Shards)
+		eng.SetParallelism(spec.ShardProcs)
+	} else {
+		eng = simulator.NewSharded(seed, spec.Shards)
+	}
 	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 
@@ -267,9 +315,17 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 		arr = sys
 	}
 
-	for _, j := range jobs {
-		job := j
-		eng.Post(job.Arrival, func() { arr.Arrive(job) })
+	if parallel {
+		// Arrive mutates shard-owned scheduler state, so parallel systems
+		// take arrivals through the pre-run admission queue instead.
+		for _, j := range jobs {
+			sys.PostArrival(j)
+		}
+	} else {
+		for _, j := range jobs {
+			job := j
+			eng.Post(job.Arrival, func() { arr.Arrive(job) })
+		}
 	}
 	eng.Run()
 

@@ -67,6 +67,82 @@ func shardCheckTrace(sc ScaleScenario, shards int, jobs []*cluster.Job) []byte {
 	return buf.Bytes()
 }
 
+// RunShardParallelCheck replays the smoke-tier decentralized scenario on
+// an n-shard parallel engine three ways — at the full goroutine budget,
+// at budget 2, and forced-serial (SetParallelism(1), the
+// single-goroutine replay of the same stream schedule) — and
+// byte-compares the renderings. Matching across different budgets is
+// strictly stronger than a same-budget repeat: every goroutine
+// interleaving must produce the identical byte stream. It is the standalone CI form of the
+// parallel engine's stream-schedule determinism contract (`hopper-sim
+// -shard-parallel-check 4`); the differential tests in
+// internal/decentral are the exhaustive in-process form. Returns nil
+// when all four runs are identical.
+func RunShardParallelCheck(n int, log io.Writer) error {
+	if n < 2 {
+		return fmt.Errorf("shard-parallel-check: need at least 2 shards, got %d", n)
+	}
+	sc := ScaleScenarios(true)[2] // decentral-hopper-1k, the smoke scenario
+	if sc.Kind != "decentral-hopper" {
+		panic("shard-parallel-check: smoke scenario order changed")
+	}
+	tr := benchTrace(sc)
+	base := shardParallelTrace(sc, n, 0, tr.Jobs)
+	if log != nil {
+		fmt.Fprintf(log, "shard-parallel-check: scenario %s, %d shards, %d lines, sha256 %x\n",
+			sc.Name, n, bytes.Count(base, []byte("\n")), sha256.Sum256(base))
+	}
+	for _, v := range []struct {
+		label       string
+		parallelism int
+	}{{"budget-2 run", 2}, {"forced-serial replay", 1}} {
+		got := shardParallelTrace(sc, n, v.parallelism, tr.Jobs)
+		if !bytes.Equal(base, got) {
+			return fmt.Errorf("shard-parallel-check: %s diverged at %s — the stream-schedule determinism contract is broken",
+				v.label, firstByteDiff(base, got))
+		}
+		if log != nil {
+			fmt.Fprintf(log, "shard-parallel-check: %-20s sha256 %x\n", v.label, sha256.Sum256(got))
+		}
+	}
+	if log != nil {
+		fmt.Fprintf(log, "shard-parallel-check: OK — %d-shard parallel run stable across budgets and byte-identical to its serial replay\n", n)
+	}
+	return nil
+}
+
+// shardParallelTrace runs the scenario once on a parallel engine and
+// renders its full observable behavior: per-shard placement streams (in
+// shard order — each stream is written only by its own goroutine),
+// per-job completions, and the merged counters.
+func shardParallelTrace(sc ScaleScenario, shards, parallelism int, jobs []*cluster.Job) []byte {
+	eng := simulator.NewParallel(sc.Seed+1, shards)
+	eng.SetParallelism(parallelism)
+	ms := cluster.NewMachines(sc.Machines, sc.SlotsPerMachine)
+	exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+	sys := decentral.New(eng, exec, decentral.Config{Mode: decentral.ModeHopper, NumSchedulers: 50})
+	bufs := make([]bytes.Buffer, shards)
+	sys.OnPlacePar = func(shard int, t *cluster.Task, m cluster.MachineID, spec bool) {
+		fmt.Fprintf(&bufs[shard], "%s m%d spec=%t\n", t.ID(), m, spec)
+	}
+	for _, j := range CloneJobs(jobs) {
+		sys.PostArrival(j)
+	}
+	eng.Run()
+	var buf bytes.Buffer
+	for s := range bufs {
+		fmt.Fprintf(&buf, "-- shard %d --\n", s)
+		buf.Write(bufs[s].Bytes())
+	}
+	for _, j := range sys.Completed() {
+		fmt.Fprintf(&buf, "done %d %.9f\n", j.ID, j.DoneAt)
+	}
+	fmt.Fprintf(&buf, "end=%.9f fired=%d cross=%d barriers=%d messages=%d probes=%d offers=%d rollbacks=%d leaks=%d copies=%d killed=%d\n",
+		eng.Now(), eng.Fired, eng.CrossShard, eng.Barriers, sys.Messages, sys.Probes,
+		sys.Offers, sys.Rollbacks, sys.OccupancyLeaks, exec.CopiesStarted, exec.CopiesKilled)
+	return buf.Bytes()
+}
+
 // firstByteDiff names the first differing line of two rendered traces.
 func firstByteDiff(a, b []byte) string {
 	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))

@@ -12,3 +12,16 @@ func TestShardCheckSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardParallelCheckSmoke runs the CI parallel determinism gate
+// in-process: the smoke decentralized scenario on a 2-shard parallel
+// engine must be stable across goroutine budgets and byte-identical to
+// its forced-serial replay.
+func TestShardParallelCheckSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smoke replay three times; skipped with -short")
+	}
+	if err := RunShardParallelCheck(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}

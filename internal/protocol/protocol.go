@@ -221,6 +221,11 @@ type Reply struct {
 	Phase     int
 	TaskIndex int
 	Spec      bool
+	// Attempt is the task-scoped placement ordinal stamped by the
+	// scheduler at hand-out. Parallel shard adapters key the copy's
+	// service-time RNG and the placed/finished correlation on it; serial
+	// adapters ignore it (zero).
+	Attempt int
 
 	// From is the replying scheduler.
 	From SchedID

@@ -224,6 +224,17 @@ type Engine struct {
 	heads      []shardHead
 	headsValid bool
 
+	// Parallel-mode state (see parallel.go; all nil/zero otherwise).
+	// par is set on a parallel parent (NewParallel); parent/shardID are
+	// set on its sub-engines, which are full engines — own clock, seq,
+	// RNG stream, and counters — drained concurrently within epoch
+	// windows. pout parks a sub-engine's cross-shard sends until the
+	// parent's next epoch barrier.
+	par     *parState
+	parent  *Engine
+	shardID int
+	pout    []outMsg
+
 	// Fired counts events that have executed; useful for tests and for
 	// sanity-checking runaway simulations.
 	Fired uint64
@@ -247,8 +258,19 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Pending returns the number of events waiting to fire (including
-// canceled events that have not yet been drained).
-func (e *Engine) Pending() int { return e.count }
+// canceled events that have not yet been drained). On a parallel engine
+// it sums the sub-engine queues plus any cross-shard events still parked
+// in outboxes.
+func (e *Engine) Pending() int {
+	if e.par != nil {
+		n := 0
+		for _, sub := range e.shards {
+			n += sub.count + len(sub.pout)
+		}
+		return n
+	}
+	return e.count
+}
 
 // At schedules fn to run at absolute virtual time t and returns a handle
 // that can cancel it. Scheduling in the past panics: that is always a
@@ -322,6 +344,13 @@ func (e *Engine) bucketOf(t Time) int64 {
 }
 
 func (e *Engine) insert(s slot) {
+	if e.par != nil {
+		// Parallel parent: posts made through the parent (pre-run setup,
+		// between runs) land on shard 0 under shard-local ordering. During
+		// a run, events execute on the sub-engines and never reach here.
+		e.shards[0].insert(s)
+		return
+	}
 	s.seq = e.seq
 	e.seq++
 	e.count++
@@ -531,7 +560,24 @@ func (e *Engine) popMin() slot {
 // consumes at most one stop: the run it halts (or the armed run that
 // returns immediately) clears the flag, so the run after that proceeds
 // normally.
-func (e *Engine) Stop() { e.stopped = true }
+//
+// On a parallel engine the flag is an atomic shared by every shard
+// goroutine: each shard observes it at its next event boundary, the
+// parent joins them at the epoch barrier, flushes all parked cross-shard
+// events into their destination queues (nothing is lost), and parks the
+// shard goroutines before Run returns — see parallel.go for the full
+// contract.
+func (e *Engine) Stop() {
+	if e.parent != nil {
+		e.parent.Stop()
+		return
+	}
+	if e.par != nil {
+		e.par.stop.Store(true)
+		return
+	}
+	e.stopped = true
+}
 
 // Run executes events in time order until no events remain or Stop is
 // called. It returns the final virtual time.
@@ -546,6 +592,9 @@ func (e *Engine) Run() Time {
 // progress makes RunUntil return before firing any event (see Stop); the
 // pending stop is consumed either way.
 func (e *Engine) RunUntil(deadline Time) Time {
+	if e.par != nil {
+		return e.runParallel(deadline)
+	}
 	if e.shards != nil {
 		return e.runSharded(deadline)
 	}
@@ -580,6 +629,14 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // drained engine retains no references to event callbacks, payloads, or
 // cancellation handles.
 func (e *Engine) Drain() {
+	if e.par != nil {
+		for _, sub := range e.shards {
+			sub.Drain()
+			clear(sub.pout)
+			sub.pout = sub.pout[:0]
+		}
+		return
+	}
 	if e.shards != nil {
 		for _, sub := range e.shards {
 			sub.Drain()

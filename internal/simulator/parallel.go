@@ -1,0 +1,385 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel engine: intra-epoch multi-core firing on top of the sharded
+// engine's conservative-PDES scaffolding (shard.go). Where NewSharded keeps
+// a single global (time, seq) order — and therefore a single core —
+// NewParallel makes each shard a *full* engine: its own clock, its own
+// sequence counter, its own SplitMix64-derived RNG stream, its own Fired
+// counter. Within each lookahead-wide epoch window [best, best+W) — anchored
+// at the global minimum pending-event time — every shard with pending events
+// drains its own calendar on its own goroutine in local (at, seq) order;
+// shards synchronize only at epoch barriers, where parked cross-shard sends
+// flush in canonical (sender shard, send order) into fresh destination-local
+// sequence numbers.
+//
+// # Determinism contract
+//
+// This deliberately breaks the serial byte-identity contract of NewSharded
+// (one global RNG, one global seq). The replacement contract is the
+// stream-schedule contract:
+//
+//   - a parallel run at fixed (seed, n shards) is byte-identical run to
+//     run, for any GOMAXPROCS and any SetParallelism budget — shards never
+//     touch shared mutable state inside an epoch, cross-shard delivery
+//     order is canonical, and per-shard RNG streams are functions of
+//     (seed, shardID) only;
+//   - in particular SetParallelism(1) — every epoch drained inline on one
+//     goroutine in shard order — is the *serial replay* of the same
+//     n-shard stream schedule, and equals the concurrent run byte for
+//     byte. The differential tests pin exactly this.
+//
+// Changing n changes the schedule (different streams, different epoch
+// membership); that is the documented golden-shape change — serial and
+// serial-merge sharded runs keep the old golden, parallel runs get their
+// own.
+//
+// # Safety argument
+//
+// Within an epoch a shard fires only events with at < epoch end. Any event
+// it posts to a foreign shard must be >= lookahead after the sender's
+// clock (enforced by panic in postParallel), and epochs are exactly one
+// lookahead wide, so every cross-shard event lands at or beyond the epoch
+// end — it cannot be missed by a concurrently draining destination. Parked
+// sends are delivered at the barrier, before any shard enters the next
+// epoch. Same-shard posts are immediate and ordered by the local (at, seq)
+// key. This is the Chandy–Misra null-message-free conservative scheme with
+// the epoch width as the global lookahead.
+
+// parState is the parallel parent's run-loop state.
+type parState struct {
+	// stop is shared with every shard goroutine: each observes it at its
+	// next event boundary; the parent re-checks it at each barrier.
+	stop atomic.Bool
+
+	// maxWorkers caps goroutines actually draining shards concurrently.
+	// <= 0 means GOMAXPROCS; 1 forces the serial replay of the stream
+	// schedule (same bytes, one core). Set via SetParallelism.
+	maxWorkers int
+
+	// limit/deadline are the current epoch's parameters. Written by the
+	// parent before dispatching shard indices on the work channel and not
+	// rewritten until wg.Wait returns, so the channel send/receive pair
+	// publishes them to the worker goroutines.
+	limit    Time
+	deadline Time
+	wg       sync.WaitGroup
+
+	// alive tracks the helper goroutines of the current run so teardown
+	// can join them deterministically (the no-leak half of the Stop
+	// contract). It lives here, not as a runParallel local, so the
+	// forced-serial path does not heap-box a WaitGroup it never uses.
+	alive sync.WaitGroup
+
+	// Scratch reused across epochs so the steady-state barrier allocates
+	// nothing: per-shard head times (+Inf = empty) and the active list.
+	heads  []Time
+	active []int
+}
+
+// splitmix64 is the SplitMix64 finalizer; it turns (seed, shardID) into
+// well-separated per-shard RNG seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewParallel returns an engine whose n shards fire concurrently within
+// epoch windows (see the package comment above for the determinism
+// contract). n <= 1 returns a plain serial engine — there is no stream
+// schedule to speak of with one shard, and the serial engine is strictly
+// faster. Cross-shard posts require SetLookahead, exactly as with
+// NewSharded.
+func NewParallel(seed int64, n int) *Engine {
+	if n <= 1 {
+		return New(seed)
+	}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.par = &parState{
+		heads:  make([]Time, n),
+		active: make([]int, 0, n),
+	}
+	e.shards = make([]*Engine, n)
+	for i := range e.shards {
+		e.shards[i] = &Engine{
+			rng:     rand.New(rand.NewSource(int64(splitmix64(uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1))))),
+			parent:  e,
+			shardID: i,
+		}
+	}
+	return e
+}
+
+// ParallelShards returns the number of concurrently firing shards; 0 means
+// the engine is serial or serial-merge sharded (NewSharded).
+func (e *Engine) ParallelShards() int {
+	if e.par != nil {
+		return len(e.shards)
+	}
+	return 0
+}
+
+// ShardEngine returns the engine that executes shard i's events: the
+// sub-engine on a parallel engine, the engine itself otherwise. Adapters
+// running inside a parallel shard must schedule follow-up work and draw
+// randomness through their shard's engine — the parent's queue and RNG are
+// off-limits during a run.
+func (e *Engine) ShardEngine(i int) *Engine {
+	if e.par != nil {
+		return e.shards[i]
+	}
+	return e
+}
+
+// SetParallelism caps the goroutines draining shards concurrently. k <= 0
+// (the default) means up to GOMAXPROCS; k = 1 forces the serial replay of
+// the stream schedule — byte-identical results on one core, the oracle the
+// differential tests compare against. The budget never affects results,
+// only wall-clock. No-op on non-parallel engines.
+func (e *Engine) SetParallelism(k int) {
+	if e.par != nil {
+		e.par.maxWorkers = k
+	}
+}
+
+// postParallel is PostArgShard on a parallel sub-engine: same-shard posts
+// are immediate local inserts; foreign posts park in this shard's outbox —
+// after the same lookahead panic postShard enforces — until the parent's
+// next epoch barrier.
+func (e *Engine) postParallel(dst int, s slot) {
+	if dst == e.shardID {
+		e.insert(s)
+		return
+	}
+	if e.lookahead <= 0 {
+		panic("simulator: cross-shard post with no lookahead set (SetLookahead)")
+	}
+	if s.at < e.now+e.lookahead {
+		panic(fmt.Sprintf("simulator: cross-shard post at %v violates lookahead %v from now %v",
+			s.at, e.lookahead, e.now))
+	}
+	e.pout = append(e.pout, outMsg{dst: dst, s: s})
+	e.CrossShard++
+}
+
+// flushParOutboxes delivers every parked cross-shard event into its
+// destination shard's queue under a fresh destination-local sequence
+// number. Senders are walked in shard order and each outbox in send order,
+// so sequence assignment is canonical regardless of how the epoch's
+// goroutines interleaved. Only the parent calls this, between epochs.
+func (e *Engine) flushParOutboxes() {
+	delivered := false
+	for _, src := range e.shards {
+		if len(src.pout) == 0 {
+			continue
+		}
+		delivered = true
+		for _, m := range src.pout {
+			dst := e.shards[m.dst]
+			m.s.seq = dst.seq
+			dst.seq++
+			dst.count++
+			dst.enqueue(m.s)
+		}
+		clear(src.pout)
+		src.pout = src.pout[:0]
+	}
+	if delivered {
+		e.Barriers++
+	}
+}
+
+// runEpoch drains this sub-engine's queue in local (at, seq) order until
+// the next event would fire at or beyond limit (the epoch end), strictly
+// after deadline, or stop is observed. It is the only code that touches
+// the sub-engine's state while shard goroutines are live.
+func (e *Engine) runEpoch(limit, deadline Time, stop *atomic.Bool) {
+	for e.prime() {
+		at := e.nextAt()
+		if at >= limit {
+			return
+		}
+		if deadline >= 0 && at > deadline {
+			return
+		}
+		if stop.Load() {
+			return
+		}
+		s := e.popMin()
+		e.count--
+		if s.h != nil && s.h.canceled {
+			continue
+		}
+		e.now = at
+		e.Fired++
+		if s.afn != nil {
+			s.afn(s.arg)
+		} else {
+			s.fn()
+		}
+	}
+}
+
+// startHelpers spawns budget-1 worker goroutines that drain shard indices
+// off the returned channel until it closes at teardown. Each receive
+// happens-after the parent's writes of p.limit/p.deadline for that epoch,
+// and p.wg.Done happens-before the parent's wg.Wait, so epoch parameters
+// and sub-engine state never race.
+func (e *Engine) startHelpers(budget int) chan int {
+	p := e.par
+	work := make(chan int, len(e.shards))
+	for w := 0; w < budget-1; w++ {
+		p.alive.Add(1)
+		go func() {
+			defer p.alive.Done()
+			for i := range work {
+				e.shards[i].runEpoch(p.limit, p.deadline, &p.stop)
+				p.wg.Done()
+			}
+		}()
+	}
+	return work
+}
+
+// runParallel is RunUntil for a parallel engine: an epoch loop that
+// barriers at lookahead-wide windows. Worker goroutines live only for the
+// duration of this call — they are joined before it returns, so a stopped
+// or finished run leaks nothing (the Stop contract).
+func (e *Engine) runParallel(deadline Time) Time {
+	p := e.par
+	if p.stop.Load() {
+		// Stop armed between runs: consume it and fire nothing,
+		// matching the serial engine's retained-stop semantics.
+		p.stop.Store(false)
+		if deadline >= 0 && e.now < deadline {
+			e.now = deadline
+		}
+		return e.now
+	}
+
+	n := len(e.shards)
+	budget := p.maxWorkers
+	if budget <= 0 || budget > runtime.GOMAXPROCS(0) {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if budget > n {
+		budget = n
+	}
+
+	// Helper goroutines for this run. The parent participates too, so only
+	// budget-1 helpers are spawned; all are joined at teardown. The spawn
+	// lives in its own method so the forced-serial path allocates nothing
+	// (a closure capturing locals would heap-box them unconditionally).
+	var work chan int
+	if budget > 1 {
+		work = e.startHelpers(budget)
+	}
+
+	for !p.stop.Load() {
+		// Deliver last epoch's cross-shard sends, then find the global
+		// minimum head to anchor the next epoch window.
+		e.flushParOutboxes()
+		best := math.Inf(1)
+		for i, sub := range e.shards {
+			if sub.prime() {
+				h := sub.nextAt()
+				p.heads[i] = h
+				if h < best {
+					best = h
+				}
+			} else {
+				p.heads[i] = math.Inf(1)
+			}
+		}
+		if math.IsInf(best, 1) {
+			break
+		}
+		if deadline >= 0 && best > deadline {
+			break
+		}
+		// The epoch window is (best, best+W]: any event fired in it posts
+		// cross-shard at >= its own time + W >= best + W = limit, so
+		// nothing lands inside a window being drained. best + W is the
+		// maximal safe window, and — unlike a floor(best/W) grid anchor —
+		// immune to the float rounding that can park the boundary ON best
+		// (empty active set, infinite barrier spin: times like 1.0 with
+		// W = 0.0005 have no exact binary grid) or past best + W
+		// (a missed-event causality hole).
+		limit := math.Inf(1)
+		if e.lookahead > 0 {
+			limit = best + e.lookahead
+		}
+		act := p.active[:0]
+		for i := range e.shards {
+			if p.heads[i] < limit {
+				act = append(act, i)
+			}
+		}
+		p.active = act
+
+		if len(act) == 1 || budget == 1 {
+			// Single active shard, or forced-serial replay: drain inline in
+			// shard order. Shards cannot interact within an epoch, so this
+			// order is immaterial to results — it is the schedule's
+			// canonical serialization.
+			for _, i := range act {
+				e.shards[i].runEpoch(limit, deadline, &p.stop)
+			}
+			continue
+		}
+		p.limit = limit
+		p.deadline = deadline
+		p.wg.Add(len(act) - 1)
+		for _, i := range act[1:] {
+			work <- i
+		}
+		e.shards[act[0]].runEpoch(limit, deadline, &p.stop)
+		for stealing := true; stealing; {
+			select {
+			case i := <-work:
+				e.shards[i].runEpoch(limit, deadline, &p.stop)
+				p.wg.Done()
+			default:
+				stealing = false
+			}
+		}
+		p.wg.Wait()
+	}
+
+	// Teardown: join the helpers, then flush any still-parked cross-shard
+	// sends into their destination queues — a stopped run loses nothing,
+	// and Pending reflects everything left to fire.
+	if work != nil {
+		close(work)
+		p.alive.Wait()
+	}
+	e.flushParOutboxes()
+
+	var fired, cross uint64
+	now := e.now
+	for _, sub := range e.shards {
+		fired += sub.Fired
+		cross += sub.CrossShard
+		if sub.now > now {
+			now = sub.now
+		}
+	}
+	e.Fired = fired
+	e.CrossShard = cross
+	if deadline >= 0 && now < deadline {
+		now = deadline
+	}
+	e.now = now
+	p.stop.Store(false)
+	return e.now
+}

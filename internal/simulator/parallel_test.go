@@ -1,0 +1,328 @@
+package simulator
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// parNet is the parallel-mode sibling of shardNet: a toy message-passing
+// network whose per-node state is strictly shard-confined, the ownership
+// discipline every parallel adapter must follow. Node id lives on shard
+// id % n; its callbacks run on that shard's engine, draw from that shard's
+// RNG stream, append to that shard's log, and decrement that shard's hop
+// budget. Cross-shard hops go through PostArgShard at >= lookahead. The
+// combined per-shard logs are the run's stream schedule — the byte string
+// the determinism contract is pinned against.
+type parNet struct {
+	subs []*Engine
+	logs []strings.Builder
+	hops []int
+	n    int // nodes
+	la   Time
+}
+
+func (net *parNet) fire(arg any) {
+	id := arg.(int)
+	shard := id % len(net.subs)
+	sub := net.subs[shard]
+	fmt.Fprintf(&net.logs[shard], "%.9f n%d %d\n", sub.Now(), id, sub.Rand().Intn(1000))
+	if net.hops[shard] <= 0 {
+		return
+	}
+	net.hops[shard]--
+	// Cross-shard hop: random peer, at least one lookahead out.
+	peer := sub.Rand().Intn(net.n)
+	sub.PostArgShard(peer%len(net.subs), sub.Now()+net.la+sub.Rand().Float64()*net.la*3, net.fire, peer)
+	// Same-shard hop: implicit post, any delay — including intra-epoch.
+	if sub.Rand().Intn(3) == 0 {
+		sub.PostArg(sub.Now()+sub.Rand().Float64()*net.la/2, net.fire, id)
+	}
+}
+
+func (net *parNet) combined() string {
+	var b strings.Builder
+	for i := range net.logs {
+		fmt.Fprintf(&b, "== shard %d ==\n%s", i, net.logs[i].String())
+	}
+	return b.String()
+}
+
+// runParNet runs the toy net on a parallel engine at the given parallelism
+// budget (0 = GOMAXPROCS, 1 = forced-serial replay) and returns the
+// combined stream log plus the engine for counter inspection.
+func runParNet(seed int64, shards, parallelism int) (string, *Engine) {
+	eng := NewParallel(seed, shards)
+	eng.SetLookahead(0.001)
+	eng.SetParallelism(parallelism)
+	net := &parNet{
+		subs: make([]*Engine, shards),
+		logs: make([]strings.Builder, shards),
+		hops: make([]int, shards),
+		n:    16,
+		la:   0.001,
+	}
+	for i := range net.subs {
+		net.subs[i] = eng.ShardEngine(i)
+		net.hops[i] = 1500
+	}
+	for i := 0; i < net.n; i++ {
+		eng.PostArgShard(i%shards, Time(i)*0.0001, net.fire, i)
+	}
+	eng.Run()
+	return net.combined(), eng
+}
+
+// TestParallelMatchesForcedSerial pins the tentpole determinism contract:
+// a concurrent parallel run equals the forced-serial replay of the same
+// n-shard stream schedule byte for byte — same per-shard logs, same RNG
+// draws, same aggregate Fired and clock.
+func TestParallelMatchesForcedSerial(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, n := range []int{2, 3, 4, 8} {
+			ref, refEng := runParNet(seed, n, 1)
+			got, eng := runParNet(seed, n, 0)
+			if got != ref {
+				t.Fatalf("seed %d shards %d: concurrent run diverged from forced-serial replay", seed, n)
+			}
+			if eng.Fired != refEng.Fired || eng.Now() != refEng.Now() {
+				t.Fatalf("seed %d shards %d: Fired/Now = %d/%v, forced-serial %d/%v",
+					seed, n, eng.Fired, eng.Now(), refEng.Fired, refEng.Now())
+			}
+			if eng.CrossShard == 0 || eng.Barriers == 0 {
+				t.Fatalf("seed %d shards %d: CrossShard=%d Barriers=%d — the cross-shard path is unexercised",
+					seed, n, eng.CrossShard, eng.Barriers)
+			}
+		}
+	}
+}
+
+// TestParallelRunToRunStable pins run-to-run determinism at fixed
+// (seed, shards): three repetitions, an intermediate parallelism budget,
+// and varying GOMAXPROCS all produce the identical stream schedule.
+func TestParallelRunToRunStable(t *testing.T) {
+	const seed, shards = 42, 4
+	ref, refEng := runParNet(seed, shards, 0)
+	for rep := 0; rep < 3; rep++ {
+		got, eng := runParNet(seed, shards, 0)
+		if got != ref || eng.Fired != refEng.Fired {
+			t.Fatalf("rep %d: run diverged at fixed (seed, shards)", rep)
+		}
+	}
+	if got, _ := runParNet(seed, shards, 2); got != ref {
+		t.Fatal("parallelism budget 2 changed results; the budget must only affect wall-clock")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2} {
+		runtime.GOMAXPROCS(procs)
+		if got, _ := runParNet(seed, shards, 0); got != ref {
+			t.Fatalf("GOMAXPROCS=%d changed results; the schedule must be procs-independent", procs)
+		}
+	}
+}
+
+// TestParallelDegeneratesToSerial pins the constructor contract that makes
+// 1-shard-parallel equal serial (and serial-merge) byte for byte:
+// NewParallel(seed, n<=1) IS the serial engine — same type of engine
+// NewSharded(seed, 1) returns — so all three modes share one golden at one
+// shard.
+func TestParallelDegeneratesToSerial(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		e := NewParallel(7, n)
+		if e.ParallelShards() != 0 || e.ShardCount() != 0 {
+			t.Fatalf("NewParallel(7, %d) is not a serial engine", n)
+		}
+	}
+	e := NewParallel(7, 4)
+	if e.ParallelShards() != 4 || e.ShardCount() != 4 {
+		t.Fatalf("NewParallel(7, 4): ParallelShards=%d ShardCount=%d, want 4/4",
+			e.ParallelShards(), e.ShardCount())
+	}
+	for i := 0; i < 4; i++ {
+		if e.ShardEngine(i) != e.shards[i] {
+			t.Fatalf("ShardEngine(%d) is not sub-engine %d", i, i)
+		}
+	}
+	ser := New(7)
+	if ser.ShardEngine(3) != ser {
+		t.Fatal("ShardEngine on a serial engine must return the engine itself")
+	}
+
+	// One shard, identical workload: parallel == serial byte for byte.
+	refNet, refEng := runShardNet(11, 1)
+	eng := NewParallel(11, 1)
+	eng.SetLookahead(0.001)
+	net := &shardNet{eng: eng, n: 16, shards: 1, la: 0.001, hops: 4000}
+	for i := 0; i < net.n; i++ {
+		eng.PostArg(Time(i)*0.0001, net.fire, i)
+	}
+	eng.Run()
+	if net.log.String() != refNet.log.String() || eng.Fired != refEng.Fired {
+		t.Fatal("NewParallel at 1 shard diverged from the serial engine")
+	}
+}
+
+// TestParallelStopContract pins Stop during a concurrent run: every shard
+// goroutine is cancelled and joined before Run returns (no goroutine
+// leak), parked cross-shard sends are drained into their destination
+// queues (nothing lost), and a subsequent Run completes the simulation.
+func TestParallelStopContract(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eng := NewParallel(9, 4)
+	eng.SetLookahead(0.001)
+	net := &parNet{
+		subs: make([]*Engine, 4),
+		logs: make([]strings.Builder, 4),
+		hops: make([]int, 4),
+		n:    16,
+		la:   0.001,
+	}
+	for i := range net.subs {
+		net.subs[i] = eng.ShardEngine(i)
+		net.hops[i] = 5000
+	}
+	for i := 0; i < net.n; i++ {
+		eng.PostArgShard(i%4, Time(i)*0.0001, net.fire, i)
+	}
+	// Stop mid-run from inside a shard event — the realistic caller.
+	eng.PostArgShard(0, 0.02, func(any) { eng.Stop() }, nil)
+	eng.Run()
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines leaked across Run: %d before, %d after", base, got)
+	}
+	if eng.Pending() == 0 {
+		t.Fatal("Stop at 0.02 left nothing pending — the net drained too fast to test anything")
+	}
+	for i, sub := range eng.shards {
+		if len(sub.pout) != 0 {
+			t.Fatalf("shard %d outbox not drained after Stop: %d parked", i, len(sub.pout))
+		}
+	}
+	fired := eng.Fired
+	eng.Run()
+	if eng.Pending() != 0 || eng.Fired <= fired {
+		t.Fatalf("resume after Stop did not complete: pending=%d fired %d -> %d",
+			eng.Pending(), fired, eng.Fired)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines leaked across resumed Run: %d before, %d after", base, got)
+	}
+
+	// An armed stop between runs is consumed without firing anything.
+	eng2 := NewParallel(9, 2)
+	eng2.SetLookahead(0.5)
+	n := 0
+	eng2.PostArgShard(0, 1, func(any) { n++ }, nil)
+	eng2.Stop()
+	eng2.Run()
+	if n != 0 {
+		t.Fatal("armed stop did not prevent the run from firing")
+	}
+	eng2.Run()
+	if n != 1 {
+		t.Fatal("the run after a consumed stop did not proceed")
+	}
+}
+
+// TestParallelRunUntil pins deadline semantics against the serial
+// contract: the clock advances to the deadline without firing later
+// events, and the run resumes past it on the next call.
+func TestParallelRunUntil(t *testing.T) {
+	eng := NewParallel(3, 2)
+	eng.SetLookahead(0.5)
+	eng.SetParallelism(1)
+	n := 0
+	note := func(any) { n++ }
+	for i, at := range []Time{1, 2, 3} {
+		eng.PostArgShard(i%2, at, note, nil)
+	}
+	if got := eng.RunUntil(1.5); got != 1.5 || n != 1 {
+		t.Fatalf("RunUntil(1.5) = %v with %d fired, want 1.5 with 1", got, n)
+	}
+	if got := eng.Run(); got != 3 || n != 3 {
+		t.Fatalf("Run() = %v with %d fired, want 3 with 3", got, n)
+	}
+}
+
+// TestParallelDrain pins that Drain empties sub-queues and parked outboxes
+// alike on a parallel engine.
+func TestParallelDrain(t *testing.T) {
+	eng := NewParallel(5, 2)
+	eng.SetLookahead(0.1)
+	eng.SetParallelism(1)
+	sub := eng.ShardEngine(0)
+	eng.PostArgShard(0, 0, func(any) {
+		sub.PostArgShard(1, sub.Now()+1, func(any) { t.Error("drained event fired") }, nil)
+		sub.PostArg(sub.Now()+2, func(any) { t.Error("drained event fired") }, nil)
+		eng.Stop()
+	}, nil)
+	eng.Run()
+	if eng.Pending() != 2 {
+		t.Fatalf("Pending() = %d before Drain, want 2", eng.Pending())
+	}
+	eng.Drain()
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Drain, want 0", eng.Pending())
+	}
+}
+
+// TestParallelLookaheadEnforced pins that the conservative-PDES contract
+// panics survive in parallel mode (forced-serial so the panic lands on the
+// test goroutine).
+func TestParallelLookaheadEnforced(t *testing.T) {
+	eng := NewParallel(1, 2)
+	eng.SetLookahead(0.1)
+	eng.SetParallelism(1)
+	sub := eng.ShardEngine(0)
+	eng.PostArgShard(0, 0, func(any) {
+		sub.PostArgShard(1, sub.Now()+0.05, func(any) {}, nil)
+	}, nil)
+	mustPanic(t, "violates lookahead", func() { eng.Run() })
+
+	eng = NewParallel(1, 2)
+	eng.SetParallelism(1)
+	sub = eng.ShardEngine(0)
+	eng.PostArgShard(0, 0, func(any) {
+		sub.PostArgShard(1, sub.Now()+10, func(any) {}, nil)
+	}, nil)
+	mustPanic(t, "no lookahead", func() { eng.Run() })
+}
+
+// TestParallelBarrierAllocs is the parallel hot-path alloc pin: in steady
+// state an epoch barrier — park a cross-shard send in the outbox, flush it
+// into the destination queue with a fresh local sequence number, recompute
+// heads, run the epoch — allocates nothing. Forced-serial isolates the
+// barrier machinery itself from per-run goroutine spawn cost (which is
+// per-Run, not per-epoch, and is measured in the bench tier instead).
+func TestParallelBarrierAllocs(t *testing.T) {
+	eng := NewParallel(1, 2)
+	eng.SetLookahead(0.001)
+	eng.SetParallelism(1)
+	hops := 0
+	var step func(arg any)
+	step = func(arg any) {
+		if hops <= 0 {
+			return
+		}
+		hops--
+		shard := arg.(int)
+		sub := eng.ShardEngine(shard)
+		sub.PostArgShard(1-shard, sub.Now()+0.001, step, 1-shard)
+	}
+	cycle := func() {
+		hops = 64
+		eng.PostArgShard(0, eng.Now()+0.001, step, 0)
+		eng.Run()
+	}
+	// Warm up: calibrate the per-shard calendars (256 scheduling deltas
+	// each), let the width resizer settle, and grow every scratch buffer
+	// (outboxes, heads, near arrays) to steady-state capacity.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Fatalf("parallel barrier cycle allocates %v per run, want 0", allocs)
+	}
+}

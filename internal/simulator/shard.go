@@ -77,6 +77,13 @@ func (e *Engine) SetLookahead(d Time) {
 		panic(fmt.Sprintf("simulator: negative lookahead %v", d))
 	}
 	e.lookahead = d
+	if e.par != nil {
+		// Parallel sub-engines check the lookahead locally on every
+		// cross-shard send, so the epoch width propagates to all of them.
+		for _, sub := range e.shards {
+			sub.lookahead = d
+		}
+	}
 }
 
 // PostArgShard schedules fn(arg) at absolute time t on shard dst. On a
@@ -87,6 +94,21 @@ func (e *Engine) SetLookahead(d Time) {
 func (e *Engine) PostArgShard(dst int, t Time, fn func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("simulator: scheduling event at %v before now %v", t, e.now))
+	}
+	if e.parent != nil {
+		// Parallel sub-engine: same-shard posts are local inserts; foreign
+		// posts park in this shard's outbox until the parent's next epoch
+		// barrier (see parallel.go).
+		e.postParallel(dst, slot{at: t, afn: fn, arg: arg})
+		return
+	}
+	if e.par != nil {
+		// Parallel parent: pre-run (or between-run) setup posts land
+		// directly on the destination shard under its local ordering.
+		// During a run events execute on the sub-engines and post through
+		// their shard's engine, never through the parent.
+		e.shards[dst].insert(slot{at: t, afn: fn, arg: arg})
+		return
 	}
 	if e.shards == nil {
 		e.insert(slot{at: t, afn: fn, arg: arg})

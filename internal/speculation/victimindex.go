@@ -39,6 +39,18 @@ import (
 // first of equals in running-set order, which is hand-out order; equal
 // positive remainings imply equal finishes, and zero remainings never
 // pass the t_new cut).
+//
+// Shard confinement: an index instance lives inside one scheduler's
+// Monitor and indexes only tasks that scheduler handed out. On the
+// parallel engine (simulator.NewParallel) the owning scheduler — and
+// therefore this index — is confined to its home shard's goroutine:
+// every mutation (CopyPlaced, TaskDone) and every query happens while
+// that shard drains its calendar, so the index needs no locks and its
+// heap order consumes no cross-shard information. Parallel decentral
+// runs qualify for the index under the same gate as serial-merge
+// sharded runs (ModeHopper, MaxCopies == 2, no noise); the
+// exact-equivalence argument above is unaffected because it never
+// references engine structure, only task/copy immutability.
 
 // victimEntry is one original copy's immutable index record.
 type victimEntry struct {
