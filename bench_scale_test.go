@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/hopper-sim/hopper/internal/experiments"
@@ -36,7 +37,7 @@ func TestScaleBenchSmokeReportWellFormed(t *testing.T) {
 		if s.Optimized.NsPerDecision <= 0 || s.Optimized.EventsPerSec <= 0 {
 			t.Errorf("%s: missing derived metrics %+v", s.Name, s.Optimized)
 		}
-		if s.Kind != "decentral-hopper" {
+		if !strings.HasPrefix(s.Kind, "decentral-") {
 			if s.Reference == nil || s.SpeedupNsPerDecision == 0 || s.AllocReduction == 0 {
 				t.Errorf("%s: central scenario missing reference column", s.Name)
 			}
@@ -230,6 +231,32 @@ func TestTrajectoryIncludesParallelTier(t *testing.T) {
 		}
 	}
 	t.Fatal("no trajectory file carries the parallel-engine 100k+1M tiers (BENCH_PR8+ convention)")
+}
+
+// TestTrajectoryIncludesHeteroTier pins the PR 9 convention: from
+// BENCH_PR9.json on, the full-tier trajectory carries the 10k-machine
+// heterogeneous tier — the load-cached decentralized mode on the
+// three-class mix with the hetero demand split — so the cost of the
+// heterogeneity path (class-aware counters, demand-filtered hand-out,
+// capacity-aware probe aiming) is measured alongside the homogeneous
+// 10k tier it rides next to. At least one checked-in file must have it.
+func TestTrajectoryIncludesHeteroTier(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
+	}
+	for _, file := range files {
+		rep, err := experiments.LoadBenchReport(file)
+		if err != nil {
+			continue // the per-file test reports parse failures
+		}
+		for _, s := range rep.Scenarios {
+			if s.Kind == "decentral-loadcache" && s.Hetero && s.Machines >= 10000 && s.Optimized.Decisions > 0 {
+				return
+			}
+		}
+	}
+	t.Fatal("no trajectory file carries the 10k-machine decentral-loadcache hetero tier (BENCH_PR9+ convention)")
 }
 
 // BenchmarkDispatchScaleSmoke tracks the smoke matrix under

@@ -40,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -60,6 +61,7 @@ func run() int {
 		scenario     = flag.String("scenario", "", "robustness scenario ID to run (churn, ...; \"all\" runs every scenario — see -list)")
 		all          = flag.Bool("all", false, "run every experiment")
 		list         = flag.Bool("list", false, "list experiment IDs")
+		scenarios    = flag.Bool("scenarios", false, "list robustness scenario IDs (run one with -scenario)")
 		scale        = flag.Float64("scale", 1, "job-count scale factor")
 		seeds        = flag.Int("seeds", 3, "independent replays per data point")
 		workers      = flag.Int("workers", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
@@ -113,9 +115,12 @@ func run() int {
 		for _, e := range experiments.Registry {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		for _, e := range experiments.Scenarios {
-			fmt.Printf("%-8s %s (scenario; run with -scenario)\n", e.ID, e.Title)
-		}
+		printScenarios(os.Stdout, true)
+		return 0
+	}
+
+	if *scenarios {
+		printScenarios(os.Stdout, false)
 		return 0
 	}
 
@@ -270,4 +275,17 @@ func runScaleBench(smoke bool, out, check, summary string) int {
 		fmt.Fprintln(os.Stderr, "bench-check OK: speedups within 20% of", check)
 	}
 	return 0
+}
+
+// printScenarios lists the robustness-scenario registry; tagged lists
+// the entries as an appendix to the experiment listing (-list) rather
+// than the dedicated -scenarios view.
+func printScenarios(w io.Writer, tagged bool) {
+	suffix := ""
+	if tagged {
+		suffix = " (scenario; run with -scenario)"
+	}
+	for _, e := range experiments.Scenarios {
+		fmt.Fprintf(w, "%-8s %s%s\n", e.ID, e.Title, suffix)
+	}
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary stand in for the hopper-sim CLI: when
+// re-executed with HOPPER_SIM_BE_CLI set, it runs main's body against
+// the test process's own flags instead of the test framework's. The
+// CLI tests below exec themselves this way, so flag parsing and exit
+// codes are exercised exactly as a user's shell would.
+func TestMain(m *testing.M) {
+	if os.Getenv("HOPPER_SIM_BE_CLI") == "1" {
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes the test binary as the CLI with the given args.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HOPPER_SIM_BE_CLI=1")
+	out, err := cmd.Output()
+	return string(out), err
+}
+
+// TestScenariosFlag pins the -scenarios listing: every registered
+// robustness scenario, one per line, ID first — and nothing from the
+// paper-figure Registry (those belong to -list).
+func TestScenariosFlag(t *testing.T) {
+	out, err := runCLI(t, "-scenarios")
+	if err != nil {
+		t.Fatalf("hopper-sim -scenarios: %v\n%s", err, out)
+	}
+	for _, id := range []string{"churn", "hetero"} {
+		found := false
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, id) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("scenario %q missing from -scenarios output:\n%s", id, out)
+		}
+	}
+	if strings.Contains(out, "fig") {
+		t.Errorf("-scenarios leaked paper-figure experiments:\n%s", out)
+	}
+}
+
+// TestListIncludesScenarios checks -list still appends the scenario
+// registry, tagged with how to run it.
+func TestListIncludesScenarios(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatalf("hopper-sim -list: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "run with -scenario") {
+		t.Errorf("-list lost the scenario appendix:\n%s", out)
+	}
+}

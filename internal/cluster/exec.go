@@ -225,16 +225,24 @@ func (x *Executor) placeOn(t *Task, m MachineID, speculative, local bool) *Copy 
 	if t.Phase.State != PhaseRunnable {
 		panic(fmt.Sprintf("cluster: placing task %s in non-runnable phase", t.ID()))
 	}
-	x.Machines.Acquire(m)
+	x.Machines.AcquireFor(m, t.Demand)
 	x.noteSlotChange()
 	now := x.Eng.Now()
 	dur := 0.0
 	if x.DurationOverride != nil {
+		// Scripted schedules are explicit wall-clock times; no speed scaling.
 		dur = x.DurationOverride(t, speculative)
 	} else {
 		dur = x.Model.Duration(x.copyRNG(t, len(t.Copies)), t.Phase.MeanTaskDuration, local)
+		if sp := x.Machines.All[m].Speed; sp != 1 {
+			// The draw is baseline-speed work; wall-clock scales inversely
+			// with the machine's service rate. Guarded so homogeneous runs
+			// never touch the division (exact float identity).
+			dur /= sp
+		}
 	}
 	c := t.StartCopy(now, m, speculative, local, dur)
+	c.Speed = x.Machines.All[m].Speed
 	x.CopiesStarted++
 	if speculative {
 		x.SpeculativeCopies++

@@ -59,7 +59,27 @@ type Copy struct {
 	// pointer, since the two shards build their records independently.
 	Attempt int
 
+	// Speed is the service-rate factor of the machine this copy runs on,
+	// stamped at placement by whichever adapter owns the machine record.
+	// Duration/Remaining/Elapsed are wall-clock; multiplying them by
+	// Speed recovers baseline-speed work, which is the unit progress
+	// estimators compare in (speculation, alpha). StartCopy defaults it
+	// to 1, so homogeneous paths multiply by exactly 1.0 — a float no-op.
+	// The zero value also reads as 1 (speed method), so hand-built copies
+	// behave homogeneously.
+	Speed float64
+
 	finishEv *simulator.Event
+}
+
+// speed is Speed with the zero value normalized to the homogeneous
+// default of 1, mirroring how a zero Resources demand means "fits
+// anywhere".
+func (c *Copy) speed() simulator.Time {
+	if c.Speed > 0 {
+		return simulator.Time(c.Speed)
+	}
+	return 1
 }
 
 // Finish returns the absolute time this copy would complete if not killed.
@@ -79,6 +99,24 @@ func (c *Copy) Remaining(now simulator.Time) simulator.Time {
 	return r
 }
 
+// WorkRemaining is the copy's remaining baseline-speed work at time now:
+// wall-clock remaining scaled by the machine's speed factor. Estimators
+// compare work, not wall-clock, so a fast machine's short tail and a
+// slow machine's long tail rank correctly against a fresh copy.
+func (c *Copy) WorkRemaining(now simulator.Time) simulator.Time {
+	return c.Remaining(now) * c.speed()
+}
+
+// WorkDuration is the copy's total service time in baseline-speed work
+// units (Duration * Speed) — what the same draw would have taken on a
+// speed-1 machine.
+func (c *Copy) WorkDuration() simulator.Time { return c.Duration * c.speed() }
+
+// WorkElapsed is the baseline-speed work completed by time now.
+func (c *Copy) WorkElapsed(now simulator.Time) simulator.Time {
+	return c.Elapsed(now) * c.speed()
+}
+
 // Task is a unit of work inside a phase. Tasks may have replica locality
 // preferences (input phases) and may be executed by several racing copies.
 type Task struct {
@@ -89,6 +127,12 @@ type Task struct {
 	// Replicas are machines holding the task's input data. Empty for
 	// tasks without locality preference (non-input phases).
 	Replicas []MachineID
+
+	// Demand is the per-copy resource demand. NewJob defaults it to the
+	// phase's Demand when left zero, so workloads usually declare demand
+	// at phase granularity; the zero vector means "fits any slot" and is
+	// what every homogeneous workload carries.
+	Demand Resources
 
 	State  TaskState
 	Copies []*Copy
@@ -207,6 +251,10 @@ type Phase struct {
 	// phase's task count. Zero for input phases.
 	TransferWork float64
 
+	// Demand is the default per-copy resource demand for this phase's
+	// tasks (see Task.Demand). Zero means the tasks fit any slot.
+	Demand Resources
+
 	// State is the phase's lifecycle position; see PhaseState. RunnableAt
 	// is stamped when the unlock is planned (UnlockPending) with the time
 	// the pipelined transfer permits execution.
@@ -296,6 +344,9 @@ func NewJob(id JobID, name string, arrival simulator.Time, phases []*Phase) *Job
 			t.Job = j
 			t.Phase = p
 			t.Index = k
+			if t.Demand.IsZero() {
+				t.Demand = p.Demand
+			}
 		}
 	}
 	return j
@@ -421,6 +472,7 @@ func (t *Task) StartCopy(now simulator.Time, m MachineID, speculative, local boo
 		Local:       local,
 		Start:       now,
 		Duration:    dur,
+		Speed:       1,
 	}
 	t.Copies = append(t.Copies, c)
 	if t.State == TaskUnscheduled {

@@ -72,24 +72,23 @@ func (s *System) EnableChurn(cfg ChurnConfig) {
 	s.churn = cfg.withDefaults()
 	s.churnRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	s.trackCopies = true
+	s.reprobeEvery = s.churn.ReprobeInterval
 	s.ensureChurnTicks()
 }
 
 // ensureChurnTicks (re)arms the leave tick and the reservation-refresh
-// tick. Both disarm themselves when no jobs are live — a self-rearming
+// tick (the latter also runs churn-free when Config.ReprobeInterval is
+// set). Both disarm themselves when no jobs are live — a self-rearming
 // event would otherwise keep the engine from ever draining — and Arrive
 // calls back here so a job landing after an idle gap restarts them.
 func (s *System) ensureChurnTicks() {
-	if s.churnRng == nil {
-		return
-	}
-	if !s.churnOn {
+	if s.churnRng != nil && !s.churnOn {
 		s.churnOn = true
 		s.Eng.PostAfter(s.churnGap(), s.churnTick)
 	}
-	if !s.reprobeOn {
+	if s.reprobeEvery > 0 && !s.reprobeOn {
 		s.reprobeOn = true
-		s.Eng.PostAfter(s.churn.ReprobeInterval, s.reprobeTick)
+		s.Eng.PostAfter(s.reprobeEvery, s.reprobeTick)
 	}
 }
 
@@ -124,7 +123,7 @@ func (s *System) reprobeTick() {
 	for _, sc := range s.scheds {
 		sc.sendProbes(sc.core.ReprobeStalled())
 	}
-	s.Eng.PostAfter(s.churn.ReprobeInterval, s.reprobeTick)
+	s.Eng.PostAfter(s.reprobeEvery, s.reprobeTick)
 }
 
 // killMachine takes a machine out of service: running copies die (their

@@ -45,6 +45,9 @@ const (
 	// ModeSparrowSRPT is the paper's aggressive baseline: Sparrow whose
 	// workers pick the job with the fewest unfinished tasks.
 	ModeSparrowSRPT = protocol.ModeSparrowSRPT
+	// ModeLoadCache is decentralized Hopper with load-cached probe aiming
+	// (protocol.LoadCachePolicy) in place of uniform random subsets.
+	ModeLoadCache = protocol.ModeLoadCache
 )
 
 // Config holds the decentralized system's parameters: the shared
@@ -100,6 +103,19 @@ type Config struct {
 	// virtual-size information; without it every freed slot re-walks the
 	// queue of satisfied jobs.
 	RefusalCooldown float64
+
+	// LoadCacheStaleness is the maximum age of a cached worker-load
+	// entry that may still aim probes (ModeLoadCache only; seconds).
+	LoadCacheStaleness float64
+
+	// ReprobeInterval, when positive, arms the periodic reservation
+	// refresh (ReprobeStalled) independent of churn. Heterogeneous
+	// clusters need it for liveness: a demand-carrying task whose
+	// probes all landed on workers it does not fit would otherwise
+	// strand — the refresh re-rolls its reservations until one reaches
+	// a machine with enough per-slot capacity. Serial engines only,
+	// like churn (the tick spans every scheduler).
+	ReprobeInterval float64
 }
 
 // WithDefaults fills zero fields with the paper's defaults for the mode.
@@ -114,6 +130,7 @@ func (c Config) WithDefaults() Config {
 	c.RetryBackoffMin = p.RetryBackoffMin
 	c.RetryBackoffMax = p.RetryBackoffMax
 	c.RefusalCooldown = p.RefusalCooldown
+	c.LoadCacheStaleness = p.LoadCacheStaleness
 	if c.MsgLatency == 0 {
 		c.MsgLatency = 0.0005
 	}
@@ -140,6 +157,8 @@ func (c Config) protocol() protocol.Config {
 		RetryBackoffMin:  c.RetryBackoffMin,
 		RetryBackoffMax:  c.RetryBackoffMax,
 		RefusalCooldown:  c.RefusalCooldown,
+
+		LoadCacheStaleness: c.LoadCacheStaleness,
 	}
 }
 
@@ -216,6 +235,10 @@ type System struct {
 	churnRng  *rand.Rand
 	churnOn   bool
 	reprobeOn bool
+	// reprobeEvery is the armed reservation-refresh period: set by
+	// EnableChurn (from ChurnConfig.ReprobeInterval) or directly by
+	// Config.ReprobeInterval; 0 leaves the refresh off.
+	reprobeEvery float64
 
 	// ProbeEventsSaved counts engine events avoided by probe coalescing:
 	// one batch of probes emitted by a single core call is delivered as
@@ -297,6 +320,12 @@ type message struct {
 	rep    protocol.Reply   // reply payload (mReply)
 	probes []protocol.Probe // batch payload (mProbeBatch)
 
+	// free piggybacks the sending worker's free-slot count on offers,
+	// stamped at send time under the slot owner's accounting (worker
+	// shard on parallel engines). Feeds the scheduler's probe policy;
+	// random policies ignore it.
+	free int
+
 	// Execution-plane payload (parallel engines; see parallel.go). The
 	// (task, attempt) pair is the cross-shard copy correlation key.
 	ps      *pshard // shard responsible for the message at delivery
@@ -359,11 +388,15 @@ func (s *System) dispatch(m *message) {
 				s.ProbesLost++
 				continue
 			}
-			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem))
+			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem, p.Demand))
 		}
 		s.putMsg(m)
 	case mOffer:
 		sc := m.sched
+		// Feed the probe policy the offer's piggybacked load view (free
+		// slots as of the send instant, capacity from the immutable
+		// machine record). No-op under random probing.
+		sc.core.ObserveWorkerLoad(m.worker.id, m.free, s.Exec.Machines.All[m.worker.id].Cap)
 		if m.getTask {
 			m.rep = sc.core.HandleGetTask(m.job, m.worker.id)
 		} else {
@@ -436,8 +469,14 @@ func New(eng *simulator.Engine, exec *cluster.Executor, cfg Config) *System {
 		// MsgLatency is the engine's natural lookahead (see shard.go).
 		eng.SetLookahead(cfg.MsgLatency)
 	}
+	if cfg.ReprobeInterval > 0 {
+		if nShards > 0 {
+			panic("decentral: ReprobeInterval requires the serial engine")
+		}
+		s.reprobeEvery = cfg.ReprobeInterval
+	}
 	pcfg := cfg.protocol()
-	if cfg.Mode == ModeHopper && nShards > 0 &&
+	if (cfg.Mode == ModeHopper || cfg.Mode == ModeLoadCache) && nShards > 0 &&
 		pcfg.Spec.EstimateNoise <= 0 && pcfg.Spec.MaxCopies == 2 {
 		// Sharded scale runs take the indexed victim search; it is
 		// exact-equivalent to the scan (speculation/victimindex.go), so

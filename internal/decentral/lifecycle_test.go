@@ -70,9 +70,9 @@ func lifecycleDAGJobs(seed int64, n int) []*cluster.Job {
 }
 
 // TestDecentralExactlyOnceWakeups runs the lifecycle property under all
-// three decentralized modes across seeds.
+// decentralized modes across seeds.
 func TestDecentralExactlyOnceWakeups(t *testing.T) {
-	modes := []Mode{ModeHopper, ModeSparrow, ModeSparrowSRPT}
+	modes := []Mode{ModeHopper, ModeSparrow, ModeSparrowSRPT, ModeLoadCache}
 	for _, seed := range []int64{9, 404, 7777} {
 		for _, mode := range modes {
 			seed, mode := seed, mode
@@ -114,5 +114,63 @@ func TestDecentralExactlyOnceWakeups(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestLoadCacheLifecycleHetero runs the exactly-once lifecycle property
+// for the load-cached mode on a heterogeneous cluster with per-task
+// demand: the DAG jobs get the hetero demand split (a third zero, a
+// third small, a third big-class-only), so the run exercises the
+// demand-aware hand-out, the capacity-filtered probe aiming, and the
+// reprobe refresh together. Across seeds the cores must observe zero
+// duplicate wakeups and every job must complete — a stranded big-demand
+// task or a double-enqueued phase both fail here.
+func TestLoadCacheLifecycleHetero(t *testing.T) {
+	classes := []cluster.MachineClass{
+		{Name: "small", Count: 6, Speed: 0.5, Slots: 2, Cap: cluster.Resources{CPU: 2, Mem: 4}},
+		{Name: "standard", Count: 4, Speed: 1, Slots: 4, Cap: cluster.Resources{CPU: 4, Mem: 8}},
+		{Name: "big", Count: 3, Speed: 2, Slots: 8, Cap: cluster.Resources{CPU: 16, Mem: 32}},
+	}
+	demands := []cluster.Resources{{}, {CPU: 2, Mem: 4}, {CPU: 8, Mem: 16}}
+	for _, seed := range []int64{11, 303, 6161, 9999} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			jobs := lifecycleDAGJobs(seed, 24)
+			for i, j := range jobs {
+				d := demands[i%len(demands)]
+				if d.IsZero() {
+					continue
+				}
+				for _, p := range j.Phases {
+					p.Demand = d
+					for _, tk := range p.Tasks {
+						tk.Demand = d
+					}
+				}
+			}
+			eng := simulator.New(seed + 1)
+			ms := cluster.NewMachinesClassed(classes)
+			exec := cluster.NewExecutor(eng, ms, cluster.DefaultExecModel())
+			sys := New(eng, exec, Config{
+				Mode: ModeLoadCache, NumSchedulers: 3,
+				CheckInterval: 0.1, ReprobeInterval: 1,
+			})
+			for _, j := range jobs {
+				j := j
+				eng.At(j.Arrival, func() { sys.Arrive(j) })
+			}
+			eng.Run()
+
+			if got := len(sys.Completed()); got != len(jobs) {
+				t.Fatalf("completed %d of %d jobs", got, len(jobs))
+			}
+			if sys.DoubleWakeups != 0 || sys.DoubleWakeupTasks != 0 {
+				t.Fatalf("cores observed %d duplicate wakeups (%d phantom tasks)",
+					sys.DoubleWakeups, sys.DoubleWakeupTasks)
+			}
+			if sys.OccupancyLeaks != 0 {
+				t.Fatalf("%d occupancy leaks", sys.OccupancyLeaks)
+			}
+		})
 	}
 }

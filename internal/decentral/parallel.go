@@ -180,7 +180,7 @@ func (ps *pshard) dispatch(m *message) {
 		for i := range m.probes {
 			p := &m.probes[i]
 			w := ps.sys.workers[p.Worker]
-			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem))
+			w.exec(w.core.AddReservation(sid, p.Job, p.VS, p.Rem, p.Demand))
 		}
 		ps.putMsg(m)
 	case mOffer:
@@ -203,6 +203,10 @@ func (ps *pshard) dispatch(m *message) {
 			return
 		}
 		m.queued = false
+		// Probe-policy load feed: free was stamped by the worker shard at
+		// send time; Cap is immutable, so reading it here crosses no
+		// ownership boundary. No-op under random probing.
+		sc.core.ObserveWorkerLoad(m.worker.id, m.free, ps.sys.Exec.Machines.All[m.worker.id].Cap)
 		if m.getTask {
 			m.rep = sc.core.HandleGetTask(m.job, m.worker.id)
 		} else {
@@ -254,6 +258,9 @@ func (ps *pshard) dispatch(m *message) {
 		} else {
 			c := t.StartCopy(m.start, m.mach, m.spec, m.local, m.dur)
 			c.Attempt = m.attempt
+			// Speed is immutable after construction, so the scheduler
+			// shard may read it off the worker's machine record.
+			c.Speed = ps.sys.Exec.Machines.All[m.mach].Speed
 			if !m.spec {
 				sc.core.CopyPlaced(t)
 			}
@@ -388,12 +395,19 @@ func (w *worker) placePar(from protocol.SchedID, rep protocol.Reply) bool {
 	}
 	t := rep.Task
 	sc := w.sys.scheds[from]
+	if !w.m.Fits(t.Demand) {
+		panic(fmt.Sprintf("decentral: demand %+v does not fit machine %d (cap %+v)",
+			t.Demand, w.id, w.m.Cap))
+	}
 	w.m.AcquireLocal()
 	local := t.LocalOn(w.id)
 	now := ps.eng.Now()
 	dur := ps.sys.Exec.Model.Duration(
 		cluster.CopyServiceRNG(ps.sys.durSeed, t, rep.Attempt),
 		t.Phase.MeanTaskDuration, local)
+	if w.m.Speed != 1 {
+		dur /= w.m.Speed
+	}
 
 	c := ps.getWC()
 	c.w = w
@@ -460,6 +474,7 @@ func (w *worker) sendOfferPar(a protocol.WAction) {
 	m.kind = mOffer
 	m.sched = sc
 	m.worker = w
+	m.free = w.m.Free // load piggyback, stamped under worker-shard slot accounting
 	m.job = a.Job
 	m.refusable = a.Refusable
 	m.getTask = a.GetTask
@@ -543,7 +558,10 @@ func newSchedPar(sys *System, ps *pshard, id int, pcfg protocol.Config) *sched {
 		Rand:          ps.eng.Rand(),
 		TotalSlots:    func() int { return total },
 		RandomWorkers: ps.sampler.RandomSubset,
-		Stats:         &ps.stats,
+		// Cap is immutable after construction, so the scheduler shard may
+		// read any machine's record without crossing ownership.
+		WorkerCap: func(m cluster.MachineID) cluster.Resources { return sys.Exec.Machines.All[m].Cap },
+		Stats:     &ps.stats,
 	})
 	return sc
 }
@@ -558,6 +576,7 @@ func newWorkerPar(sys *System, ps *pshard, id cluster.MachineID, pcfg protocol.C
 		Now:       ps.eng.Now,
 		Rand:      ps.eng.Rand(),
 		FreeSlots: func() int { return m.Free },
+		Cap:       m.Cap,
 		Place:     w.placePar,
 		Stats:     &ps.stats,
 	})

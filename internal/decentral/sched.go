@@ -41,6 +41,7 @@ func newSched(sys *System, id int, pcfg protocol.Config) *sched {
 		Rand:          sys.Eng.Rand(),
 		TotalSlots:    func() int { return sys.Exec.Machines.TotalSlots() },
 		RandomWorkers: sys.Exec.Machines.RandomSubset,
+		WorkerCap:     func(m cluster.MachineID) cluster.Resources { return sys.Exec.Machines.All[m].Cap },
 		Stats:         &sys.Stats,
 	})
 	return sc

@@ -21,8 +21,9 @@ type worker struct {
 	eng *simulator.Engine
 
 	// ps is the home shard's state on a parallel engine, nil otherwise;
-	// m and live are the parallel execution plane's machine record and
-	// running-copy list (parallel.go).
+	// live is the parallel execution plane's running-copy list
+	// (parallel.go). m is this worker's machine record on every engine
+	// flavor (bound once; Machines.All is fixed at construction).
 	ps   *pshard
 	m    *cluster.Machine
 	live []*wcopy
@@ -66,10 +67,12 @@ func (w *worker) newCore(pcfg protocol.Config) *protocol.Worker {
 	// retry consults it) and the three-hop chase costs a cache miss per
 	// call at 100k+ machines.
 	m := sys.Exec.Machines.Get(w.id)
+	w.m = m
 	return protocol.NewWorker(w.id, pcfg, protocol.WorkerEnv{
 		Now:       func() float64 { return sys.Eng.Now() },
 		Rand:      sys.Eng.Rand(),
 		FreeSlots: func() int { return m.Free },
+		Cap:       m.Cap,
 		Place:     w.place,
 		Stats:     &sys.Stats,
 	})
@@ -141,6 +144,7 @@ func (w *worker) exec(acts []protocol.WAction) {
 			m.sched = sc
 			m.worker = w
 			m.wepoch = w.epoch
+			m.free = w.m.Free // load piggyback, as of send time
 			m.job = a.Job
 			m.refusable = a.Refusable
 			m.getTask = a.GetTask

@@ -97,6 +97,10 @@ func (a *AlphaEstimator) Evaluate(j *cluster.Job, beta float64) (alpha, downstre
 	a.Estimates++
 
 	// dependents[i] lists phases that consume phase i's output.
+	// Remaining work is counted in baseline-speed work units (task counts
+	// times the phase's mean service time at speed 1), so the estimate is
+	// speed-normalized by construction: which machine class a copy landed
+	// on changes its wall-clock, never the work it represents.
 	var remUp, remDown, meanDur float64
 	for _, p := range runnable {
 		remUp += float64(p.RemainingTasks()) * p.MeanTaskDuration

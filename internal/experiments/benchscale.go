@@ -56,6 +56,37 @@ type ScaleScenario struct {
 	// count can differ slightly; wall-clock and events/s are the columns
 	// to compare.
 	Parallel bool `json:",omitempty"`
+	// Hetero replaces the uniform cluster with the canonical three-class
+	// mix (50% small / 30% standard / 20% big, scaled to Machines) and
+	// stamps the trace with the hetero demand split — the bench twin of
+	// the experiments hetero scenario. Serial engine only: the reprobe
+	// refresh the demand path needs spans all schedulers.
+	Hetero bool `json:",omitempty"`
+}
+
+// benchHeteroClasses scales the canonical three-class mix to the
+// scenario's machine count (same shape as the hetero scenario's 3-class
+// mix). SlotsPerMachine is ignored for hetero scenarios — slots come
+// from the class table.
+func benchHeteroClasses(machines int) []cluster.MachineClass {
+	small := machines / 2
+	standard := machines * 3 / 10
+	big := machines - small - standard
+	return []cluster.MachineClass{
+		{Name: "small", Count: small, Speed: 0.5, Slots: 2, Cap: cluster.Resources{CPU: 2, Mem: 4}},
+		{Name: "standard", Count: standard, Speed: 1, Slots: 4, Cap: cluster.Resources{CPU: 4, Mem: 8}},
+		{Name: "big", Count: big, Speed: 2, Slots: 8, Cap: cluster.Resources{CPU: 16, Mem: 32}},
+	}
+}
+
+// benchSpec is the scenario's cluster spec (shared by trace generation
+// and both measured runs).
+func (sc ScaleScenario) benchSpec() ClusterSpec {
+	spec := ClusterSpec{Machines: sc.Machines, SlotsPerMachine: sc.SlotsPerMachine, Exec: cluster.DefaultExecModel()}
+	if sc.Hetero {
+		spec.Classes = benchHeteroClasses(sc.Machines)
+	}
+	return spec
 }
 
 // engine names the scenario's engine variant for summary tables.
@@ -156,6 +187,21 @@ func ScaleScenarios1M() []ScaleScenario {
 	}
 }
 
+// ScaleScenariosHetero is the heterogeneous tier: the load-cached
+// decentralized mode on the canonical three-class 10k-machine mix with
+// the hetero demand split. It measures what the heterogeneity path
+// costs per decision — class-aware free counters, demand-filtered
+// hand-out, capacity-aware probe aiming, and the periodic reprobe
+// refresh — at the same machine count as the homogeneous 10k tier.
+// Serial engine only (the reprobe tick spans all schedulers). Full-mode
+// bench runs include it; smoke does not.
+func ScaleScenariosHetero() []ScaleScenario {
+	return []ScaleScenario{
+		{Name: "decentral-hetero-10k", Kind: "decentral-loadcache", Machines: 10000,
+			Jobs: 1200, Util: 0.7, Seed: 7007, Hetero: true},
+	}
+}
+
 // benchKind builds the scheduler for a scenario.
 func benchKind(kind string, reference bool) SchedulerKind {
 	cfg := scheduler.Config{CheckInterval: 1.0, ReferenceDispatch: reference}
@@ -172,19 +218,29 @@ func benchKind(kind string, reference bool) SchedulerKind {
 		return Decentral(func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System {
 			return decentral.New(eng, exec, decentral.Config{Mode: decentral.ModeHopper, NumSchedulers: 50})
 		})
+	case "decentral-loadcache":
+		return Decentral(func(eng *simulator.Engine, exec *cluster.Executor) *decentral.System {
+			return decentral.New(eng, exec, decentral.Config{
+				Mode: decentral.ModeLoadCache, NumSchedulers: 50, ReprobeInterval: 1,
+			})
+		})
 	}
 	panic("experiments: unknown bench kind " + kind)
 }
 
 // hasReference reports whether the scenario kind has a frozen reference
-// dispatch to compare against.
-func hasReference(kind string) bool { return kind != "decentral-hopper" }
+// dispatch to compare against. Only the central kinds do — the
+// decentralized protocol (any mode) has no frozen reference.
+func hasReference(kind string) bool { return !strings.HasPrefix(kind, "decentral-") }
 
 // benchTrace generates the scenario's trace (shared verbatim between the
 // optimized and reference runs).
 func benchTrace(sc ScaleScenario) *workload.Trace {
-	spec := ClusterSpec{Machines: sc.Machines, SlotsPerMachine: sc.SlotsPerMachine, Exec: cluster.DefaultExecModel()}
-	return GenTrace(workload.Facebook(), sc.Jobs, sc.Util, spec, sc.Seed)
+	tr := GenTrace(workload.Facebook(), sc.Jobs, sc.Util, sc.benchSpec(), sc.Seed)
+	if sc.Hetero {
+		stampHeteroDemand(tr.Jobs)
+	}
+	return tr
 }
 
 // measureRun replays the trace once under the given scheduler, measuring
@@ -193,7 +249,7 @@ func benchTrace(sc ScaleScenario) *workload.Trace {
 // parallel scenarios still get exact Mallocs (the counter is global) but
 // spread them across shard goroutines.
 func measureRun(sc ScaleScenario, kind SchedulerKind, jobs []*cluster.Job) BenchMeasurement {
-	spec := ClusterSpec{Machines: sc.Machines, SlotsPerMachine: sc.SlotsPerMachine, Exec: cluster.DefaultExecModel()}
+	spec := sc.benchSpec()
 
 	var eng *simulator.Engine
 	if sc.Parallel {
@@ -201,7 +257,7 @@ func measureRun(sc ScaleScenario, kind SchedulerKind, jobs []*cluster.Job) Bench
 	} else {
 		eng = simulator.NewSharded(sc.Seed+1, sc.Shards)
 	}
-	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
+	ms := spec.machines()
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 	var arr Arriver
 	var sys *decentral.System
@@ -267,6 +323,7 @@ func RunScaleBench(smoke bool, log io.Writer) *BenchReport {
 	scenarios := ScaleScenarios(true)
 	if !smoke {
 		scenarios = append(scenarios, ScaleScenarios(false)...)
+		scenarios = append(scenarios, ScaleScenariosHetero()...)
 		scenarios = append(scenarios, ScaleScenarios100k()...)
 		scenarios = append(scenarios, ScaleScenarios1M()...)
 	}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+// TestHeteroBenchScenarioRuns replays a scaled-down twin of the
+// decentral-hetero-10k tier (same kind, same class proportions, 1k
+// machines) end to end: the load-cached mode must finish every job on
+// the classed cluster (measureRun panics otherwise) and produce a
+// non-empty measurement. This keeps the hetero bench path tested in CI
+// without the full-tier runtime.
+func TestHeteroBenchScenarioRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement; skipped with -short")
+	}
+	sc := ScaleScenario{Name: "decentral-hetero-1k", Kind: "decentral-loadcache",
+		Machines: 1000, Jobs: 140, Util: 0.7, Seed: 7007, Hetero: true}
+	tr := benchTrace(sc)
+	m := measureRun(sc, benchKind(sc.Kind, false), CloneJobs(tr.Jobs))
+	if m.Decisions <= 0 || m.Events == 0 {
+		t.Fatalf("empty measurement: %+v", m)
+	}
+}

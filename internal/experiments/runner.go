@@ -211,6 +211,13 @@ type ClusterSpec struct {
 	SlotsPerMachine int
 	Exec            cluster.ExecModel
 
+	// Classes, when non-empty, describes a heterogeneous cluster and
+	// takes precedence over Machines/SlotsPerMachine: RunTrace builds
+	// the machine set class by class (cluster.NewMachinesClassed), and
+	// NumMachines/TotalSlots derive from the table. Every existing
+	// experiment leaves it nil and keeps the homogeneous constructor.
+	Classes []cluster.MachineClass
+
 	// Shards is the engine shard count for runs over this cluster; 0 or 1
 	// means the serial engine. Results are identical either way (the
 	// sharded engine's byte-identity contract); sharding only changes
@@ -232,7 +239,48 @@ type ClusterSpec struct {
 }
 
 // TotalSlots returns cluster capacity.
-func (c ClusterSpec) TotalSlots() int { return c.Machines * c.SlotsPerMachine }
+func (c ClusterSpec) TotalSlots() int {
+	if len(c.Classes) > 0 {
+		n := 0
+		for _, mc := range c.Classes {
+			n += mc.Count * mc.Slots
+		}
+		return n
+	}
+	return c.Machines * c.SlotsPerMachine
+}
+
+// NumMachines returns the machine count, from the class table when one
+// is declared.
+func (c ClusterSpec) NumMachines() int {
+	if len(c.Classes) > 0 {
+		n := 0
+		for _, mc := range c.Classes {
+			n += mc.Count
+		}
+		return n
+	}
+	return c.Machines
+}
+
+// machines builds the spec's machine set.
+func (c ClusterSpec) machines() *cluster.Machines {
+	if len(c.Classes) > 0 {
+		return cluster.NewMachinesClassed(c.Classes)
+	}
+	if forceClassedLayout {
+		return cluster.NewMachinesClassed([]cluster.MachineClass{
+			{Name: "uniform", Count: c.Machines, Speed: 1, Slots: c.SlotsPerMachine},
+		})
+	}
+	return cluster.NewMachines(c.Machines, c.SlotsPerMachine)
+}
+
+// forceClassedLayout routes homogeneous specs through the classed
+// constructor. Test-only (see the single-class differential test): the
+// heterogeneity refactor's no-op guarantee is that this switch changes
+// nothing observable.
+var forceClassedLayout = false
 
 // Prototype200 is the paper's deployment: 200 machines, 16 slots each.
 func Prototype200(beta float64) ClusterSpec {
@@ -303,7 +351,7 @@ func RunTrace(kind SchedulerKind, spec ClusterSpec, jobs []*cluster.Job, seed in
 	} else {
 		eng = simulator.NewSharded(seed, spec.Shards)
 	}
-	ms := cluster.NewMachines(spec.Machines, spec.SlotsPerMachine)
+	ms := spec.machines()
 	exec := cluster.NewExecutor(eng, ms, spec.Exec)
 
 	var arr Arriver
@@ -366,10 +414,14 @@ func CloneJobs(jobs []*cluster.Job) []*cluster.Job {
 				Deps:             append([]int(nil), p.Deps...),
 				MeanTaskDuration: p.MeanTaskDuration,
 				TransferWork:     p.TransferWork,
+				Demand:           p.Demand,
 				Tasks:            make([]*cluster.Task, len(p.Tasks)),
 			}
 			for ti, t := range p.Tasks {
-				np.Tasks[ti] = &cluster.Task{Replicas: append([]cluster.MachineID(nil), t.Replicas...)}
+				np.Tasks[ti] = &cluster.Task{
+					Replicas: append([]cluster.MachineID(nil), t.Replicas...),
+					Demand:   t.Demand,
+				}
 			}
 			phases[pi] = np
 		}
@@ -385,7 +437,7 @@ func GenTrace(profile workload.Profile, numJobs int, util float64, spec ClusterS
 		NumJobs:           numJobs,
 		TargetUtilization: util,
 		TotalSlots:        spec.TotalSlots(),
-		NumMachines:       spec.Machines,
+		NumMachines:       spec.NumMachines(),
 		Seed:              seed,
 	})
 }

@@ -54,3 +54,37 @@ func TestChurnScenarioSmoke(t *testing.T) {
 		}
 	}
 }
+
+// Smoke-run the hetero scenario at reduced scale: every cell must
+// finish every job on every class mix × mode (RunTrace panics otherwise
+// — a stranded big-demand task is a liveness bug in the demand-aware
+// hand-out or the probe aiming, not noise), and the load-cached policy
+// must beat random-subset probing on completion time or probe traffic
+// on at least one mix (the scenario's headline claim).
+func TestHeteroScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed simulation sweep")
+	}
+	e, ok := ScenarioByID("hetero")
+	if !ok {
+		t.Fatal("hetero scenario not registered")
+	}
+	res := e.Run(Harness{Scale: 0.1, Seeds: 1})
+	if len(res.Tables) != 3 {
+		t.Fatalf("hetero scenario produced %d tables, want 3", len(res.Tables))
+	}
+	for _, tab := range res.Tables {
+		if len(tab.Rows) != len(heteroMixes) {
+			t.Fatalf("table %q has %d rows, want one per mix (%d)", tab.Title, len(tab.Rows), len(heteroMixes))
+		}
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "load-cache beats random-subset probing") && !strings.Contains(n, "on 0 of") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("load-cache win note missing or zero wins; notes: %q", res.Notes)
+	}
+}

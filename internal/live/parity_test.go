@@ -307,7 +307,7 @@ func (s *wireSystem) sendProbes(sc *wsSched, probes []protocol.Probe) {
 		w := s.workers[wi]
 		deliver := func(extra float64) {
 			s.eng.PostAfter(s.cfg.MsgLatency+extra, func() {
-				w.exec(w.core.AddReservation(protocol.SchedID(rsv.SchedulerID), cluster.JobID(rsv.JobID), rsv.VirtualSize, int(rsv.RemTasks)))
+				w.exec(w.core.AddReservation(protocol.SchedID(rsv.SchedulerID), cluster.JobID(rsv.JobID), rsv.VirtualSize, int(rsv.RemTasks), cluster.Resources{CPU: rsv.DemandCPU, Mem: rsv.DemandMem}))
 			})
 		}
 		if s.chaos != nil {

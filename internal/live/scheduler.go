@@ -234,6 +234,7 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 		Rand:          s.rng,
 		TotalSlots:    func() int { return max(s.totalSlots, 1) },
 		RandomWorkers: s.randomWorkers,
+		WorkerCap:     s.workerCap,
 		Stats:         &s.stats,
 	})
 	s.unlock = cluster.UnlockPlanner{
@@ -265,6 +266,50 @@ func (s *Scheduler) Addr() string {
 // cooldowns) lives in workload time regardless of compression.
 func (s *Scheduler) now() float64 {
 	return time.Since(s.start).Seconds() / s.cfg.TimeScale
+}
+
+// helloClass resolves a worker Hello's advertised machine class to its
+// speed factor and per-slot capacity. Workers send a one-entry table
+// indexed by Class (see Worker.helloMsg); a missing or malformed table
+// reads as the homogeneous defaults (speed 1, unconstrained capacity),
+// so pre-class workers register exactly as before.
+func helloClass(h *wire.Hello) (speed float64, cap cluster.Resources) {
+	speed = 1
+	if len(h.Classes) == 0 {
+		return speed, cap
+	}
+	cs := h.Classes[0]
+	if int(h.Class) < len(h.Classes) {
+		cs = h.Classes[h.Class]
+	}
+	if cs.Speed > 0 {
+		speed = cs.Speed
+	}
+	cap = cluster.Resources{CPU: cs.CapCPU, Mem: cs.CapMem}
+	return speed, cap
+}
+
+// workerSpeed returns the registered worker's advertised speed factor
+// (1 for unknown or classless workers).
+func (s *Scheduler) workerSpeed(workerID uint32) float64 {
+	p := s.workers[workerID]
+	if p == nil {
+		return 1
+	}
+	speed, _ := helloClass(&p.hello)
+	return speed
+}
+
+// workerCap is the core's WorkerCap env binding: the registered
+// worker's advertised per-slot capacity (zero — fits everything — for
+// unknown or classless workers).
+func (s *Scheduler) workerCap(m cluster.MachineID) cluster.Resources {
+	p := s.workers[uint32(m)]
+	if p == nil {
+		return cluster.Resources{}
+	}
+	_, cap := helloClass(&p.hello)
+	return cap
 }
 
 // randomWorkers samples n distinct registered workers
@@ -654,6 +699,7 @@ func (s *Scheduler) admit(client *peer, m *wire.SubmitJob) {
 		ph := &cluster.Phase{
 			MeanTaskDuration: mean,
 			TransferWork:     ps.TransferWork,
+			Demand:           cluster.Resources{CPU: ps.DemandCPU, Mem: ps.DemandMem},
 			Tasks:            make([]*cluster.Task, int(ps.NumTasks)),
 		}
 		for _, d := range ps.Deps {
@@ -758,6 +804,9 @@ func (s *Scheduler) reconcileCopy(lj *lJob, workerID uint32, rc wire.RunningCopy
 	}
 	mid := cluster.MachineID(workerID)
 	c := t.StartCopy(s.now(), mid, rc.Speculative, t.LocalOn(mid), rem)
+	// Remaining is wall-clock on the reporting worker; stamping its speed
+	// keeps work-unit estimates (speculation, estimators) consistent.
+	c.Speed = s.workerSpeed(workerID)
 	if rc.Speculative {
 		lj.specCopies++
 	}
@@ -834,6 +883,8 @@ func (s *Scheduler) sendProbesAvoiding(probes []protocol.Probe, avoid int64) {
 			SchedulerID: s.cfg.ID,
 			VirtualSize: p.VS,
 			RemTasks:    uint32(p.Rem),
+			DemandCPU:   p.Demand.CPU,
+			DemandMem:   p.Demand.Mem,
 		})
 	}
 }
@@ -892,6 +943,9 @@ func (s *Scheduler) onOffer(from *peer, m *wire.Offer) {
 		// re-answered; the worker drops the surplus reply as stale.
 		return
 	}
+	// Feed the probe policy the offer's piggybacked free-slot count
+	// (no-op under random probing).
+	s.core.ObserveWorkerLoad(cluster.MachineID(m.WorkerID), int(m.FreeSlots), s.workerCap(cluster.MachineID(m.WorkerID)))
 	var rep protocol.Reply
 	if m.GetTask {
 		rep = s.core.HandleGetTask(cluster.JobID(m.JobID), cluster.MachineID(m.WorkerID))
@@ -913,13 +967,20 @@ func (s *Scheduler) startCopy(rep protocol.Reply, w *peer, workerID uint32, seq 
 	t := rep.Task
 	m := cluster.MachineID(workerID)
 	local := t.LocalOn(m)
+	speed := s.workerSpeed(workerID)
 	var dur float64
 	if s.cfg.DurationOverride != nil {
+		// Scripted schedules are explicit wall-clock times; no speed
+		// scaling (same contract as the simulator's Executor).
 		dur = s.cfg.DurationOverride(t, rep.Spec)
 	} else {
 		dur = s.model.Duration(cluster.CopyServiceRNG(s.cfg.Seed, t, len(t.Copies)), t.Phase.MeanTaskDuration, local)
+		if speed != 1 {
+			dur /= speed
+		}
 	}
 	c := t.StartCopy(s.now(), m, rep.Spec, local, dur)
+	c.Speed = speed
 	lj := s.jobs[uint64(rep.Job)]
 	if rep.Spec && lj != nil {
 		lj.specCopies++

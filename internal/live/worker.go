@@ -26,6 +26,16 @@ type WorkerConfig struct {
 	Mode protocol.Mode
 	// RefusalThreshold is Pseudocode 3's refusal bound (default 2).
 	RefusalThreshold int
+	// Class/ClassName/Speed/Cap describe this worker's machine class.
+	// The worker advertises them in its Hello as a one-entry class table
+	// so schedulers need no out-of-band class configuration; Speed
+	// scales its service times scheduler-side and Cap filters demands.
+	// Zero values (Speed 0 → 1, empty Cap) are the homogeneous default
+	// and advertise no class table at all.
+	Class     uint32
+	ClassName string
+	Speed     float64
+	Cap       cluster.Resources
 	// TimeScale multiplies task service times (0.1 turns a 10s task into
 	// 1s of wall clock). Must match the schedulers'. Default 1.
 	TimeScale float64
@@ -131,6 +141,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.Slots <= 0 {
 		c.Slots = 1
 	}
+	if c.Speed <= 0 {
+		c.Speed = 1
+	}
 	if c.TimeScale == 0 {
 		c.TimeScale = 1
 	}
@@ -191,13 +204,14 @@ func NewWorkerConns(cfg WorkerConfig, conns []transport.Conn) (*Worker, error) {
 		Now:       w.now,
 		Rand:      rand.New(rand.NewSource(int64(cfg.ID)*7919 + 5)),
 		FreeSlots: func() int { return w.freeSlots },
+		Cap:       cfg.Cap,
 		Place:     w.place,
 		Stats:     &w.stats,
 	})
 	for i, conn := range conns {
 		p := &peer{conn: conn, hello: wire.Hello{Role: wire.RoleScheduler, ID: uint32(i)}}
 		w.scheds = append(w.scheds, p)
-		if err := conn.Send(&wire.Hello{Role: wire.RoleWorker, ID: cfg.ID, Slots: uint32(cfg.Slots)}); err != nil {
+		if err := conn.Send(w.helloMsg()); err != nil {
 			// Ownership of every conn transferred here: close them all on
 			// a partial failure or a retrying supervisor leaks sockets
 			// (and phantom registrations at the already-greeted
@@ -214,6 +228,25 @@ func NewWorkerConns(cfg WorkerConfig, conns []transport.Conn) (*Worker, error) {
 // now is the worker's virtual clock (see Scheduler.now).
 func (w *Worker) now() float64 {
 	return time.Since(w.start).Seconds() / w.cfg.TimeScale
+}
+
+// helloMsg builds this worker's registration Hello: identity, slots, and
+// — on heterogeneous clusters — its machine class as a self-describing
+// one-entry class table. Homogeneous workers (speed 1, no capacity,
+// class 0) advertise no table, so existing clusters register as before.
+func (w *Worker) helloMsg() *wire.Hello {
+	h := &wire.Hello{Role: wire.RoleWorker, ID: w.cfg.ID, Slots: uint32(w.cfg.Slots)}
+	if w.cfg.Speed != 1 || !w.cfg.Cap.IsZero() || w.cfg.Class != 0 {
+		h.Class = 0 // index into the advertised table, not a global ID
+		h.Classes = []wire.ClassSpec{{
+			Name:   w.cfg.ClassName,
+			Speed:  w.cfg.Speed,
+			Slots:  uint32(w.cfg.Slots),
+			CapCPU: w.cfg.Cap.CPU,
+			CapMem: w.cfg.Cap.Mem,
+		}}
+	}
+	return h
 }
 
 // Run processes messages until Stop; call in a goroutine.
@@ -364,7 +397,7 @@ func (w *Worker) attachSched(idx int, conn transport.Conn) {
 		return
 	}
 	p := &peer{conn: conn, hello: wire.Hello{Role: wire.RoleScheduler, ID: uint32(idx)}}
-	hello := &wire.Hello{Role: wire.RoleWorker, ID: w.cfg.ID, Slots: uint32(w.cfg.Slots)}
+	hello := w.helloMsg()
 	now := w.now()
 	var mine []*runningCopy
 	for _, rc := range w.running {
@@ -474,7 +507,8 @@ func (w *Worker) handle(env envelope) {
 		sid := protocol.SchedID(m.SchedulerID)
 		w.schedByID[sid] = env.from
 		w.idByPeer[env.from] = sid
-		w.exec(w.core.AddReservation(sid, cluster.JobID(m.JobID), m.VirtualSize, int(m.RemTasks)))
+		w.exec(w.core.AddReservation(sid, cluster.JobID(m.JobID), m.VirtualSize, int(m.RemTasks),
+			cluster.Resources{CPU: m.DemandCPU, Mem: m.DemandMem}))
 	case *wire.Assign, *wire.Refuse, *wire.NoTask:
 		w.onReply(env.from, env.msg.(wire.Message))
 	case *wire.Kill:
@@ -682,6 +716,7 @@ func (w *Worker) exec(acts []protocol.WAction) {
 				Seq:       seq,
 				Refusable: a.Refusable,
 				GetTask:   a.GetTask,
+				FreeSlots: uint32(w.freeSlots),
 			})
 			if w.cfg.OfferTimeout > 0 {
 				wall := time.Duration(w.cfg.OfferTimeout * w.cfg.TimeScale * float64(time.Second))

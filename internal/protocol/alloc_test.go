@@ -2,6 +2,8 @@ package protocol
 
 import (
 	"testing"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
 )
 
 // Steady-state allocation pins for the protocol hot paths. The PR 5
@@ -23,7 +25,7 @@ func TestWorkerReservationRoundZeroAllocs(t *testing.T) {
 	h.sc.Admit(j)
 
 	cycle := func() {
-		acts := h.w.AddReservation(0, j.ID, 5.0, 4)
+		acts := h.w.AddReservation(0, j.ID, 5.0, 4, cluster.Resources{})
 		if len(acts) != 1 || acts[0].Kind != WSendOffer {
 			t.Fatalf("unexpected action list: %+v", acts)
 		}

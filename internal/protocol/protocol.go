@@ -42,7 +42,8 @@ type SchedID int
 // Mode selects the scheduling protocol.
 type Mode int
 
-// The three decentralized systems evaluated in the paper.
+// The three decentralized systems evaluated in the paper, plus the
+// load-cached probing extension.
 const (
 	// ModeHopper is decentralized Hopper (Section 5).
 	ModeHopper Mode = iota
@@ -52,6 +53,13 @@ const (
 	// ModeSparrowSRPT is the paper's aggressive baseline: Sparrow whose
 	// workers pick the job with the fewest unfinished tasks.
 	ModeSparrowSRPT
+	// ModeLoadCache is decentralized Hopper with Dodoor-style load-cached
+	// probe aiming: the worker-side protocol (Pseudocode 3) and
+	// scheduler-side capacity rules are Hopper's, but probes are aimed by
+	// a stale-tolerant cached per-worker load view (LoadCachePolicy)
+	// instead of a uniform random subset, and the default probe ratio
+	// drops to 2 because aimed probes need less fan-out.
+	ModeLoadCache
 )
 
 // String implements fmt.Stringer.
@@ -63,9 +71,16 @@ func (m Mode) String() string {
 		return "Sparrow"
 	case ModeSparrowSRPT:
 		return "Sparrow-SRPT"
+	case ModeLoadCache:
+		return "Hopper-LC"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
+
+// hopperFamily reports whether the mode runs the Hopper scheduler- and
+// worker-side rules (virtual sizes, refusable offers, fairness floor) —
+// everything but probe aiming is shared between Hopper-D and Hopper-LC.
+func (m Mode) hopperFamily() bool { return m == ModeHopper || m == ModeLoadCache }
 
 // Config holds the protocol parameters shared by every adapter. Message
 // timing (latency, processing delay, scan periods) belongs to the
@@ -125,6 +140,13 @@ type Config struct {
 	// construction (the monitor refuses configurations where it is not);
 	// purely a performance knob.
 	IndexedVictims bool
+
+	// LoadCacheStaleness is the maximum age (seconds) of a cached
+	// worker-load entry that may still aim probes in ModeLoadCache;
+	// older entries fall back to random targets. Default 1s — a few
+	// offer round-trips, long enough to ride out piggyback gaps and
+	// short enough that a drained worker stops attracting probes.
+	LoadCacheStaleness float64
 }
 
 // WithDefaults fills zero fields with the paper's defaults for the mode.
@@ -136,8 +158,13 @@ func (c Config) WithDefaults() Config {
 		if c.Mode == ModeHopper {
 			c.ProbeRatio = 4
 		} else {
+			// Sparrow's power-of-two, and ModeLoadCache: aimed probes
+			// need less fan-out than Hopper-D's random 4.
 			c.ProbeRatio = 2
 		}
+	}
+	if c.LoadCacheStaleness == 0 {
+		c.LoadCacheStaleness = 1.0
 	}
 	if c.RefusalThreshold == 0 {
 		c.RefusalThreshold = 2
@@ -249,12 +276,14 @@ type Reply struct {
 }
 
 // Probe is a scheduler-core output: send one reservation request to a
-// worker, carrying the job's ordering metadata.
+// worker, carrying the job's ordering metadata and the task's resource
+// demand (zero in homogeneous configurations).
 type Probe struct {
 	Worker cluster.MachineID
 	Job    cluster.JobID
 	VS     float64
 	Rem    int
+	Demand cluster.Resources
 }
 
 // WActionKind discriminates worker-core output actions.

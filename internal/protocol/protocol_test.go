@@ -65,8 +65,8 @@ func TestEntryAggregation(t *testing.T) {
 	j := mkJob(1, 4, 1.0)
 	h.sc.Admit(j)
 
-	h.w.AddReservation(0, j.ID, 5.0, 4)
-	h.w.AddReservation(0, j.ID, 6.0, 3)
+	h.w.AddReservation(0, j.ID, 5.0, 4, cluster.Resources{})
+	h.w.AddReservation(0, j.ID, 6.0, 3, cluster.Resources{})
 	if len(h.w.entries) != 1 {
 		t.Fatalf("entries = %d, want 1 aggregated", len(h.w.entries))
 	}
@@ -81,7 +81,7 @@ func TestAddReservationEmitsOffer(t *testing.T) {
 	j := mkJob(1, 4, 1.0)
 	h.sc.Admit(j)
 
-	acts := h.w.AddReservation(0, j.ID, 5.0, 4)
+	acts := h.w.AddReservation(0, j.ID, 5.0, 4, cluster.Resources{})
 	var offers int
 	for _, a := range acts {
 		if a.Kind == WSendOffer {
@@ -106,7 +106,7 @@ func TestPurgeRemovesEntry(t *testing.T) {
 	h := newHarness(t, ModeHopper, 2)
 	j := mkJob(2, 2, 1.0)
 	h.sc.Admit(j)
-	h.w.AddReservation(0, j.ID, 3.0, 2)
+	h.w.AddReservation(0, j.ID, 3.0, 2, cluster.Resources{})
 
 	if h.w.liveEntries() != 1 {
 		t.Fatalf("liveEntries = %d, want 1", h.w.liveEntries())
@@ -131,14 +131,14 @@ func TestEntryPoolRecyclesWithFreshGeneration(t *testing.T) {
 	j := mkJob(3, 2, 1.0)
 	h.sc.Admit(j)
 
-	h.w.AddReservation(0, j.ID, 3.0, 2)
+	h.w.AddReservation(0, j.ID, 3.0, 2, cluster.Resources{})
 	old := h.w.EntryFor(0, j.ID)
 	h.w.purge(old.live())
 	h.w.compact() // force the recycle regardless of thresholds
 
 	// The recycled object must come back as a logically fresh entry: new
 	// generation (stale refs and tried marks cannot match), new seq.
-	h.w.AddReservation(0, j.ID, 9.0, 1)
+	h.w.AddReservation(0, j.ID, 9.0, 1, cluster.Resources{})
 	fresh := h.w.EntryFor(0, j.ID)
 	if fresh.IsZero() {
 		t.Fatal("no entry after re-reservation")

@@ -28,6 +28,13 @@ type SchedEnv struct {
 	// semantics).
 	RandomWorkers func(rng *rand.Rand, n int, scratch []cluster.MachineID) []cluster.MachineID
 
+	// WorkerCap returns worker m's per-slot capacity vector, used to keep
+	// tasks with a declared demand off machines that cannot hold them.
+	// Nil means the adapter advertises no capacity topology (homogeneous
+	// clusters; every demand there is zero, so the check short-circuits
+	// before this is consulted).
+	WorkerCap func(m cluster.MachineID) cluster.Resources
+
 	// Stats receives protocol counters; must be non-nil.
 	Stats *Stats
 }
@@ -69,10 +76,20 @@ type dJob struct {
 // demand is how many more slots the job could use right now.
 func (d *dJob) demand() int { return d.pendingFresh.Len() + d.wants.Len() }
 
+// fitsCap reports whether a task's demand fits a worker's per-slot
+// capacity. The zero-demand short-circuit keeps homogeneous workloads
+// (where every demand is zero) off the comparison entirely, so adding
+// capacity awareness is a provable no-op for them.
+func fitsCap(t *cluster.Task, cap cluster.Resources) bool {
+	return t.Demand.IsZero() || t.Demand.FitsIn(cap)
+}
+
 // takeTask hands out the next unit of work, preferring an original task
 // whose input is local on machine m, then any original task, then a
-// speculative copy. Returns (nil, false) when the job has nothing to run.
-func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool) {
+// speculative copy — in every tier restricted to tasks whose demand fits
+// the offering worker's capacity (cap). Returns (nil, false) when the
+// job has nothing this worker can run.
+func (d *dJob) takeTask(m cluster.MachineID, maxCopies int, cap cluster.Resources) (*cluster.Task, bool) {
 	for i := 0; i < d.pendingFresh.Len(); {
 		t := d.pendingFresh.At(i)
 		if t.State == cluster.TaskDone {
@@ -83,21 +100,35 @@ func (d *dJob) takeTask(m cluster.MachineID, maxCopies int) (*cluster.Task, bool
 			d.pendingFresh.RemoveAt(i)
 			continue
 		}
-		if t.LocalOn(m) {
+		if t.LocalOn(m) && fitsCap(t, cap) {
 			d.pendingFresh.RemoveAt(i)
 			return t, false
 		}
 		i++
 	}
-	if d.pendingFresh.Len() > 0 {
-		return d.pendingFresh.PopFront(), false
-	}
-	for d.wants.Len() > 0 {
-		t := d.wants.PopFront()
-		t.SpecWanted = false
-		if t.State == cluster.TaskRunning && t.RunningCopies() < maxCopies {
-			return t, true
+	for i := 0; i < d.pendingFresh.Len(); i++ {
+		t := d.pendingFresh.At(i)
+		if fitsCap(t, cap) {
+			d.pendingFresh.RemoveAt(i)
+			return t, false
 		}
+	}
+	for i := 0; i < d.wants.Len(); {
+		t := d.wants.At(i)
+		if t.State != cluster.TaskRunning || t.RunningCopies() >= maxCopies {
+			// Stale want (finished, or already at the copy cap): drop it,
+			// exactly as the pre-capacity pop-and-test loop did.
+			t.SpecWanted = false
+			d.wants.RemoveAt(i)
+			continue
+		}
+		if !fitsCap(t, cap) {
+			i++ // still a live want; just not for this worker
+			continue
+		}
+		t.SpecWanted = false
+		d.wants.RemoveAt(i)
+		return t, true
 	}
 	return nil, false
 }
@@ -136,13 +167,17 @@ type Sched struct {
 	beta  *stats.TailEstimator
 	alpha *estimate.AlphaEstimator
 
+	// policy aims the non-replica portion of each task's probes:
+	// RandomSubsetPolicy (the paper's rule) everywhere except
+	// ModeLoadCache, which installs a LoadCachePolicy.
+	policy ProbePolicy
+
 	// Reusable scan/probe buffers (one scheduler handles one message at a
 	// time, so a single set per scheduler suffices).
 	candScratch   []*cluster.Task
 	freshScratch  []*cluster.Task
 	reqScratch    []*cluster.Task
 	targetScratch []cluster.MachineID
-	subsetScratch []cluster.MachineID
 	probeBuf      []Probe
 }
 
@@ -161,7 +196,25 @@ func NewSched(id SchedID, cfg Config, env SchedEnv) *Sched {
 	if cfg.IndexedVictims {
 		sc.mon.EnableIndex()
 	}
+	if cfg.Mode == ModeLoadCache {
+		sc.policy = NewLoadCachePolicy(cfg.LoadCacheStaleness)
+	} else {
+		sc.policy = &RandomSubsetPolicy{}
+	}
 	return sc
+}
+
+// Policy exposes the probe-target policy for adapters and diagnostics
+// (e.g. reading LoadCachePolicy hit counters after a run).
+func (sc *Sched) Policy() ProbePolicy { return sc.policy }
+
+// ObserveWorkerLoad feeds the probe policy one worker's piggybacked
+// load report (free slots and per-slot capacity at send time). Adapters
+// call it when an offer arrives, before handling the offer; under
+// RandomSubsetPolicy it is a no-op, so the Hopper/Sparrow golden paths
+// are unaffected.
+func (sc *Sched) ObserveWorkerLoad(m cluster.MachineID, free int, cap cluster.Resources) {
+	sc.policy.ObserveLoad(m, free, cap, sc.env.Now())
 }
 
 // CopyPlaced tells the speculation monitor a non-speculative placement
@@ -189,7 +242,7 @@ func (sc *Sched) effVS(d *dJob) float64 {
 	beta := sc.beta.Estimate()
 	alpha, _ := sc.alpha.Evaluate(d.job, beta)
 	v := core.VirtualSize(d.job.RemainingCurrentTasks(), beta, alpha)
-	if sc.cfg.Mode == ModeHopper && !sc.cfg.FairnessOff {
+	if sc.cfg.Mode.hopperFamily() && !sc.cfg.FairnessOff {
 		n := sc.liveJobs * sc.cfg.NumSchedulers
 		if n > 0 {
 			floor := (1 - sc.cfg.Epsilon) * float64(sc.env.TotalSlots()) / float64(n)
@@ -272,9 +325,10 @@ func (sc *Sched) probeCount() int {
 }
 
 // probeForTasks appends reservation requests for the given tasks to the
-// probe buffer: input tasks probe their replica machines first; surplus
-// probes go to random workers, exactly as in Section 6.1 (such tasks may
-// then run without locality).
+// probe buffer: input tasks probe their replica machines first; the
+// remainder is aimed by the probe policy — a uniform random subset in
+// every paper mode, exactly as in Section 6.1 (such tasks may then run
+// without locality), or the load cache in ModeLoadCache.
 func (sc *Sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
 	vs := sc.orderVS(d)
 	rem := d.job.RemainingTasksTotal()
@@ -285,15 +339,24 @@ func (sc *Sched) probeForTasks(d *dJob, tasks []*cluster.Task) {
 			if len(targets) == n {
 				break
 			}
+			// A replica on a worker the task cannot fit is no locality
+			// win at all — and worse, it eats the probe budget: the
+			// reprobe refresh re-aims the same replicas every tick, so
+			// an unfiltered too-small replica set pins a demand-carrying
+			// task to workers that can never run it. Zero demand
+			// short-circuits, keeping the paper modes' draw sequence
+			// (and the dispatch golden) untouched.
+			if !fitsCap(t, sc.capOf(r)) {
+				continue
+			}
 			targets = append(targets, r)
 		}
 		if len(targets) < n {
-			sc.subsetScratch = sc.env.RandomWorkers(sc.env.Rand, n-len(targets), sc.subsetScratch)
-			targets = append(targets, sc.subsetScratch...)
+			targets = sc.policy.Targets(&sc.env, t, n-len(targets), targets)
 		}
 		sc.targetScratch = targets
 		for _, m := range targets {
-			sc.probeBuf = append(sc.probeBuf, Probe{Worker: m, Job: d.job.ID, VS: vs, Rem: rem})
+			sc.probeBuf = append(sc.probeBuf, Probe{Worker: m, Job: d.job.ID, VS: vs, Rem: rem, Demand: t.Demand})
 		}
 	}
 }
@@ -329,9 +392,12 @@ func (sc *Sched) ScanSpec() []Probe {
 // still has unlaunched original tasks — a periodic reservation refresh
 // for live adapters, where probes can be lost (dropped frames, worker
 // drains racing requeues) and a task left with zero reservations would
-// strand its job. The simulator never loses messages and does not call
-// this. Reservations aggregate per (scheduler, job) at workers, so a
-// redundant refresh merely tops up a counter.
+// strand its job. Simulator adapters call it under churn (probes die at
+// departed machines) and on heterogeneous clusters (a demand-carrying
+// task whose probes all landed on too-small workers needs a re-roll);
+// loss-free homogeneous runs never do. Reservations aggregate per
+// (scheduler, job) at workers, so a redundant refresh merely tops up a
+// counter.
 func (sc *Sched) ReprobeStalled() []Probe {
 	sc.probeBuf = sc.probeBuf[:0]
 	for _, d := range sc.jobList {
@@ -429,6 +495,7 @@ func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 	if d == nil {
 		return Reply{Job: jobID, From: sc.id, JobDone: true}
 	}
+	cap := sc.capOf(m)
 	maxCopies := sc.cfg.Spec.MaxCopies
 	if refusable && float64(d.occupied) >= sc.effVS(d) {
 		// Field evaluation order (unsat scan before the job's own orderVS)
@@ -445,13 +512,13 @@ func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 		rep.RemTask = d.job.RemainingTasksTotal()
 		return rep
 	}
-	t, spec := d.takeTask(m, maxCopies)
+	t, spec := d.takeTask(m, maxCopies, cap)
 	if t == nil {
 		// Capacity-driven speculation (Pseudocode 2): the job is below
 		// its virtual size, i.e. below its desired speculation level, so
 		// the slot goes to a racing copy of its worst observable
 		// straggler even if the detection policy has not flagged one.
-		if v := sc.mon.BestVictimFor(sc.env.Now(), jobID, d.running.Tasks(), maxCopies); v != nil {
+		if v := sc.mon.BestVictimFor(sc.env.Now(), jobID, d.running.Tasks(), maxCopies); v != nil && fitsCap(v, cap) {
 			t, spec = v, true
 		}
 	}
@@ -480,6 +547,16 @@ func (sc *Sched) HandleOffer(jobID cluster.JobID, m cluster.MachineID, refusable
 		Phase: t.Phase.Index, TaskIndex: t.Index, Spec: spec,
 		From: sc.id, VS: sc.orderVS(d), RemTask: d.job.RemainingTasksTotal(),
 	}
+}
+
+// capOf returns worker m's per-slot capacity as this scheduler sees it:
+// the adapter's topology answer, or the zero vector when the adapter
+// advertises none (homogeneous clusters — zero demands never consult it).
+func (sc *Sched) capOf(m cluster.MachineID) cluster.Resources {
+	if sc.env.WorkerCap == nil {
+		return cluster.Resources{}
+	}
+	return sc.env.WorkerCap(m)
 }
 
 // PlacementFailed rolls back occupancy when a handed-out copy could not
@@ -556,7 +633,7 @@ func (sc *Sched) HandleGetTask(jobID cluster.JobID, m cluster.MachineID) Reply {
 	if d == nil {
 		return Reply{Job: jobID, From: sc.id, JobDone: true}
 	}
-	t, spec := d.takeTask(m, sc.cfg.Spec.MaxCopies)
+	t, spec := d.takeTask(m, sc.cfg.Spec.MaxCopies, sc.capOf(m))
 	if t == nil {
 		return Reply{Job: jobID, From: sc.id, RemTask: d.job.RemainingTasksTotal()}
 	}

@@ -23,6 +23,14 @@ type WorkerEnv struct {
 	// worker's machine.
 	FreeSlots func() int
 
+	// Cap is the per-slot capacity of the worker's machine, fixed for
+	// the machine's lifetime. Reservations whose piggybacked demand does
+	// not fit are never offered for (the scheduler's takeTask re-checks
+	// against the same capacity, so nothing unfitting is ever handed
+	// out). The zero vector is the homogeneous value: zero demands fit
+	// it by the IsZero short-circuit.
+	Cap cluster.Resources
+
 	// Place runs the reply's task. In the simulator this is
 	// Executor.PlaceOn; in a live node it occupies a slot and arms the
 	// emulated-execution timer.
@@ -45,6 +53,12 @@ type Entry struct {
 	remTasks int     // latest known remaining tasks (Sparrow-SRPT ordering)
 	seq      int64   // arrival order (Sparrow FIFO)
 	coolTill float64 // skip offers until then (recently refused/drained)
+
+	// demand is the latest probe's piggybacked resource demand; entries
+	// whose demand does not fit this worker's slot capacity are skipped
+	// by every pick rule (zero, and therefore always fitting, in
+	// homogeneous configurations).
+	demand cluster.Resources
 
 	// dead marks a purged entry awaiting compaction; every scan skips it.
 	dead bool
@@ -184,8 +198,9 @@ func (w *Worker) newEntry(sched SchedID, job cluster.JobID) *Entry {
 func (w *Worker) begin() { w.acts = w.acts[:0] }
 
 // AddReservation enqueues (or tops up) a reservation from a scheduler
-// and returns the actions to execute.
-func (w *Worker) AddReservation(sched SchedID, job cluster.JobID, vs float64, remTasks int) []WAction {
+// and returns the actions to execute. demand is the probe's piggybacked
+// per-copy resource demand (the zero vector on homogeneous clusters).
+func (w *Worker) AddReservation(sched SchedID, job cluster.JobID, vs float64, remTasks int, demand cluster.Resources) []WAction {
 	w.begin()
 	e := w.find(sched, job)
 	if e == nil {
@@ -194,6 +209,7 @@ func (w *Worker) AddReservation(sched SchedID, job cluster.JobID, vs float64, re
 	e.count++
 	e.vs = vs
 	e.remTasks = remTasks
+	e.demand = demand
 	e.coolTill = 0 // fresh probes signal fresh demand
 	// A new reservation justifies an immediate try, but does not reset
 	// the failure backoff: only a successful placement does. This keeps a
@@ -309,13 +325,16 @@ func (w *Worker) freeForRounds() int {
 }
 
 // hasOfferableWork reports whether some reservation can be offered right
-// now (outstanding count, not in refusal cooldown). Rounds only start
-// against offerable entries, so every round sends at least one message —
-// this is what makes the kick loop terminate.
+// now (outstanding count, not in refusal cooldown, demand fits this
+// worker). Rounds only start against offerable entries, so every round
+// sends at least one message — this is what makes the kick loop
+// terminate. The fit filter must match the pick rules exactly: an entry
+// the picks would skip but this predicate counted would spin kick
+// forever on a free slot it can never fill.
 func (w *Worker) hasOfferableWork() bool {
 	now := w.env.Now()
 	for _, e := range w.entries {
-		if !e.dead && e.count > 0 && e.coolTill <= now {
+		if !e.dead && e.count > 0 && e.coolTill <= now && w.fitsHere(e) {
 			return true
 		}
 	}
@@ -323,10 +342,12 @@ func (w *Worker) hasOfferableWork() bool {
 }
 
 // hasAnyReservations ignores cooldowns; used to decide whether a backoff
-// retry is worth arming (a cooling queue may become offerable later).
+// retry is worth arming (a cooling queue may become offerable later). A
+// non-fitting entry does not count: its demand cannot shrink except via
+// a fresh probe, which kicks the worker anyway.
 func (w *Worker) hasAnyReservations() bool {
 	for _, e := range w.entries {
-		if !e.dead && e.count > 0 {
+		if !e.dead && e.count > 0 && w.fitsHere(e) {
 			return true
 		}
 	}
@@ -454,19 +475,27 @@ func (r *Round) markTried(e *Entry) { r.tried = append(r.tried, triedRef{e: e, g
 // step advances the round until a message goes out or the round ends.
 func (r *Round) step() {
 	switch r.w.cfg.Mode {
-	case ModeHopper:
+	case ModeHopper, ModeLoadCache:
 		r.stepHopper()
 	default:
 		r.stepSparrow()
 	}
 }
 
-// pickMinVS returns the untried entry with the smallest virtual size.
+// fitsHere reports whether an entry's piggybacked demand fits this
+// worker's slot capacity; the zero-demand short-circuit keeps the
+// homogeneous pick rules comparison-free.
+func (w *Worker) fitsHere(e *Entry) bool {
+	return e.demand.IsZero() || e.demand.FitsIn(w.env.Cap)
+}
+
+// pickMinVS returns the untried fitting entry with the smallest virtual
+// size.
 func (r *Round) pickMinVS() *Entry {
 	now := r.w.env.Now()
 	var best *Entry
 	for _, e := range r.w.entries {
-		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now || !r.w.fitsHere(e) {
 			continue
 		}
 		if best == nil || e.vs < best.vs || (e.vs == best.vs && e.seq < best.seq) {
@@ -482,7 +511,7 @@ func (r *Round) pickSparrow() *Entry {
 	var best *Entry
 	srpt := r.w.cfg.Mode == ModeSparrowSRPT
 	for _, e := range r.w.entries {
-		if e.dead || e.count <= 0 || r.wasTried(e) {
+		if e.dead || e.count <= 0 || r.wasTried(e) || !r.w.fitsHere(e) {
 			continue
 		}
 		if best == nil {
@@ -567,7 +596,7 @@ func (r *Round) stepG3() {
 	cands := r.w.g3Cands[:0]
 	weights := r.w.g3Weights[:0]
 	for _, e := range r.w.entries {
-		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now {
+		if e.dead || e.count <= 0 || r.wasTried(e) || e.coolTill > now || !r.w.fitsHere(e) {
 			continue
 		}
 		cands = append(cands, e)

@@ -24,7 +24,11 @@ import (
 	"github.com/hopper-sim/hopper/internal/stats"
 )
 
-// Estimates carries the policy-visible numbers for one running task.
+// Estimates carries the policy-visible numbers for one running task. All
+// times are in baseline-speed work units (wall-clock scaled by the
+// running machine's speed factor, Copy.Work*), so estimates from copies
+// on fast and slow machines compare correctly; on homogeneous clusters
+// every speed is 1 and work equals wall-clock exactly.
 type Estimates struct {
 	// Remaining is the estimated remaining time of the task's best
 	// (soonest-finishing) observable live copy.
@@ -184,8 +188,12 @@ type Monitor struct {
 
 	// idx, when non-nil, answers BestVictimFor from per-job heaps instead
 	// of the linear scan — see victimindex.go for the structure and the
-	// exact-equivalence argument.
-	idx map[cluster.JobID]*jobVictims
+	// exact-equivalence argument. heteroSeen flips once a copy with a
+	// non-unit speed factor is indexed: the heap keys are wall-clock and
+	// lose work-order monotonicity across speeds, so queries fall back to
+	// the scan from then on.
+	idx        map[cluster.JobID]*jobVictims
+	heteroSeen bool
 }
 
 // NewMonitor returns a Monitor with the given config (defaults applied).
@@ -209,7 +217,7 @@ func (m *Monitor) TaskCompleted(t *cluster.Task, winner *cluster.Copy) {
 		js = &jobStats{cachedAt: -1}
 		m.jobs[t.Job.ID] = js
 	}
-	js.done.Add(winner.Duration)
+	js.done.Add(winner.WorkDuration())
 	js.version++
 }
 
@@ -271,16 +279,16 @@ func (m *Monitor) Wants(now float64, t *cluster.Task) bool {
 		return false
 	}
 	live := 0
-	var best *cluster.Copy // observable copy with the smallest remaining
+	var best *cluster.Copy // observable copy with the smallest remaining work
 	for _, c := range t.Copies {
 		if c.Killed || c.Won {
 			continue
 		}
 		live++
-		if c.Elapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
+		if c.WorkElapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
 			continue
 		}
-		if best == nil || c.Remaining(now) < best.Remaining(now) {
+		if best == nil || c.WorkRemaining(now) < best.WorkRemaining(now) {
 			best = c
 		}
 	}
@@ -289,9 +297,9 @@ func (m *Monitor) Wants(now float64, t *cluster.Task) bool {
 	}
 	phase := t.Phase
 	e := Estimates{
-		Remaining:         m.noisy(best.Remaining(now)),
+		Remaining:         m.noisy(best.WorkRemaining(now)),
 		New:               m.estNew(t),
-		ProjectedTotal:    m.noisy(best.Duration),
+		ProjectedTotal:    m.noisy(best.WorkDuration()),
 		SlowThreshold:     m.slowThreshold(t),
 		PhaseFractionDone: float64(len(phase.Tasks)-phase.RemainingTasks()) / float64(len(phase.Tasks)),
 	}
@@ -344,23 +352,23 @@ func (m *Monitor) BestVictim(now float64, running []*cluster.Task, maxCopies int
 			continue
 		}
 		live := 0
-		var best *cluster.Copy // observable copy closest to finishing
+		var best *cluster.Copy // observable copy with the least remaining work
 		for _, c := range t.Copies {
 			if c.Killed || c.Won {
 				continue
 			}
 			live++
-			if c.Elapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
+			if c.WorkElapsed(now) < m.cfg.DetectDelayFrac*t.Phase.MeanTaskDuration {
 				continue
 			}
-			if best == nil || c.Remaining(now) < best.Remaining(now) {
+			if best == nil || c.WorkRemaining(now) < best.WorkRemaining(now) {
 				best = c
 			}
 		}
 		if live == 0 || live >= maxCopies || best == nil {
 			continue
 		}
-		rem := m.noisy(best.Remaining(now))
+		rem := m.noisy(best.WorkRemaining(now))
 		if rem <= m.estNew(t) {
 			continue // a new copy would not beat the current one
 		}

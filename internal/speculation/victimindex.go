@@ -193,6 +193,13 @@ func (m *Monitor) OriginalCopyPlaced(t *cluster.Task) {
 		ji.buckets = append(ji.buckets, b)
 	}
 	c := t.Copies[0]
+	if c.Speed != 1 {
+		// Heap keys assume remaining work is monotone in wall-clock finish,
+		// which holds only when every copy runs at the same speed. The first
+		// off-speed placement permanently downgrades this monitor to the
+		// scan (still exact; the index is a pure optimization).
+		m.heteroSeen = true
+	}
 	heapPush(&b.ripening, victimEntry{
 		t:      t,
 		finish: c.Start + c.Duration,
@@ -206,7 +213,7 @@ func (m *Monitor) OriginalCopyPlaced(t *cluster.Task) {
 // with the largest remaining time whose fresh copy would beat it. jobID
 // scopes the index; running is only consulted on the scan path.
 func (m *Monitor) BestVictimFor(now float64, jobID cluster.JobID, running []*cluster.Task, maxCopies int) *cluster.Task {
-	if m.idx == nil || maxCopies != 2 {
+	if m.idx == nil || maxCopies != 2 || m.heteroSeen {
 		return m.BestVictim(now, running, maxCopies)
 	}
 	ji := m.idx[jobID]

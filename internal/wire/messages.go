@@ -25,6 +25,11 @@ type PhaseSpec struct {
 	TransferWork float64
 	NumTasks     uint32
 
+	// DemandCPU/DemandMem are the per-copy resource demand of this
+	// phase's tasks (zero on homogeneous clusters: every slot fits).
+	DemandCPU float64
+	DemandMem float64
+
 	// Replicas optionally lists, per task, the worker IDs holding the
 	// task's input data (locality preferences for probe targeting). When
 	// non-nil, the codec normalizes it to exactly NumTasks entries on
@@ -56,6 +61,8 @@ func (m *SubmitJob) encode(b []byte) []byte {
 		b = putF64(b, p.MeanDur)
 		b = putF64(b, p.TransferWork)
 		b = putU32(b, p.NumTasks)
+		b = putF64(b, p.DemandCPU)
+		b = putF64(b, p.DemandMem)
 		b = putBool(b, p.Replicas != nil)
 		if p.Replicas != nil {
 			// Exactly NumTasks groups on the wire, whatever the caller
@@ -95,6 +102,8 @@ func (m *SubmitJob) decode(r *reader) error {
 		p.MeanDur = r.f64()
 		p.TransferWork = r.f64()
 		p.NumTasks = r.u32()
+		p.DemandCPU = r.f64()
+		p.DemandMem = r.f64()
 		if r.bool() {
 			// Two allocation guards against attacker-controlled NumTasks:
 			// the group count is bounded up front (zero-length groups
@@ -167,6 +176,11 @@ type Reserve struct {
 	SchedulerID uint32
 	VirtualSize float64
 	RemTasks    uint32
+	// DemandCPU/DemandMem carry the probed task's per-copy resource
+	// demand so the worker can skip reservations that cannot fit its
+	// slots (zero on homogeneous clusters).
+	DemandCPU float64
+	DemandMem float64
 }
 
 // Type implements Message.
@@ -177,6 +191,8 @@ func (m *Reserve) encode(b []byte) []byte {
 	b = putU32(b, m.SchedulerID)
 	b = putF64(b, m.VirtualSize)
 	b = putU32(b, m.RemTasks)
+	b = putF64(b, m.DemandCPU)
+	b = putF64(b, m.DemandMem)
 	return b
 }
 
@@ -185,6 +201,8 @@ func (m *Reserve) decode(r *reader) error {
 	m.SchedulerID = r.u32()
 	m.VirtualSize = r.f64()
 	m.RemTasks = r.u32()
+	m.DemandCPU = r.f64()
+	m.DemandMem = r.f64()
 	return r.err
 }
 
@@ -198,6 +216,10 @@ type Offer struct {
 	Seq       uint64 // correlates the scheduler's reply to this offer
 	Refusable bool
 	GetTask   bool
+	// FreeSlots piggybacks the worker's free-slot count at send time,
+	// feeding the scheduler's load-cached probe policy (ignored under
+	// random probing).
+	FreeSlots uint32
 }
 
 // Type implements Message.
@@ -209,6 +231,7 @@ func (m *Offer) encode(b []byte) []byte {
 	b = putU64(b, m.Seq)
 	b = putBool(b, m.Refusable)
 	b = putBool(b, m.GetTask)
+	b = putU32(b, m.FreeSlots)
 	return b
 }
 
@@ -218,6 +241,7 @@ func (m *Offer) decode(r *reader) error {
 	m.Seq = r.u64()
 	m.Refusable = r.bool()
 	m.GetTask = r.bool()
+	m.FreeSlots = r.u32()
 	return r.err
 }
 
@@ -392,6 +416,14 @@ type Hello struct {
 	ID    uint32
 	Slots uint32 // workers announce their slot count
 
+	// Class is the worker's machine-class index and Classes the class
+	// table describing it (workers send a one-entry table for their own
+	// class; homogeneous workers send an empty table and Class 0). The
+	// table is self-describing so a scheduler needs no out-of-band class
+	// configuration to scale service times or filter demand.
+	Class   uint32
+	Classes []ClassSpec
+
 	// Running is a re-registering worker's inventory of this scheduler's
 	// copies still executing on it — the state a restarted scheduler
 	// rebuilds its placement bookkeeping from instead of double-placing
@@ -425,6 +457,22 @@ type JobReservation struct {
 	Count uint32
 }
 
+// ClassSpec is one machine-class entry in a Hello's class table: the
+// class's speed factor, per-machine slot count, and per-slot capacity.
+type ClassSpec struct {
+	Name   string
+	Speed  float64
+	Slots  uint32
+	CapCPU float64
+	CapMem float64
+}
+
+// MaxHelloClasses bounds the class-table length the decoder will
+// allocate for — real clusters have a handful of machine classes; a
+// malicious frame gets no allocation amplification (same guard shape as
+// MaxReplicaTasks and MaxHelloInventory).
+const MaxHelloClasses = 1 << 10
+
 // MaxHelloInventory bounds the per-Hello inventory list lengths the
 // decoder will allocate for (a worker holds at most slots-many running
 // copies and a handful of reservation entries; a malicious frame gets
@@ -438,6 +486,15 @@ func (m *Hello) encode(b []byte) []byte {
 	b = putU8(b, m.Role)
 	b = putU32(b, m.ID)
 	b = putU32(b, m.Slots)
+	b = putU32(b, m.Class)
+	b = putU16(b, uint16(len(m.Classes)))
+	for _, cs := range m.Classes {
+		b = putString(b, cs.Name)
+		b = putF64(b, cs.Speed)
+		b = putU32(b, cs.Slots)
+		b = putF64(b, cs.CapCPU)
+		b = putF64(b, cs.CapMem)
+	}
 	b = putU16(b, uint16(len(m.Running)))
 	for _, rc := range m.Running {
 		b = putU64(b, rc.JobID)
@@ -459,6 +516,26 @@ func (m *Hello) decode(r *reader) error {
 	m.Role = r.u8()
 	m.ID = r.u32()
 	m.Slots = r.u32()
+	m.Class = r.u32()
+	nc := int(r.u16())
+	if nc > 0 {
+		// Bounded like Replicas/the inventory lists: capacity grows by
+		// append so a short payload fails at the first missing entry
+		// instead of pre-committing attacker-sized allocations.
+		m.Classes = make([]ClassSpec, 0, min(nc, MaxHelloClasses))
+		for i := 0; i < nc; i++ {
+			if r.err != nil {
+				return r.err
+			}
+			m.Classes = append(m.Classes, ClassSpec{
+				Name:   r.string(),
+				Speed:  r.f64(),
+				Slots:  r.u32(),
+				CapCPU: r.f64(),
+				CapMem: r.f64(),
+			})
+		}
+	}
 	nr := int(r.u16())
 	if nr > 0 {
 		m.Running = make([]RunningCopy, 0, min(nr, MaxHelloInventory))

@@ -48,9 +48,16 @@ func corpusMessages() []Message {
 		}},
 		&JobComplete{JobID: 42, Completion: 12.25, TasksRun: 140, SpecCopies: 13},
 		&JobComplete{JobID: 43, Aborted: true, Error: "scheduler shutting down"},
+		&SubmitJob{JobID: 3, Name: "hetero", Phases: []PhaseSpec{
+			{MeanDur: 2, NumTasks: 12, DemandCPU: 8, DemandMem: 16},
+			{Deps: []uint16{0}, MeanDur: 1, NumTasks: 4, DemandCPU: 2, DemandMem: 4},
+		}},
 		&Reserve{JobID: 7, SchedulerID: 3, VirtualSize: 61.5, RemTasks: 46},
+		&Reserve{JobID: 8, SchedulerID: 1, VirtualSize: 3.25, RemTasks: 9,
+			DemandCPU: 8, DemandMem: 16},
 		&Offer{JobID: 7, WorkerID: 199, Seq: 88, Refusable: true},
 		&Offer{JobID: 7, WorkerID: 199, Seq: 89, Refusable: false, GetTask: true},
+		&Offer{JobID: 8, WorkerID: 12, Seq: 90, Refusable: true, FreeSlots: 6},
 		&Assign{JobID: 7, Seq: 88, Phase: 1, TaskIndex: 17, Speculative: true,
 			Duration: 9.75, VirtualSize: 44, RemTasks: 12},
 		&Refuse{JobID: 7, Seq: 90, NoDemand: true, HasUnsat: true,
@@ -67,6 +74,10 @@ func corpusMessages() []Message {
 		},
 		&Hello{Role: RoleWorker, ID: 19, Slots: 2,
 			Reservations: []JobReservation{{JobID: 5, Count: 2}}},
+		&Hello{Role: RoleWorker, ID: 20, Slots: 8, Class: 0,
+			Classes: []ClassSpec{
+				{Name: "big", Speed: 2, Slots: 8, CapCPU: 16, CapMem: 32},
+			}},
 		&Ping{Nonce: 0xDEADBEEF},
 		&Pong{Nonce: 0xDEADBEEF},
 		&Kill{JobID: 7, Seq: 93},
@@ -241,5 +252,24 @@ func BenchmarkDecodeReserve(b *testing.B) {
 		if _, err := Decode(MsgType(buf[4]), buf[5:]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestHelloClassCountLiesBounded patches a Hello frame's class-table
+// count to the u16 maximum with no matching payload: the decoder must
+// fail at the first missing entry (the append-bounded loop, same guard
+// as Replicas and the inventory lists) instead of pre-committing an
+// attacker-sized allocation or panicking.
+func TestHelloClassCountLiesBounded(t *testing.T) {
+	h := &Hello{Role: RoleWorker, ID: 20, Slots: 8,
+		Classes: []ClassSpec{{Name: "big", Speed: 2, Slots: 8, CapCPU: 16, CapMem: 32}}}
+	frame := Append(nil, h)
+	// Layout after the 5-byte frame header: role u8, id u32, slots u32,
+	// class u32, classCount u16.
+	off := 5 + 1 + 4 + 4 + 4
+	frame[off] = 0xFF
+	frame[off+1] = 0xFF
+	if _, err := ReadMsg(bytes.NewReader(frame)); err == nil {
+		t.Fatal("decoder accepted a class table count with no payload behind it")
 	}
 }
