@@ -259,6 +259,44 @@ func TestTrajectoryIncludesHeteroTier(t *testing.T) {
 	t.Fatal("no trajectory file carries the 10k-machine decentral-loadcache hetero tier (BENCH_PR9+ convention)")
 }
 
+// TestTrajectoryIncludesLiveLatencyTier pins the PR 10 convention: from
+// BENCH_PR10.json on, the full-tier trajectory carries the live-latency
+// tier — open-loop p50/p99/p999 scheduling latency and transport
+// batching counters from a thousand-worker in-process cluster on the
+// batched transport and shared timer wheel. At least one checked-in
+// file must have it, with a healthy run behind the numbers: jobs
+// actually completed, none aborted, and nonzero latency quantiles.
+func TestTrajectoryIncludesLiveLatencyTier(t *testing.T) {
+	files, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no BENCH_PR*.json trajectory files found (err=%v)", err)
+	}
+	for _, file := range files {
+		rep, err := experiments.LoadBenchReport(file)
+		if err != nil {
+			continue // the per-file test reports parse failures
+		}
+		ll := rep.LiveLatency
+		if ll == nil {
+			continue
+		}
+		if ll.Workers < 1000 {
+			t.Fatalf("%s: live-latency tier ran %d workers, want >= 1000", file, ll.Workers)
+		}
+		if ll.Completed <= 0 || ll.Aborted > 0 {
+			t.Fatalf("%s: live-latency tier unhealthy: %d completed, %d aborted", file, ll.Completed, ll.Aborted)
+		}
+		if ll.PlaceP50Ms <= 0 || ll.PlaceP99Ms < ll.PlaceP50Ms {
+			t.Fatalf("%s: degenerate placement quantiles p50=%.3f p99=%.3f", file, ll.PlaceP50Ms, ll.PlaceP99Ms)
+		}
+		if ll.FramesFlushed == 0 || ll.FramesPerFlush < 1 {
+			t.Fatalf("%s: batching counters empty: %+v", file, ll)
+		}
+		return
+	}
+	t.Fatal("no trajectory file carries the live-latency tier (BENCH_PR10+ convention)")
+}
+
 // BenchmarkDispatchScaleSmoke tracks the smoke matrix under
 // `go test -bench`, surfacing the central-Hopper per-decision metrics
 // for quick local comparisons.

@@ -28,6 +28,7 @@ import (
 
 	"github.com/hopper-sim/hopper/internal/live"
 	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/transport"
 	"github.com/hopper-sim/hopper/internal/workload"
 )
 
@@ -49,10 +50,15 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "replay deadline")
 		churn     = flag.Float64("churn", 0, "machine churn rate in leaves per virtual minute (requires -boot): workers are killed mid-replay and fresh ones join after -churn-down")
 		churnDown = flag.Float64("churn-down", 30, "virtual seconds a churned-away worker stays gone before a replacement joins")
+		rate      = flag.Float64("rate", 0, "open-loop mode: submit jobs (cloned from the trace, cycled) at this Poisson rate in jobs per wall second, instead of replaying the trace once")
+		duration  = flag.Duration("duration", 30*time.Second, "open-loop submission window (with -rate)")
 	)
 	flag.Parse()
 	if *churn > 0 && !*boot {
 		log.Fatal("-churn requires -boot (it kills and joins in-process workers)")
+	}
+	if *churn > 0 && *rate > 0 {
+		log.Fatal("-churn and -rate are mutually exclusive")
 	}
 
 	totalSlots := *nWork * *slots
@@ -107,6 +113,26 @@ func main() {
 		go runChurn(lc, *churn, *churnDown, *timeScale, *seed, churnStop, churnDone)
 	}
 
+	if *rate > 0 {
+		// Open-loop mode: fixed arrival rate for a fixed window, latency
+		// measured scheduler-side. The per-size-bin completion table does
+		// not apply (completions are counted, not timed, on this side).
+		ol, err := live.OpenLoop(clients, tr.Jobs, live.OpenLoopConfig{
+			Rate:         *rate,
+			Duration:     *duration,
+			DrainTimeout: *timeout,
+			Seed:         *seed,
+			Log:          os.Stderr,
+		})
+		if err != nil {
+			log.Fatalf("open loop: %v", err)
+		}
+		fmt.Printf("\nopen loop: %d submitted, %d completed, %d aborted, %d unreported, %.1fs wall clock\n",
+			ol.Submitted, ol.Completed, ol.Aborted, ol.Timedout, ol.WallTime.Seconds())
+		printClusterCounters(lc, 0, churnSummary{})
+		return
+	}
+
 	run, stats, err := live.Replay(clients, tr.Jobs, live.ReplayConfig{
 		TimeScale:    *timeScale,
 		ArrivalScale: *arrScale,
@@ -129,14 +155,33 @@ func main() {
 	fmt.Printf("\n%d speculative copies, %d aborted, %.1fs wall clock\n",
 		stats.SpecCopies, stats.Aborted, stats.WallTime.Seconds())
 
+	printClusterCounters(lc, *churn, churned)
+}
+
+// printClusterCounters reports the booted cluster's internals: the
+// scheduling-latency table, the protocol/fault counters, and the
+// transport batching totals. No-op when dialing an external cluster
+// (nothing in-process to inspect) except for the transport totals,
+// which cover this process's client connections too.
+func printClusterCounters(lc *live.LocalCluster, churn float64, churned churnSummary) {
 	if lc != nil {
-		// Booted in-process: the schedulers are ours to inspect. Double
-		// wakeups and occupancy leaks must stay zero — nonzero is how a
-		// live deployment surfaces an accounting bug instead of silently
-		// absorbing it. The fault/recovery columns are expected to be
-		// nonzero exactly when faults were injected (-churn): requeues
-		// for lost copies, watchdog expiries for lost completions, offer
-		// timeouts and stale assigns for lost negotiation legs.
+		// Scheduling latency, recorded scheduler-side: submission to
+		// first task placement (the SLO metric), and Reserve-to-Offer
+		// probe round trips.
+		place, probe := lc.Latency()
+		fmt.Println()
+		fmt.Print(metrics.LatencyTable([]metrics.NamedHist{
+			{Name: "submit->first-place", Hist: place},
+			{Name: "probe rtt", Hist: probe},
+		}))
+
+		// Double wakeups and occupancy leaks must stay zero — nonzero is
+		// how a live deployment surfaces an accounting bug instead of
+		// silently absorbing it. The fault/recovery columns are expected
+		// to be nonzero exactly when faults were injected (-churn):
+		// requeues for lost copies, watchdog expiries for lost
+		// completions, offer timeouts and stale assigns for lost
+		// negotiation legs.
 		var rounds, placed, offerTO, staleAsn int64
 		for _, w := range lc.Workers {
 			if w == nil {
@@ -162,10 +207,24 @@ func main() {
 		fmt.Print(tab.String())
 		fmt.Printf("worker rounds: %d started, %d placed; %d offer timeouts, %d stale assigns\n",
 			rounds, placed, offerTO, staleAsn)
-		if *churn > 0 {
+		if churn > 0 {
 			fmt.Printf("churn: %d workers killed, %d joined\n", churned.killed, churned.joined)
 		}
 	}
+
+	// Transport batching totals (process-wide, all connections).
+	bt := transport.BatchTotals()
+	framesPer := float64(0)
+	if bt.OutboxFlushes > 0 {
+		framesPer = float64(bt.FramesFlushed) / float64(bt.OutboxFlushes)
+	}
+	btab := &metrics.Table{
+		Title:  "transport batching (this process)",
+		Header: []string{"outbox flushes", "frames flushed", "frames/flush", "outbox stalls"},
+	}
+	btab.AddF(int(bt.OutboxFlushes), int(bt.FramesFlushed), framesPer, int(bt.OutboxStalls))
+	fmt.Println()
+	fmt.Print(btab.String())
 }
 
 // churnSummary reports what the churn driver did.

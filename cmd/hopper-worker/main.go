@@ -1,12 +1,18 @@
-// Command hopper-worker runs a live worker node: it registers with every
-// scheduler, queues reservations, and late-binds its slots through the
-// refusable-offer protocol (Pseudocode 3).
+// Command hopper-worker runs live worker nodes: each registers with
+// every scheduler, queues reservations, and late-binds its slots
+// through the refusable-offer protocol (Pseudocode 3).
 //
-// On SIGINT/SIGTERM the worker drains gracefully: every in-flight copy
+// With -n above 1 the process multiplexes that many worker cores
+// (consecutive IDs starting at -id), sharing the batched transport
+// layer and a single timer wheel — one machine can stand in for
+// thousands of cluster nodes.
+//
+// On SIGINT/SIGTERM the workers drain gracefully: every in-flight copy
 // is reported to its scheduler as killed (so the task requeues
 // elsewhere) before the connections close.
 //
 //	hopper-worker -id 0 -slots 16 -schedulers 127.0.0.1:7070,127.0.0.1:7071
+//	hopper-worker -id 0 -n 1000 -slots 4 -schedulers 127.0.0.1:7070
 package main
 
 import (
@@ -23,34 +29,38 @@ import (
 
 func main() {
 	var (
-		id     = flag.Uint("id", 0, "worker ID")
-		slots  = flag.Int("slots", 4, "task slots on this worker")
+		id     = flag.Uint("id", 0, "first worker ID (workers get IDs id..id+n-1)")
+		n      = flag.Int("n", 1, "number of multiplexed workers in this process")
+		slots  = flag.Int("slots", 4, "task slots per worker")
 		scheds = flag.String("schedulers", "127.0.0.1:7070", "comma-separated scheduler addresses")
 		scale  = flag.Float64("time-scale", 1.0, "multiplier on task service times (must match schedulers)")
 	)
 	flag.Parse()
 
-	w, err := live.NewWorker(live.WorkerConfig{
+	base := live.WorkerConfig{
 		ID:             uint32(*id),
 		Slots:          *slots,
 		SchedulerAddrs: strings.Split(*scheds, ","),
 		TimeScale:      *scale,
-		Logger:         log.New(os.Stderr, fmt.Sprintf("worker%d: ", *id), log.Ltime),
-	})
+	}
+	if *n <= 1 {
+		// Single worker: keep per-worker log prefix and wall timers.
+		base.Logger = log.New(os.Stderr, fmt.Sprintf("worker%d: ", *id), log.Ltime)
+	}
+	g, err := live.StartWorkerGroup(live.WorkerGroupConfig{Base: base, N: *n})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("worker %d up with %d slots, schedulers %s\n", *id, *slots, *scheds)
-	done := make(chan struct{})
-	go func() {
-		w.Run() // reports in-flight copies as killed on shutdown
-		close(done)
-	}()
+	if *n <= 1 {
+		fmt.Printf("worker %d up with %d slots, schedulers %s\n", *id, *slots, *scheds)
+	} else {
+		fmt.Printf("%d workers up (IDs %d..%d, %d slots each), schedulers %s\n",
+			*n, *id, *id+uint(*n)-1, *slots, *scheds)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("draining: reporting in-flight copies as killed")
-	w.Stop()
-	<-done
+	g.Stop() // signals every worker, waits for their drains
 }

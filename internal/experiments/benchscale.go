@@ -130,6 +130,11 @@ type BenchReport struct {
 	GoVersion  string
 	GOMAXPROCS int
 	Scenarios  []ScenarioResult
+	// LiveLatency is the live-stack tier (full mode from BENCH_PR10 on):
+	// open-loop scheduling-latency quantiles and transport batching
+	// counters from a thousand-worker in-process cluster. See
+	// livelatency.go.
+	LiveLatency *LiveLatencyResult `json:",omitempty"`
 }
 
 // ScaleScenarios returns the scenario matrix for one scale tier. The
@@ -352,6 +357,17 @@ func RunScaleBench(smoke bool, log io.Writer) *BenchReport {
 			}
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if !smoke {
+		// The live-stack tier rides only full captures: it boots a real
+		// thousand-worker cluster (sockets, goroutines, wall-clock
+		// pacing) and has no smoke-sized variant worth gating CI on —
+		// the CI loadgen smoke covers the live path instead.
+		ll, err := RunLiveLatency(log)
+		if err != nil {
+			panic(fmt.Sprintf("benchscale: live-latency tier: %v", err))
+		}
+		rep.LiveLatency = ll
 	}
 	return rep
 }

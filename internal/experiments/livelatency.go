@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/live"
+	"github.com/hopper-sim/hopper/internal/metrics"
+	"github.com/hopper-sim/hopper/internal/transport"
+	"github.com/hopper-sim/hopper/internal/workload"
+)
+
+// The live-latency bench tier: where the simulator tiers measure the
+// cost of a scheduling *decision*, this tier measures the latency of a
+// scheduling *round trip* on the live stack — real loopback TCP framed
+// by the batched transport, a thousand multiplexed worker cores on one
+// shared timer wheel, open-loop Poisson arrivals. The quantiles are the
+// SLO view of the same protocol the decision benchmarks cost out.
+
+// liveLatencyWorkers is the canonical tier size: a thousand in-process
+// workers, matching the multiplexing layer's design target.
+const liveLatencyWorkers = 1000
+
+// liveLatencyTimeScale compresses virtual task time for the tier. 0.05
+// keeps the worker offer timeout (5 virtual seconds) at 250ms wall —
+// comfortably above single-core event-loop latency at this worker
+// count, so the tier measures scheduling latency rather than timeout
+// storms. (At 0.005 the same run melts down; see DESIGN.md section 12.)
+const liveLatencyTimeScale = 0.05
+
+// LiveLatencyResult is the persisted live-latency tier artifact.
+type LiveLatencyResult struct {
+	Workers        int
+	Schedulers     int
+	SlotsPerWorker int
+	TimeScale      float64
+	RateJobsPerSec float64
+	WindowSeconds  float64
+
+	Submitted  int
+	Completed  int
+	Aborted    int
+	Unreported int
+
+	// Submit→first-placement scheduling latency (wall milliseconds).
+	PlaceP50Ms, PlaceP99Ms, PlaceP999Ms float64
+	// Probe-round RTT: Reserve sent to first Offer back (wall ms).
+	ProbeP50Ms, ProbeP99Ms, ProbeP999Ms float64
+
+	// Transport batching over the run (this process's connections).
+	OutboxFlushes  uint64
+	FramesFlushed  uint64
+	FramesPerFlush float64
+	OutboxStalls   uint64
+	MsgsPerSec     float64 // frames flushed per wall second
+}
+
+// RunLiveLatency boots the canonical thousand-worker in-process cluster
+// and drives it open-loop, returning the latency and batching profile.
+func RunLiveLatency(log io.Writer) (*LiveLatencyResult, error) {
+	const (
+		schedulers = 2
+		slots      = 4
+		rate       = 5.0
+		window     = 20 * time.Second
+		seed       = 7010
+	)
+	logf := func(format string, args ...interface{}) {
+		if log != nil {
+			fmt.Fprintf(log, format+"\n", args...)
+		}
+	}
+	logf("live-latency: booting %d schedulers / %d workers x %d slots", schedulers, liveLatencyWorkers, slots)
+	lc, err := live.StartLocalCluster(live.LocalClusterConfig{
+		Schedulers: schedulers,
+		Workers:    liveLatencyWorkers,
+		Slots:      slots,
+		TimeScale:  liveLatencyTimeScale,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live-latency: booting cluster: %w", err)
+	}
+	defer lc.Stop()
+
+	p := workload.Facebook()
+	p.JobSizeCap = 20
+	tr := workload.Generate(workload.Config{
+		Profile:           p,
+		NumJobs:           10,
+		TargetUtilization: 0.7,
+		TotalSlots:        liveLatencyWorkers * slots,
+		NumMachines:       liveLatencyWorkers,
+		Seed:              seed,
+	})
+
+	var clients []*live.Client
+	for _, a := range lc.Addrs {
+		c, err := live.NewClient(a)
+		if err != nil {
+			return nil, fmt.Errorf("live-latency: dialing scheduler: %w", err)
+		}
+		clients = append(clients, c)
+	}
+
+	before := transport.BatchTotals()
+	start := time.Now()
+	ol, err := live.OpenLoop(clients, tr.Jobs, live.OpenLoopConfig{
+		Rate:     rate,
+		Duration: window,
+		Seed:     seed,
+		Log:      log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live-latency: %w", err)
+	}
+	wall := time.Since(start)
+	after := transport.BatchTotals()
+
+	place, probe := lc.Latency()
+	ms := func(h *metrics.Histogram, q float64) float64 {
+		return float64(h.Quantile(q)) / float64(time.Millisecond)
+	}
+	res := &LiveLatencyResult{
+		Workers:        liveLatencyWorkers,
+		Schedulers:     schedulers,
+		SlotsPerWorker: slots,
+		TimeScale:      liveLatencyTimeScale,
+		RateJobsPerSec: rate,
+		WindowSeconds:  window.Seconds(),
+		Submitted:      ol.Submitted,
+		Completed:      ol.Completed,
+		Aborted:        ol.Aborted,
+		Unreported:     ol.Timedout,
+		PlaceP50Ms:     ms(place, 0.50),
+		PlaceP99Ms:     ms(place, 0.99),
+		PlaceP999Ms:    ms(place, 0.999),
+		ProbeP50Ms:     ms(probe, 0.50),
+		ProbeP99Ms:     ms(probe, 0.99),
+		ProbeP999Ms:    ms(probe, 0.999),
+		OutboxFlushes:  after.OutboxFlushes - before.OutboxFlushes,
+		FramesFlushed:  after.FramesFlushed - before.FramesFlushed,
+		OutboxStalls:   after.OutboxStalls - before.OutboxStalls,
+	}
+	if res.OutboxFlushes > 0 {
+		res.FramesPerFlush = float64(res.FramesFlushed) / float64(res.OutboxFlushes)
+	}
+	if w := wall.Seconds(); w > 0 {
+		res.MsgsPerSec = float64(res.FramesFlushed) / w
+	}
+	logf("live-latency: %d/%d jobs complete; place p50/p99/p999 = %.2f/%.2f/%.2f ms; probe rtt p50/p99 = %.2f/%.2f ms; %.0f msgs/s at %.1f frames/flush",
+		res.Completed, res.Submitted, res.PlaceP50Ms, res.PlaceP99Ms, res.PlaceP999Ms,
+		res.ProbeP50Ms, res.ProbeP99Ms, res.MsgsPerSec, res.FramesPerFlush)
+	return res, nil
+}

@@ -1,8 +1,6 @@
 package live
 
 import (
-	"time"
-
 	"github.com/hopper-sim/hopper/internal/cluster"
 	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/wire"
@@ -107,7 +105,7 @@ type pendingOffer struct {
 
 	// timer is the offer's abandon timer (nil when timeouts are off); a
 	// reply taking the offer stops it so only unanswered offers expire.
-	timer *time.Timer
+	timer protocol.Timer
 }
 
 // offerTracker correlates scheduler replies to in-flight offers by the
@@ -131,7 +129,7 @@ func (t *offerTracker) track(po pendingOffer) uint64 {
 
 // arm attaches an abandon timer to an in-flight offer (no-op if the
 // offer was already resolved).
-func (t *offerTracker) arm(seq uint64, tm *time.Timer) {
+func (t *offerTracker) arm(seq uint64, tm protocol.Timer) {
 	if po, ok := t.pending[seq]; ok {
 		po.timer = tm
 		t.pending[seq] = po

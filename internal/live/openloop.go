@@ -1,0 +1,142 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/wire"
+)
+
+// This file is the open-loop load generator: jobs arrive at a fixed
+// Poisson rate for a fixed window regardless of how fast the cluster
+// finishes them — the regime where scheduling-latency tails (p99/p999)
+// mean something. Replay, by contrast, is closed over the trace: it
+// submits each job once at its trace arrival and the offered load ends
+// with the trace.
+
+// openLoopJobBase is the first job ID open-loop submissions use — far
+// above any trace ID, so collectors can tell this run's completions
+// from leftovers on a reused connection.
+const openLoopJobBase uint64 = 1 << 40
+
+// OpenLoopConfig drives one open-loop run.
+type OpenLoopConfig struct {
+	// Rate is the mean job arrival rate in jobs per wall-clock second
+	// (Poisson: exponential inter-arrival gaps).
+	Rate float64
+	// Duration is the submission window (wall clock).
+	Duration time.Duration
+	// DrainTimeout bounds the wait for in-flight jobs after the window
+	// closes. Default 60s.
+	DrainTimeout time.Duration
+	// Seed drives arrival gaps and template choice.
+	Seed int64
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+// OpenLoopStats summarizes one open-loop run.
+type OpenLoopStats struct {
+	Submitted int
+	Completed int
+	Aborted   int
+	Timedout  int // submitted but never reported back within the drain window
+	WallTime  time.Duration
+}
+
+// OpenLoop submits jobs cloned from the trace templates (cycled,
+// shuffled by seed) round-robin across the clients at the target rate,
+// then waits for the cluster to drain. Scheduling latency is recorded
+// scheduler-side (SchedulerConfig.PlaceLatency/ProbeLatency); this
+// driver only accounts for submissions and completions.
+//
+// The clients are CLOSED on return: collectors block in reads and only
+// a dead connection unblocks them deterministically once the run is
+// over.
+func OpenLoop(clients []*Client, templates []*cluster.Job, cfg OpenLoopConfig) (OpenLoopStats, error) {
+	var stats OpenLoopStats
+	if len(clients) == 0 || len(templates) == 0 {
+		return stats, fmt.Errorf("live: open loop needs clients and trace templates")
+	}
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return stats, fmt.Errorf("live: open loop needs a positive -rate and -duration")
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 60 * time.Second
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	// Render each template to its wire form once; per submission only the
+	// job ID changes (phases are read-only on this side of the wire).
+	wts := make([]*wire.SubmitJob, len(templates))
+	for i, j := range templates {
+		wts[i] = SubmitFromJob(j)
+	}
+
+	var completed, aborted atomic.Int64
+	for _, c := range clients {
+		go func(c *Client) {
+			for {
+				jc, err := c.WaitAny()
+				if err != nil {
+					return // connection closed: run is over
+				}
+				if jc.JobID < openLoopJobBase {
+					continue // leftover from an earlier replay on this conn
+				}
+				if jc.Aborted {
+					aborted.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	next := start
+	id := openLoopJobBase
+	for {
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		next = next.Add(gap)
+		if next.Sub(start) > cfg.Duration {
+			break
+		}
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		m := *wts[rng.Intn(len(wts))]
+		m.JobID = id
+		if err := clients[int(id-openLoopJobBase)%len(clients)].Submit(&m); err != nil {
+			return stats, fmt.Errorf("live: open-loop submit of job %d: %w", id, err)
+		}
+		id++
+		stats.Submitted++
+	}
+	logf("open loop: %d jobs submitted over %.1fs (target rate %.1f/s), draining",
+		stats.Submitted, time.Since(start).Seconds(), cfg.Rate)
+
+	deadline := time.Now().Add(cfg.DrainTimeout)
+	for int(completed.Load()+aborted.Load()) < stats.Submitted && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats.Completed = int(completed.Load())
+	stats.Aborted = int(aborted.Load())
+	stats.Timedout = stats.Submitted - stats.Completed - stats.Aborted
+	stats.WallTime = time.Since(start)
+	return stats, nil
+}

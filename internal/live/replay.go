@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
@@ -232,11 +233,25 @@ type LocalCluster struct {
 	Addrs   []string
 
 	cfg    LocalClusterConfig
-	nextID uint32 // next fresh worker ID for churn joins
+	nextID uint32               // next fresh worker ID for churn joins
+	wheel  *protocol.TimerWheel // one timer wheel shared by every node
+
+	// latPlace/latProbe aggregate scheduling latency across every
+	// scheduler in the cluster (shared via SchedulerConfig).
+	latPlace *metrics.Histogram
+	latProbe *metrics.Histogram
+}
+
+// Latency returns the cluster-wide latency histograms: submit→first-
+// placement and probe-round RTT, aggregated across all schedulers.
+func (lc *LocalCluster) Latency() (place, probe *metrics.Histogram) {
+	return lc.latPlace, lc.latProbe
 }
 
 // StartLocalCluster boots schedulers and workers as goroutines talking
-// real loopback TCP.
+// real loopback TCP. All nodes share one timer wheel, so a
+// thousand-worker cluster runs a single ticker goroutine instead of a
+// runtime timer per retry/cooldown/copy.
 func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 	if cfg.Schedulers <= 0 {
 		cfg.Schedulers = 1
@@ -247,7 +262,13 @@ func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 2
 	}
-	lc := &LocalCluster{cfg: cfg, nextID: uint32(cfg.Workers)}
+	lc := &LocalCluster{
+		cfg:      cfg,
+		nextID:   uint32(cfg.Workers),
+		wheel:    protocol.NewTimerWheel(time.Millisecond, 512),
+		latPlace: &metrics.Histogram{},
+		latProbe: &metrics.Histogram{},
+	}
 	for i := 0; i < cfg.Schedulers; i++ {
 		s, err := lc.newScheduler(i, "127.0.0.1:0")
 		if err != nil {
@@ -258,14 +279,33 @@ func StartLocalCluster(cfg LocalClusterConfig) (*LocalCluster, error) {
 		lc.Scheds = append(lc.Scheds, s)
 		lc.Addrs = append(lc.Addrs, s.Addr())
 	}
+	// Workers boot concurrently (bounded): each NewWorker dials every
+	// scheduler, and at thousand-worker scale those handshakes dominate
+	// boot time if run one at a time.
+	lc.Workers = make([]*Worker, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
-		w, err := lc.newWorker(uint32(i))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			w, err := lc.newWorker(uint32(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			go w.Run()
+			lc.Workers[i] = w
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			lc.Stop()
 			return nil, err
 		}
-		go w.Run()
-		lc.Workers = append(lc.Workers, w)
 	}
 	return lc, nil
 }
@@ -279,6 +319,9 @@ func (lc *LocalCluster) newScheduler(i int, addr string) (*Scheduler, error) {
 		TimeScale:        lc.cfg.TimeScale,
 		Seed:             lc.cfg.Seed + int64(i),
 		DurationOverride: lc.cfg.DurationOverride,
+		Timers:           lc.wheel,
+		PlaceLatency:     lc.latPlace,
+		ProbeLatency:     lc.latProbe,
 	})
 }
 
@@ -290,6 +333,7 @@ func (lc *LocalCluster) newWorker(id uint32) (*Worker, error) {
 		Mode:           lc.cfg.Mode,
 		TimeScale:      lc.cfg.TimeScale,
 		RedialInterval: lc.cfg.RedialInterval,
+		Timers:         lc.wheel,
 	}
 	if ci, mc := classForWorker(lc.cfg.Classes, id); mc != nil {
 		wc.Class = uint32(ci)
@@ -376,7 +420,7 @@ func (lc *LocalCluster) AddWorker() (int, error) {
 }
 
 // Stop tears the cluster down (workers first, so their drains reach
-// live schedulers).
+// live schedulers; the shared wheel last, once no node can arm timers).
 func (lc *LocalCluster) Stop() {
 	for _, w := range lc.Workers {
 		if w != nil {
@@ -386,4 +430,5 @@ func (lc *LocalCluster) Stop() {
 	for _, s := range lc.Scheds {
 		s.Stop()
 	}
+	lc.wheel.Stop()
 }

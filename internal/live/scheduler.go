@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/hopper-sim/hopper/internal/cluster"
+	"github.com/hopper-sim/hopper/internal/metrics"
 	"github.com/hopper-sim/hopper/internal/protocol"
 	"github.com/hopper-sim/hopper/internal/simulator"
 	"github.com/hopper-sim/hopper/internal/transport"
@@ -65,6 +66,19 @@ type SchedulerConfig struct {
 	DurationOverride func(t *cluster.Task, speculative bool) float64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
+	// Timers arms the scheduler's wall-clock timers (reprobe ticker,
+	// unlock delays). Nil uses protocol.WallTimers; a cluster hosting
+	// many in-process nodes shares one protocol.TimerWheel.
+	Timers protocol.TimerService
+	// PlaceLatency, when set, receives one wall-clock observation per
+	// job: submission to first task placement (the scheduling-latency
+	// SLO metric). ProbeLatency receives one observation per answered
+	// probe: Reserve sent to the first Offer back from that worker for
+	// that job (probe-round RTT). Both may be shared across schedulers —
+	// Histogram's record path is concurrency-safe. Nil allocates
+	// per-scheduler histograms, readable via Latency().
+	PlaceLatency *metrics.Histogram
+	ProbeLatency *metrics.Histogram
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -91,6 +105,15 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	} else if c.WatchdogGrace < 0 {
 		c.WatchdogGrace = 0
 	}
+	if c.Timers == nil {
+		c.Timers = protocol.WallTimers
+	}
+	if c.PlaceLatency == nil {
+		c.PlaceLatency = &metrics.Histogram{}
+	}
+	if c.ProbeLatency == nil {
+		c.ProbeLatency = &metrics.Histogram{}
+	}
 	return c
 }
 
@@ -108,6 +131,16 @@ type lJob struct {
 	client     *peer
 	submitVirt float64
 	specCopies int
+
+	// submitWall and placed drive the submit→first-placement latency
+	// observation: stamped at admission, recorded once by startCopy.
+	submitWall time.Time
+	placed     bool
+	// probeSent stamps the first outstanding Reserve per worker, matched
+	// by the first Offer back from that worker for this job (probe-round
+	// RTT). Entries die with the job; unanswered probes are never
+	// recorded — RTT is a responsiveness metric, not a loss detector.
+	probeSent map[uint32]time.Time
 }
 
 // lCopy is one in-flight emulated copy, keyed by (worker, assign seq).
@@ -722,7 +755,7 @@ func (s *Scheduler) admit(client *peer, m *wire.SubmitJob) {
 	}
 	now := s.now()
 	j := cluster.NewJob(cluster.JobID(m.JobID), m.Name, now, phases)
-	lj := &lJob{job: j, client: client, submitVirt: now}
+	lj := &lJob{job: j, client: client, submitVirt: now, submitWall: time.Now()}
 	s.jobs[m.JobID] = lj
 	s.core.Admit(j)
 	// Attach copies that re-registering workers reported for this job
@@ -851,6 +884,7 @@ func (s *Scheduler) sendProbesAvoiding(probes []protocol.Probe, avoid int64) {
 					}
 					if cand := s.workers[uint32(alt)]; cand != nil {
 						w = cand
+						wid = uint32(alt)
 						break
 					}
 				}
@@ -876,6 +910,16 @@ func (s *Scheduler) sendProbesAvoiding(probes []protocol.Probe, avoid int64) {
 					s.pendingProbes = append(s.pendingProbes, p)
 				}
 				continue
+			}
+		}
+		if lj := s.jobs[uint64(p.Job)]; lj != nil {
+			// Stamp the first outstanding probe per worker for the
+			// probe-round RTT observation (matched in onOffer).
+			if lj.probeSent == nil {
+				lj.probeSent = make(map[uint32]time.Time)
+			}
+			if _, out := lj.probeSent[wid]; !out {
+				lj.probeSent[wid] = time.Now()
 			}
 		}
 		s.loop.send(w, &wire.Reserve{
@@ -906,7 +950,7 @@ func (s *Scheduler) ensureTicker() {
 	ticks := 0
 	var arm func()
 	arm = func() {
-		time.AfterFunc(wall, func() {
+		s.cfg.Timers.AfterFunc(wall, func() {
 			s.post(&internalEvent{fn: func() {
 				if !s.core.HasJobs() {
 					s.tickerOn = false
@@ -946,6 +990,12 @@ func (s *Scheduler) onOffer(from *peer, m *wire.Offer) {
 	// Feed the probe policy the offer's piggybacked free-slot count
 	// (no-op under random probing).
 	s.core.ObserveWorkerLoad(cluster.MachineID(m.WorkerID), int(m.FreeSlots), s.workerCap(cluster.MachineID(m.WorkerID)))
+	if lj := s.jobs[m.JobID]; lj != nil {
+		if t0, out := lj.probeSent[m.WorkerID]; out {
+			s.cfg.ProbeLatency.Record(time.Since(t0))
+			delete(lj.probeSent, m.WorkerID)
+		}
+	}
 	var rep protocol.Reply
 	if m.GetTask {
 		rep = s.core.HandleGetTask(cluster.JobID(m.JobID), cluster.MachineID(m.WorkerID))
@@ -984,6 +1034,12 @@ func (s *Scheduler) startCopy(rep protocol.Reply, w *peer, workerID uint32, seq 
 	lj := s.jobs[uint64(rep.Job)]
 	if rep.Spec && lj != nil {
 		lj.specCopies++
+	}
+	if lj != nil && !lj.placed {
+		// First placement for this job: the submit→first-task wall-clock
+		// gap is the scheduling-latency SLO observation.
+		lj.placed = true
+		s.cfg.PlaceLatency.Record(time.Since(lj.submitWall))
 	}
 	lc := &lCopy{job: lj, task: t, copy: c, worker: w, workerID: workerID, seq: seq,
 		deadline: s.copyDeadline(dur)}
@@ -1103,7 +1159,7 @@ func (s *Scheduler) scheduleUnlock(at simulator.Time, fire func()) {
 		fire()
 		return
 	}
-	time.AfterFunc(time.Duration(delay*s.cfg.TimeScale*float64(time.Second)), func() {
+	s.cfg.Timers.AfterFunc(time.Duration(delay*s.cfg.TimeScale*float64(time.Second)), func() {
 		s.post(&internalEvent{fn: fire}, nil)
 	})
 }
@@ -1121,6 +1177,15 @@ func (s *Scheduler) Stats() protocol.Stats {
 	case <-s.loop.done:
 		return protocol.Stats{}
 	}
+}
+
+// Latency returns the scheduler's latency histograms: submit→first-
+// placement and probe-round RTT. The histograms' record paths are
+// atomic, so reading (Quantile/Merge) concurrently with a live
+// scheduler is safe; when several schedulers share histograms via
+// SchedulerConfig each returns the same pair.
+func (s *Scheduler) Latency() (place, probe *metrics.Histogram) {
+	return s.cfg.PlaceLatency, s.cfg.ProbeLatency
 }
 
 // finishJob reports the completed job to its client and releases state.

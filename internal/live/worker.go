@@ -62,6 +62,12 @@ type WorkerConfig struct {
 	RedialInterval float64
 	// Logger receives diagnostics; nil disables logging.
 	Logger *log.Logger
+	// Timers arms the worker's wall-clock timers (copy completion, offer
+	// timeouts, retry backoff). Nil uses protocol.WallTimers (one runtime
+	// timer per callback). Multiplexed workers share one
+	// protocol.TimerWheel so a thousand-worker process runs one timer
+	// goroutine instead of thousands of runtime timers (see WorkerGroup).
+	Timers protocol.TimerService
 }
 
 // defaultRetryJitter is the retry-backoff spread live workers run with:
@@ -84,7 +90,7 @@ type runningCopy struct {
 	seq         uint64
 	msg         wire.Assign
 	from        *peer
-	timer       *time.Timer
+	timer       protocol.Timer
 	sidx        int
 	startedVirt float64
 }
@@ -110,7 +116,7 @@ type Worker struct {
 	idByPeer  map[*peer]protocol.SchedID
 	freeSlots int
 	running   map[uint64]*runningCopy // by assign seq
-	retry     *time.Timer
+	retry     protocol.Timer
 	retryGen  uint64 // invalidates stale RetryFired deliveries
 
 	// parked holds the reservation inventory DropSched discarded per
@@ -156,6 +162,9 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 		c.OfferTimeout = defaultOfferTimeout
 	} else if c.OfferTimeout < 0 {
 		c.OfferTimeout = 0
+	}
+	if c.Timers == nil {
+		c.Timers = protocol.WallTimers
 	}
 	return c
 }
@@ -649,7 +658,7 @@ func (w *Worker) place(from protocol.SchedID, rep protocol.Reply) bool {
 	}
 	w.running[rc.seq] = rc
 	wall := time.Duration(a.Duration * w.cfg.TimeScale * float64(time.Second))
-	rc.timer = time.AfterFunc(wall, func() {
+	rc.timer = w.cfg.Timers.AfterFunc(wall, func() {
 		w.post(&internalEvent{fn: func() { w.copyFinished(rc) }}, nil)
 	})
 	return true
@@ -720,7 +729,7 @@ func (w *Worker) exec(acts []protocol.WAction) {
 			})
 			if w.cfg.OfferTimeout > 0 {
 				wall := time.Duration(w.cfg.OfferTimeout * w.cfg.TimeScale * float64(time.Second))
-				w.tracker.arm(seq, time.AfterFunc(wall, func() {
+				w.tracker.arm(seq, w.cfg.Timers.AfterFunc(wall, func() {
 					w.post(&internalEvent{fn: func() { w.offerTimedOut(seq) }}, nil)
 				}))
 			}
@@ -735,7 +744,7 @@ func (w *Worker) exec(acts []protocol.WAction) {
 			w.retryGen++
 			gen := w.retryGen
 			wall := time.Duration(a.Delay * w.cfg.TimeScale * float64(time.Second))
-			w.retry = time.AfterFunc(wall, func() {
+			w.retry = w.cfg.Timers.AfterFunc(wall, func() {
 				w.post(&internalEvent{fn: func() {
 					if gen != w.retryGen {
 						return // superseded by a later arm or cancel

@@ -1,0 +1,208 @@
+// Timer seam for the live adapters. The protocol cores themselves are
+// clock-agnostic (they take virtual timestamps as arguments); what needs
+// real timers is the deployment layer around them — running-copy
+// completion, offer timeouts, probe retries, reprobe ticks, unlock
+// delays. Routing those through a TimerService instead of time.AfterFunc
+// lets thousands of multiplexed workers share one timer wheel (one
+// goroutine, O(1) arm/cancel) instead of costing a runtime timer each.
+package protocol
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is an armed callback. Stop cancels it, reporting true when the
+// cancellation prevented the callback from running — the same contract
+// as (*time.Timer).Stop for AfterFunc timers.
+type Timer interface {
+	Stop() bool
+}
+
+// TimerService arms callbacks. Implementations: WallTimers (runtime
+// timers, exact) and TimerWheel (shared hashed wheel, tick-granular).
+type TimerService interface {
+	// AfterFunc runs f once after d elapses, on an unspecified
+	// goroutine. f must not block for long: wheel implementations run
+	// callbacks inline on the shared wheel goroutine.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// WallTimers is the default TimerService: one runtime timer per
+// callback, exact firing. Right for a handful of workers; at thousands
+// per process the per-timer heap traffic is what the wheel removes.
+var WallTimers TimerService = wallTimers{}
+
+type wallTimers struct{}
+
+func (wallTimers) AfterFunc(d time.Duration, f func()) Timer {
+	return wallTimer{t: time.AfterFunc(d, f)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool { return w.t.Stop() }
+
+// TimerWheel is a hashed timer wheel: a ring of slots advanced by one
+// goroutine at a fixed tick. Arming and canceling are O(1) under one
+// lock; firing is amortized O(1) per timer. Precision is one tick
+// (callbacks fire up to one tick late, never early) — fine for the
+// protocol's retry/cooldown/watchdog timers, which are milliseconds to
+// seconds; anything needing microsecond exactness should use
+// WallTimers.
+//
+// Callbacks run inline on the wheel goroutine, so a blocking callback
+// delays every timer behind it. The live adapters' callbacks only post
+// an event to their node's inbox (1024-deep), which blocks only if a
+// node loop is wedged — the same coupling a shared runtime would have.
+type TimerWheel struct {
+	tick  time.Duration
+	mask  int
+	shift uint // log2(len(slots)), for the rounds computation
+
+	mu      sync.Mutex
+	slots   [][]*wheelTimer
+	cur     int   // last advanced slot
+	ticks   int64 // advances performed
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewTimerWheel starts a wheel with the given tick and slot count
+// (rounded up to a power of two; ring span = tick × slots, longer
+// delays wrap with a rounds counter). A zero tick defaults to 1ms, a
+// slot count < 2 to 512. Stop the wheel when its owners are done.
+func NewTimerWheel(tick time.Duration, slots int) *TimerWheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	if slots < 2 {
+		slots = 512
+	}
+	n, shift := 1, uint(0)
+	for n < slots {
+		n <<= 1
+		shift++
+	}
+	w := &TimerWheel{
+		tick:  tick,
+		mask:  n - 1,
+		shift: shift,
+		slots: make([][]*wheelTimer, n),
+		done:  make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// Stop halts the wheel goroutine. Pending timers never fire; AfterFunc
+// on a stopped wheel returns an inert timer. Idempotent.
+func (w *TimerWheel) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+}
+
+type wheelTimer struct {
+	fn       func()
+	rounds   int
+	canceled bool
+	fired    bool
+}
+
+// inertTimer is returned after Stop; it never fires.
+type inertTimer struct{}
+
+func (inertTimer) Stop() bool { return false }
+
+// AfterFunc arms f to run once after d. Firing is rounded up to the
+// next tick boundary, so a timer never fires before its deadline.
+func (w *TimerWheel) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	ticks := int64(d/w.tick) + 1 // round up; min 1 keeps it out of the in-progress advance
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return inertTimer{}
+	}
+	// The timer fires on the ticks-th future advance, which visits slot
+	// (cur+ticks) mod ring; earlier visits of that slot are skipped by
+	// the rounds counter — floor((ticks-1)/ring) of them.
+	t := &wheelTimer{fn: f, rounds: int((ticks - 1) >> w.shift)}
+	slot := (w.cur + int(ticks&int64(w.mask))) & w.mask
+	w.slots[slot] = append(w.slots[slot], t)
+	w.mu.Unlock()
+	return &wheelTimerHandle{wheel: w, t: t}
+}
+
+type wheelTimerHandle struct {
+	wheel *TimerWheel
+	t     *wheelTimer
+}
+
+func (h *wheelTimerHandle) Stop() bool {
+	h.wheel.mu.Lock()
+	defer h.wheel.mu.Unlock()
+	if h.t.fired || h.t.canceled {
+		return false
+	}
+	h.t.canceled = true
+	return true
+}
+
+// run advances the wheel. Ticks are derived from elapsed wall time (not
+// counted ticker deliveries), so a delayed or coalesced tick catches
+// up instead of stretching every pending delay.
+func (w *TimerWheel) run() {
+	defer w.wg.Done()
+	start := time.Now()
+	ticker := time.NewTicker(w.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case now := <-ticker.C:
+			target := int64(now.Sub(start) / w.tick)
+			for {
+				w.mu.Lock()
+				if w.ticks >= target || w.stopped {
+					w.mu.Unlock()
+					break
+				}
+				w.ticks++
+				w.cur = (w.cur + 1) & w.mask
+				slot := w.slots[w.cur]
+				var keep []*wheelTimer
+				var fire []*wheelTimer
+				for _, t := range slot {
+					switch {
+					case t.canceled:
+					case t.rounds > 0:
+						t.rounds--
+						keep = append(keep, t)
+					default:
+						t.fired = true
+						fire = append(fire, t)
+					}
+				}
+				w.slots[w.cur] = keep
+				w.mu.Unlock()
+				for _, t := range fire {
+					t.fn()
+				}
+			}
+		}
+	}
+}
